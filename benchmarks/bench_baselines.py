@@ -1,0 +1,125 @@
+"""E11/E14 — baseline comparisons.
+
+E11: filtering selection vs the §8 "naive approach" (sort everything,
+read off rank d).  The gap grows as Theta(n / (p log(kn/p))) — the
+headline motivation for the selection algorithm.
+
+E14: MCB selection vs a Shout-Echo-style selection (related work, §1/§9):
+shout-echo pays p messages per basic activity, MCB pays per message.
+Also: centralized gather-sort-scatter vs distributed Columnsort.
+"""
+
+from repro.baselines import gather_sort_scatter, shout_echo_select
+from repro.core import Distribution, kth_largest
+from repro.core.problem import is_sorted_output
+from repro.mcb import MCBNetwork
+from repro.select import mcb_select, select_by_sorting
+from repro.sort import mcb_sort
+
+
+def test_e11_filtering_vs_naive(benchmark, emit):
+    p, k = 16, 4
+    rows = []
+    for n in (512, 2048, 8192):
+        d = Distribution.even(n, p, seed=n)
+
+        def run_filter(d=d, n=n):
+            net = MCBNetwork(p=p, k=k)
+            res = mcb_select(net, d, n // 2)
+            return net, res
+
+        if n == 8192:
+            net_f, res_f = benchmark.pedantic(run_filter, rounds=1, iterations=1)
+        else:
+            net_f, res_f = run_filter()
+        net_n = MCBNetwork(p=p, k=k)
+        val_n = select_by_sorting(net_n, d, n // 2)
+        assert res_f.value == val_n == kth_largest(d.all_elements(), n // 2)
+        rows.append(
+            [n, net_f.stats.messages, net_n.stats.messages,
+             net_n.stats.messages / net_f.stats.messages,
+             net_f.stats.cycles, net_n.stats.cycles,
+             net_n.stats.cycles / net_f.stats.cycles]
+        )
+
+    # the gap must *grow* with n (filtering is ~log, sorting is ~linear)
+    gaps = [r[3] for r in rows]
+    assert gaps[0] < gaps[1] < gaps[2]
+    assert gaps[-1] > 10
+
+    emit(
+        "E11  Selection: §8 filtering vs naive sort-then-pick "
+        "(p=16, k=4, d=n/2) — the gap widens as Theta(n/(p log(kn/p)))",
+        ["n", "filter msgs", "naive msgs", "msg gap",
+         "filter cyc", "naive cyc", "cyc gap"],
+        rows,
+    )
+
+
+def test_e14_shout_echo_comparison(benchmark, emit):
+    p = 16
+    rows = []
+    for n in (1024, 4096):
+        d = Distribution.even(n, p, seed=n)
+        net_se = MCBNetwork(p=p, k=1)
+        res_se = shout_echo_select(net_se, d.parts, n // 2)
+        net_mcb = MCBNetwork(p=p, k=1)
+        res_mcb = mcb_select(net_mcb, d, n // 2)
+        assert res_se.value == res_mcb.value
+        rows.append(
+            [n, res_se.activities, net_se.stats.messages,
+             net_mcb.stats.messages,
+             net_se.stats.messages / net_mcb.stats.messages]
+        )
+        # every shout-echo activity costs p messages by construction
+        assert net_se.stats.messages == res_se.activities * p
+
+    emit(
+        "E14  Shout-Echo-style selection vs MCB selection (p=16, k=1): "
+        "per-activity accounting pays p messages even for 1-bit replies",
+        ["n", "SE activities", "SE msgs", "MCB msgs", "SE/MCB"],
+        rows,
+    )
+
+    d = Distribution.even(4096, p, seed=4)
+    benchmark.pedantic(
+        lambda: shout_echo_select(MCBNetwork(p=p, k=1), d.parts, 2048),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_e14b_centralized_vs_columnsort(benchmark, emit):
+    rows = []
+    for p, k, npp in [(16, 16, 240), (16, 8, 128), (16, 4, 64)]:
+        n = p * npp
+        d = Distribution.even(n, p, seed=k)
+        net_g = MCBNetwork(p=p, k=k)
+        out_g = gather_sort_scatter(net_g, d.parts)
+        assert is_sorted_output(d, out_g.output)
+        net_c = MCBNetwork(p=p, k=k)
+        out_c = mcb_sort(net_c, d)
+        assert is_sorted_output(d, out_c.output)
+        rows.append(
+            [f"n={n},k={k}", net_g.stats.cycles, net_c.stats.cycles,
+             net_g.stats.max_aux_peak, net_c.stats.max_aux_peak]
+        )
+
+    # with p = k the distributed sort wins on cycles and memory
+    assert rows[0][2] < rows[0][1]
+    assert rows[0][4] < rows[0][3]
+
+    emit(
+        "E14b Centralized gather-sort-scatter vs Columnsort: channel "
+        "parallelism and no Theta(n) hot spot",
+        ["config", "gather cyc", "columnsort cyc",
+         "gather aux", "columnsort aux"],
+        rows,
+    )
+
+    d = Distribution.even(16 * 240, 16, seed=0)
+    benchmark.pedantic(
+        lambda: mcb_sort(MCBNetwork(p=16, k=16), d),
+        rounds=1,
+        iterations=1,
+    )

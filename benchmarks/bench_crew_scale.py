@@ -1,0 +1,112 @@
+"""E19/E20 — the §9 CREW claim and scale validation.
+
+E19: Columnsort runs on a CREW PRAM with exactly p shared cells at the
+same step count as on MCB(p, p) — the §9 remark made measurable.
+
+E20: the Θ-bounds hold at simulator scale (n up to 65536): the
+normalized sorting and selection ratios measured at small n persist
+unchanged, so nothing in the implementation degrades with size.
+"""
+
+import numpy as np
+
+from repro.core import Distribution, kth_largest
+from repro.mcb import MCBNetwork
+from repro.mcb.crew import CREWMemory, crew_columnsort
+from repro.select import mcb_select
+from repro.sort import mcb_sort, sort_even_pk
+
+
+def test_e19_crew_p_cells(benchmark, emit):
+    rng = np.random.default_rng(19)
+    rows = []
+    for p, m in [(4, 16), (8, 64), (16, 240)]:
+        vals = rng.permutation(m * p).tolist()
+        cols = {i + 1: vals[i * m: (i + 1) * m] for i in range(p)}
+
+        mem = CREWMemory(p=p, cells=p)
+        res = crew_columnsort(mem, cols)
+        flat = [e for i in range(1, p + 1) for e in res.output[i]]
+        assert flat == sorted(vals, reverse=True)
+
+        net = MCBNetwork(p=p, k=p)
+        sort_even_pk(net, {i: list(v) for i, v in cols.items()})
+
+        rows.append(
+            [f"n={m * p}, p={p}", len(mem.cells_used), p,
+             mem.stats.cycles, net.stats.cycles]
+        )
+        assert len(mem.cells_used) <= p
+        assert mem.stats.cycles == net.stats.cycles
+
+    emit(
+        "E19  §9 claim: Columnsort on a CREW PRAM touches exactly p "
+        "shared cells and matches the MCB(p, p) step count",
+        ["config", "cells used", "p", "CREW steps", "MCB cycles"],
+        rows,
+    )
+
+    vals = rng.permutation(240 * 16).tolist()
+    cols = {i + 1: vals[i * 240: (i + 1) * 240] for i in range(16)}
+    benchmark.pedantic(
+        lambda: crew_columnsort(CREWMemory(p=16, cells=16), cols),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_e20_bounds_hold_at_scale(benchmark, emit):
+    p = k = 16
+    rows = []
+    for npp in (256, 1024, 4096):
+        n = p * npp
+        d = Distribution.even(n, p, seed=npp)
+
+        def run(d=d):
+            net = MCBNetwork(p=p, k=k)
+            mcb_sort(net, d)
+            return net
+
+        if npp == 4096:
+            net = benchmark.pedantic(run, rounds=1, iterations=1)
+        else:
+            net = run()
+        rows.append(
+            [n, net.stats.cycles, net.stats.cycles / (n / k),
+             net.stats.messages / n]
+        )
+        # the small-n constants persist exactly
+        assert net.stats.cycles == 4 * npp
+        assert net.stats.messages <= 4 * n
+
+    emit(
+        "E20  Scale check (p = k = 16, n up to 65536): the measured "
+        "constants of Corollary 5 are size-invariant",
+        ["n", "cycles", "cycles/(n/k)", "messages/n"],
+        rows,
+    )
+
+
+def test_e20_selection_at_scale(benchmark, emit):
+    p, k = 16, 4
+    n = 65536
+    d = Distribution.even(n, p, seed=20)
+
+    def run():
+        net = MCBNetwork(p=p, k=k)
+        res = mcb_select(net, d, n // 2)
+        return net, res
+
+    net, res = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert res.value == kth_largest(d.all_elements(), n // 2)
+    from repro.bounds import selection_messages_theta
+
+    ratio = net.stats.messages / selection_messages_theta(n, p, k)
+    assert ratio < 20
+
+    emit(
+        "E20b Selection at n = 65536 (p=16, k=4)",
+        ["n", "messages", "cycles", "phases", "msgs/(p log(kn/p))"],
+        [[n, net.stats.messages, net.stats.cycles,
+          res.trace.num_phases, ratio]],
+    )

@@ -1,0 +1,128 @@
+"""E18 — library extensions built from the paper's machinery.
+
+Not paper claims — these validate the cost/behaviour contracts of the
+features the library adds on top of the reproduced algorithms:
+multi-rank selection (shrinking pools), weighted selection
+(weight-insensitive cost), top-t queries, and stable rebalancing.
+"""
+
+import numpy as np
+
+from repro.core import Distribution, kth_largest
+from repro.mcb import MCBNetwork
+from repro.select import (
+    mcb_multiselect,
+    mcb_quantiles,
+    mcb_select,
+    mcb_select_weighted,
+    mcb_top_t,
+)
+from repro.sort import mcb_sort, rebalance
+
+
+def test_e18_multiselect_vs_independent(benchmark, emit):
+    n, p, k = 8192, 16, 4
+    d = Distribution.even(n, p, seed=18)
+    ranks = [n // 8, n // 4, n // 2, 3 * n // 4]
+
+    def run():
+        net = MCBNetwork(p=p, k=k)
+        res = mcb_multiselect(net, d, ranks)
+        return net, res
+
+    net_m, res = benchmark.pedantic(run, rounds=1, iterations=1)
+    elems = d.all_elements()
+    indep_msgs = 0
+    rows = []
+    for r in ranks:
+        assert res.values[r] == kth_largest(elems, r)
+        net_i = MCBNetwork(p=p, k=k)
+        mcb_select(net_i, d, r)
+        indep_msgs += net_i.stats.messages
+        rows.append([r, res.pool_sizes[r], res.traces[r].num_phases])
+    assert net_m.stats.messages < indep_msgs
+
+    emit(
+        "E18  Multi-rank selection (n=8192, p=16, k=4): pools shrink "
+        "after each resolved rank, beating independent selections "
+        f"({net_m.stats.messages} vs {indep_msgs} messages)",
+        ["rank", "candidate pool", "phases"],
+        rows,
+    )
+
+
+def test_e18_weighted_cost_weight_insensitive(benchmark, emit):
+    rng = np.random.default_rng(18)
+    p, k, n = 8, 2, 512
+    vals = rng.choice(10 * n, size=n, replace=False).tolist()
+    base_w = rng.integers(1, 10, n).tolist()
+    rows = []
+    for scale in (1, 100, 10_000):
+        parts, at = {}, 0
+        per = n // p
+        for i in range(p):
+            parts[i + 1] = [
+                (vals[j], int(base_w[j]) * scale)
+                for j in range(at, at + per)
+            ]
+            at += per
+        total = sum(w for v in parts.values() for _, w in v)
+
+        def run(parts=parts, total=total):
+            net = MCBNetwork(p=p, k=k)
+            res = mcb_select_weighted(net, parts, (total + 1) // 2)
+            return net, res
+
+        if scale == 10_000:
+            net, res = benchmark.pedantic(run, rounds=1, iterations=1)
+        else:
+            net, res = run()
+        rows.append([scale, total, net.stats.messages, res.phases])
+    # scaling every weight by a constant must not change the answer path
+    assert rows[0][2] == rows[1][2] == rows[2][2]
+
+    emit(
+        "E18b Weighted selection: cost depends on the candidate count, "
+        "not the weight magnitudes (p=8, k=2, n=512)",
+        ["weight scale", "total weight", "messages", "phases"],
+        rows,
+    )
+
+
+def test_e18_top_t_and_rebalance(benchmark, emit):
+    rng = np.random.default_rng(181)
+    n, p, k = 2048, 16, 4
+    d = Distribution.even(n, p, seed=3)
+    rows = []
+    for t in (1, 10, 100):
+        net = MCBNetwork(p=p, k=k)
+        top = mcb_top_t(net, d, t)
+        assert top == sorted(d.all_elements(), reverse=True)[:t]
+        rows.append([f"top-{t}", net.stats.cycles, net.stats.messages])
+    net_s = MCBNetwork(p=p, k=k)
+    mcb_sort(net_s, d)
+    rows.append(["full sort (reference)", net_s.stats.cycles,
+                 net_s.stats.messages])
+
+    skewed = Distribution.single_holder(n, p, seed=4)
+    net_r = MCBNetwork(p=p, k=k)
+    bal = rebalance(net_r, skewed)
+    sizes = [len(bal.output[i]) for i in range(1, p + 1)]
+    assert max(sizes) - min(sizes) <= 1
+    rows.append(
+        [f"rebalance n_max={skewed.n_max}", net_r.stats.cycles,
+         net_r.stats.messages]
+    )
+
+    emit(
+        "E18c Top-t queries and rebalancing (n=2048, p=16, k=4) vs the "
+        "full-sort reference cost",
+        ["operation", "cycles", "messages"],
+        rows,
+    )
+
+    benchmark.pedantic(
+        lambda: mcb_top_t(MCBNetwork(p=p, k=k), d, 100),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,79 @@
+"""F2 — Figure 2: the filtering-phase geometry of the selection algorithm.
+
+The paper's Figure 2 illustrates why the weighted median med* splits the
+candidate pool: at least a quarter of the candidates lie on each side, so
+every filtering phase purges >= 1/4 of them.  We regenerate the
+quantitative content: per-phase candidate counts, purge fractions, and
+the O(log(n/m*)) phase count — across even and skewed inputs.
+"""
+
+import math
+
+from repro.bounds import filtering_phases_bound
+from repro.core import Distribution
+from repro.mcb import MCBNetwork
+from repro.select import mcb_select
+
+
+def test_figure2_purge_fractions(benchmark, emit):
+    n, p, k = 8192, 16, 4
+    d = Distribution.even(n, p, seed=2)
+
+    def run():
+        net = MCBNetwork(p=p, k=k)
+        return mcb_select(net, d, n // 2)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    m = n
+    for i, ph in enumerate(res.trace.phases):
+        frac = ph["purged"] / ph["m_before"]
+        rows.append(
+            [i + 1, ph["m_before"], ph["purged"], frac, ph["case"]]
+        )
+
+    fractions = res.trace.purge_fractions()
+    assert all(f >= 0.25 for f in fractions[:-1]), "the Figure 2 quarter rule"
+    bound = filtering_phases_bound(n, max(1, p // k)) + 2
+    assert res.trace.num_phases <= bound
+
+    emit(
+        "F2  Figure 2: filtering phases (n=8192, p=16, k=4, d=n/2) — "
+        "every phase purges >= 1/4 of the candidates",
+        ["phase", "candidates", "purged", "fraction", "case"],
+        rows,
+        notes=(
+            f"phases used: {res.trace.num_phases}  "
+            f"(log_4/3(n/m*) + termination = {bound:.1f} allowed)"
+        ),
+    )
+
+
+def test_figure2_phase_count_scales_logarithmically(emit, benchmark):
+    p, k = 16, 4
+    rows = []
+    phases_seen = []
+    for n in (1024, 4096, 16384):
+        d = Distribution.even(n, p, seed=n)
+        if n < 16384:
+            net = MCBNetwork(p=p, k=k)
+            res = mcb_select(net, d, n // 2)
+        else:
+            res = benchmark.pedantic(
+                lambda: mcb_select(MCBNetwork(p=p, k=k), d, n // 2),
+                rounds=1,
+                iterations=1,
+            )
+        rows.append(
+            [n, res.trace.num_phases, f"{filtering_phases_bound(n, p // k):.1f}"]
+        )
+        phases_seen.append(res.trace.num_phases)
+    # 16x more candidates -> only ~log more phases
+    assert phases_seen[-1] - phases_seen[0] <= math.log2(16) + 2
+
+    emit(
+        "F2b Filtering phase count vs n (p=16, k=4)",
+        ["n", "phases", "log_4/3(n/m*) bound"],
+        rows,
+    )

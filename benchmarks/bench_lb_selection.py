@@ -1,0 +1,149 @@
+"""E1/E2 — selection lower bounds (Theorems 1-2, Corollaries 1-2).
+
+Three-way comparison per instance:
+
+1. the closed-form bound Omega(sum log 2n_i - log 2n_max);
+2. the executable adversary's message count under optimal play
+   (an independent witness of the counting argument);
+3. the measured message/cycle cost of the real selection algorithm.
+
+Tightness: (3) >= (1) always, and (3)/(1) stays within the
+Theta(p log(kn/p)) vs Omega(sum log 2n_i) gap, which is a constant for
+the Corollary 7 regime (many processors above d/p candidates).
+"""
+
+from repro.analysis import ratio_band
+from repro.bounds import (
+    SelectionAdversary,
+    cor1_selection_cycles_lb,
+    thm1_selection_messages_lb,
+    thm2_selection_messages_lb,
+)
+from repro.core import Distribution, kth_largest
+from repro.mcb import MCBNetwork
+from repro.select import mcb_select
+
+
+def test_e1_median_lower_bound(benchmark, emit):
+    p, k = 16, 4
+    rows, measured, bounds = [], [], []
+    for per in (32, 128, 512, 2048):
+        n = p * per
+        d = Distribution.even(n, p, seed=per)
+        sizes = d.sizes()
+
+        def run(d=d, n=n):
+            net = MCBNetwork(p=p, k=k)
+            res = mcb_select(net, d, n // 2)
+            return net, res
+
+        if per == 2048:
+            net, res = benchmark.pedantic(run, rounds=1, iterations=1)
+        else:
+            net, res = run()
+        assert res.value == kth_largest(d.all_elements(), n // 2)
+        lb = thm1_selection_messages_lb(sizes)
+        adv = SelectionAdversary(sizes)
+        rows.append(
+            [n, f"{lb:.1f}", adv.messages_needed(), net.stats.messages,
+             net.stats.messages / lb]
+        )
+        measured.append(net.stats.messages)
+        bounds.append(lb)
+        assert net.stats.messages >= lb
+        assert adv.messages_needed() >= lb
+
+    band = ratio_band(measured, bounds)
+    assert band.is_bounded(4.0)
+
+    emit(
+        "E1  Theorem 1 (median): formula LB vs adversary play vs "
+        "measured messages (p=16, k=4, even sizes)",
+        ["n", "Omega formula", "adversary msgs", "measured msgs", "ratio"],
+        rows,
+    )
+
+
+def test_e1_cycles_corollary1(emit, benchmark):
+    p = 16
+    n = 4096
+    rows = []
+    for k in (1, 2, 4, 8):
+        d = Distribution.even(n, p, seed=5)
+        net = MCBNetwork(p=p, k=k)
+        mcb_select(net, d, n // 2)
+        lb = cor1_selection_cycles_lb(d.sizes(), k)
+        assert net.stats.cycles >= lb
+        rows.append([k, f"{lb:.1f}", net.stats.cycles, net.stats.cycles / lb])
+
+    emit(
+        "E1b Corollary 1: cycle lower bound scales as 1/k (n=4096, p=16)",
+        ["k", "Omega cycles", "measured cycles", "ratio"],
+        rows,
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_e2_rank_sweep_lower_bound(benchmark, emit):
+    p, k = 16, 4
+    n = 8192
+    d = Distribution.even(n, p, seed=11)
+    sizes = d.sizes()
+    elems = d.all_elements()
+    rows = []
+    for rank in (p, n // 16, n // 4, n // 2):
+        net = MCBNetwork(p=p, k=k)
+        res = mcb_select(net, d, rank)
+        assert res.value == kth_largest(elems, rank)
+        lb = thm2_selection_messages_lb(sizes, rank)
+        adv = SelectionAdversary(sizes, d=rank)
+        assert net.stats.messages >= lb
+        rows.append(
+            [rank, f"{lb:.1f}", adv.messages_needed(), net.stats.messages,
+             net.stats.messages / max(lb, 1.0)]
+        )
+
+    emit(
+        "E2  Theorem 2 (rank d): LB vs adversary vs measured "
+        "(n=8192, p=16, k=4)",
+        ["d", "Omega formula", "adversary msgs", "measured msgs", "ratio"],
+        rows,
+    )
+
+    benchmark.pedantic(
+        lambda: mcb_select(MCBNetwork(p=p, k=k), d, n // 4),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_e1_uneven_sizes(emit, benchmark):
+    # The bound expression depends on the full size profile, not just n.
+    k = 4
+    rows = []
+    import numpy as np
+
+    for sizes in ([256] * 16, [2048] + [128] * 15, [32] * 8 + [480] * 8):
+        rng = np.random.default_rng(3)
+        vals = rng.choice(8 * sum(sizes), size=sum(sizes), replace=False).tolist()
+        built, at = [], 0
+        for s in sizes:
+            built.append(vals[at: at + s])
+            at += s
+        d = Distribution.from_lists(built)
+        net = MCBNetwork(p=len(sizes), k=k)
+        res = mcb_select(net, d, d.n // 2)
+        assert res.value == kth_largest(d.all_elements(), d.n // 2)
+        lb = thm1_selection_messages_lb(sizes)
+        assert net.stats.messages >= lb
+        rows.append(
+            [f"{sizes[0]}x{len(sizes)}" if len(set(sizes)) == 1 else "skewed",
+             d.n, f"{lb:.1f}", net.stats.messages]
+        )
+
+    emit(
+        "E1c Theorem 1 under uneven size profiles (k=4)",
+        ["profile", "n", "Omega formula", "measured msgs"],
+        rows,
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,119 @@
+"""E3/E4 — sorting lower bounds (Theorems 3 and 5, Corollary 3).
+
+Runs the real sorting algorithm on the proofs' adversarial placements
+and reports measured cost / lower bound.  Tightness means the ratio is a
+small constant: the measurement sits *above* the bound (it must — the
+bound is proven) and within a fixed factor of it.
+"""
+
+from repro.analysis import ratio_band
+from repro.bounds import (
+    cor3_sorting_cycles_lb,
+    theorem3_neighbors_separated,
+    theorem5_pmax_interleaved,
+    thm3_sorting_messages_lb,
+    thm5_sorting_cycles_lb,
+)
+from repro.core import Distribution
+from repro.core.problem import is_sorted_output
+from repro.mcb import MCBNetwork
+from repro.sort import mcb_sort
+
+
+def test_e3_theorem3_message_bound(benchmark, emit):
+    p, k = 8, 4
+    rows, measured, bounds = [], [], []
+    for per in (50, 100, 200, 400):
+        sizes = [per] * p
+        d = Distribution.theorem3_worst_case(sizes, seed=per)
+        assert theorem3_neighbors_separated(d)
+
+        def run(d=d):
+            net = MCBNetwork(p=p, k=k)
+            out = mcb_sort(net, d)
+            return net, out
+
+        if per == 400:
+            net, out = benchmark.pedantic(run, rounds=1, iterations=1)
+        else:
+            net, out = run()
+        assert is_sorted_output(d, out.output)
+        lb = thm3_sorting_messages_lb(sizes)
+        rows.append([d.n, int(lb), net.stats.messages, net.stats.messages / lb])
+        measured.append(net.stats.messages)
+        bounds.append(lb)
+        assert net.stats.messages >= lb
+
+    band = ratio_band(measured, bounds)
+    assert band.is_bounded(2.0), "the Theta(n) message bound is tight"
+
+    emit(
+        "E3  Theorem 3 worst case (circular placement, p=8, k=4): "
+        "measured messages vs Omega(n - n_max + n_max2)",
+        ["n", "lower bound", "measured messages", "ratio"],
+        rows,
+        notes="ratio stays a small constant -> Theta(n) messages is tight",
+    )
+
+
+def test_e3_skewed_sizes(emit, benchmark):
+    # The bound excludes the surplus of the single largest holder.
+    k = 2
+    rows = []
+    for sizes in ([300, 20, 20, 20], [150, 100, 50, 25], [81, 81, 81, 81]):
+        d = Distribution.theorem3_worst_case(sizes, seed=1)
+        net = MCBNetwork(p=len(sizes), k=k)
+        out = mcb_sort(net, d)
+        assert is_sorted_output(d, out.output)
+        lb_m = thm3_sorting_messages_lb(sizes)
+        lb_c = cor3_sorting_cycles_lb(sizes, k)
+        assert net.stats.messages >= lb_m
+        assert net.stats.cycles >= lb_c
+        rows.append(
+            [str(sizes), int(lb_m), net.stats.messages,
+             int(lb_c), net.stats.cycles]
+        )
+
+    emit(
+        "E3b Theorem 3 / Corollary 3 across cardinality profiles (k=2)",
+        ["sizes", "msg LB", "messages", "cycle LB", "cycles"],
+        rows,
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_e4_theorem5_cycle_bound(benchmark, emit):
+    p, k = 8, 8  # many channels: the n_max serialization is what binds
+    rows, measured, bounds = [], [], []
+    for n in (200, 400, 800, 1600):
+        d = Distribution.theorem5_worst_case(n, p, seed=n)
+        assert theorem5_pmax_interleaved(d)
+
+        def run(d=d):
+            net = MCBNetwork(p=p, k=k)
+            out = mcb_sort(net, d)
+            return net, out
+
+        if n == 1600:
+            net, out = benchmark.pedantic(run, rounds=1, iterations=1)
+        else:
+            net, out = run()
+        assert is_sorted_output(d, out.output)
+        lb = thm5_sorting_cycles_lb(d.sizes())
+        rows.append([n, d.n_max, int(lb), net.stats.cycles,
+                     net.stats.cycles / lb])
+        measured.append(net.stats.cycles)
+        bounds.append(lb)
+        assert net.stats.cycles >= lb
+
+    band = ratio_band(measured, bounds)
+    assert band.is_bounded(2.5), (
+        "cycles track Omega(min(n_max, n - n_max)) up to a constant"
+    )
+
+    emit(
+        "E4  Theorem 5 worst case (interleaved P_max, p=k=8): measured "
+        "cycles vs Omega(min(n_max, n-n_max)) — channels cannot help",
+        ["n", "n_max", "lower bound", "measured cycles", "ratio"],
+        rows,
+    )

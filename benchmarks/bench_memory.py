@@ -1,0 +1,109 @@
+"""E7 — the §6.1 memory/complexity trade-off.
+
+Three implementations of the same p > k even sort:
+
+* §5.2 collect — representatives buffer whole columns: Theta(n/k) aux;
+* §6.1 virtual + Rank-Sort — O(n_i) aux (rank counters);
+* §6.1 virtual + Merge-Sort — O(1) aux (the distributed linked list).
+
+All three are Theta(n) messages / Theta(n/k) cycles; the table shows the
+memory ordering the paper claims, and that it *persists as n grows*
+(merge stays constant, rank grows with n_i, collect grows with n/k).
+"""
+
+from repro.core import Distribution
+from repro.core.problem import is_sorted_output
+from repro.mcb import MCBNetwork
+from repro.sort import sort_even_collect, sort_virtual
+
+
+def test_e7_memory_orders(benchmark, emit):
+    p, k = 16, 4
+    rows = []
+    peaks = {"collect": [], "rank": [], "merge": []}
+    for npp in (16, 32, 64, 128):
+        n = p * npp
+        d = Distribution.even(n, p, seed=npp)
+
+        net_c = MCBNetwork(p=p, k=k)
+        out = sort_even_collect(net_c, d.parts)
+        assert is_sorted_output(d, out.output)
+
+        net_r = MCBNetwork(p=p, k=k)
+        out = sort_virtual(net_r, d.parts, sorter="rank")
+        assert is_sorted_output(d, out.output)
+
+        net_m = MCBNetwork(p=p, k=k)
+        out = sort_virtual(net_m, d.parts, sorter="merge")
+        assert is_sorted_output(d, out.output)
+
+        rows.append(
+            [n,
+             net_c.stats.max_aux_peak, net_r.stats.max_aux_peak,
+             net_m.stats.max_aux_peak,
+             net_c.stats.cycles, net_r.stats.cycles, net_m.stats.cycles]
+        )
+        peaks["collect"].append(net_c.stats.max_aux_peak)
+        peaks["rank"].append(net_r.stats.max_aux_peak)
+        peaks["merge"].append(net_m.stats.max_aux_peak)
+
+        # the paper's ordering at every size
+        assert net_m.stats.max_aux_peak < net_r.stats.max_aux_peak
+        assert net_r.stats.max_aux_peak < net_c.stats.max_aux_peak
+
+    # growth shapes: collect ~ n/k, rank ~ n_i, merge O(1)
+    assert peaks["collect"][-1] >= 4 * peaks["collect"][0]
+    assert peaks["rank"][-1] >= 4 * peaks["rank"][0]
+    assert peaks["merge"][-1] == peaks["merge"][0] <= 2
+
+    emit(
+        "E7  Memory/complexity trade-off (p=16, k=4): per-processor aux "
+        "memory peak — collect Theta(n/k) > rank Theta(n_i) > merge O(1)",
+        ["n", "collect aux", "rank aux", "merge aux",
+         "collect cyc", "rank cyc", "merge cyc"],
+        rows,
+    )
+
+    d = Distribution.even(p * 128, p, seed=128)
+    benchmark.pedantic(
+        lambda: sort_virtual(MCBNetwork(p=p, k=k), d.parts, sorter="merge"),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_e7_single_channel_sorters_head_to_head(benchmark, emit):
+    # Rank-Sort vs Merge-Sort as standalone single-channel sorts.
+    from repro.sort import merge_sort, rank_sort
+
+    p = 8
+    rows = []
+    for n in (128, 512, 2048):
+        d = Distribution.even(n, p, seed=n)
+        net_r = MCBNetwork(p=p, k=1)
+        rank_sort(net_r, d.parts)
+        net_m = MCBNetwork(p=p, k=1)
+        merge_sort(net_m, d.parts)
+        rows.append(
+            [n, net_r.stats.cycles, net_m.stats.cycles,
+             net_r.stats.messages, net_m.stats.messages,
+             net_r.stats.max_aux_peak, net_m.stats.max_aux_peak]
+        )
+        # rank: 2n cycles; merge: 3p + 5n cycles — both linear
+        assert net_r.stats.cycles == 2 * n
+        assert net_m.stats.cycles == 3 * p + 5 * n
+
+    emit(
+        "E7b Single-channel sorts (p=8, k=1): Rank-Sort (2n cycles, "
+        "O(n_i) aux) vs Merge-Sort (5n cycles, O(1) aux)",
+        ["n", "rank cyc", "merge cyc", "rank msgs", "merge msgs",
+         "rank aux", "merge aux"],
+        rows,
+    )
+
+    d = Distribution.even(2048, p, seed=0)
+    benchmark.pedantic(
+        lambda: rank_sort(MCBNetwork(p=p, k=1), d.parts),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,112 @@
+"""E16 — distributed merging of sorted lists (the §1 IPBAM problem).
+
+Sortedness buys a factor over general sorting: the single-channel
+streaming merge moves one element per cycle (vs Rank-Sort's two), and
+the multichannel cross-ranking merge beats re-sorting from scratch.
+The element-movement lower bound Omega(n/k) cycles / Omega(n) messages
+still binds — merging inherits the sorting bound's shape.
+"""
+
+import numpy as np
+
+from repro.core import Distribution
+from repro.mcb import MCBNetwork
+from repro.sort import mcb_merge, mcb_sort, merge_streams, rank_sort
+
+
+def _sorted_pair(rng, p, na, nb):
+    vals = rng.choice(20 * (na + nb), size=na + nb, replace=False).tolist()
+
+    def layout(v):
+        v = sorted(v, reverse=True)
+        sizes = [1] * p
+        for _ in range(len(v) - p):
+            sizes[int(rng.integers(0, p))] += 1
+        parts, at = [], 0
+        for s in sizes:
+            parts.append(v[at: at + s])
+            at += s
+        return Distribution.from_lists(parts)
+
+    return layout(vals[:na]), layout(vals[na:])
+
+
+def test_e16_single_channel_streaming(benchmark, emit):
+    rng = np.random.default_rng(16)
+    p = 8
+    rows = []
+    for n_half in (128, 512, 2048):
+        da, db = _sorted_pair(rng, p, n_half, n_half)
+        n = 2 * n_half
+
+        def run(da=da, db=db):
+            net = MCBNetwork(p=p, k=1)
+            out = merge_streams(net, da, db)
+            return net, out
+
+        if n_half == 2048:
+            net, out = benchmark.pedantic(run, rounds=1, iterations=1)
+        else:
+            net, out = run()
+        merged = sorted(da.all_elements() + db.all_elements(), reverse=True)
+        flat = [e for i in range(1, p + 1) for e in out.output[i]]
+        assert flat == merged
+
+        combined = {i: list(da.parts[i]) + list(db.parts[i]) for i in range(1, p + 1)}
+        net_r = MCBNetwork(p=p, k=1)
+        rank_sort(net_r, combined)
+        rows.append(
+            [n, net.stats.cycles, net_r.stats.cycles,
+             net.stats.messages, net_r.stats.messages]
+        )
+        # sortedness halves the single-channel cost
+        assert net.stats.cycles < net_r.stats.cycles
+        assert net.stats.messages < net_r.stats.messages
+
+    emit(
+        "E16  Single-channel merge of two sorted lists vs re-sorting "
+        "(Rank-Sort) — one cycle per element instead of two",
+        ["n", "merge cyc", "rank-sort cyc", "merge msgs", "rank-sort msgs"],
+        rows,
+    )
+
+
+def test_e16_multichannel_merge(benchmark, emit):
+    rng = np.random.default_rng(61)
+    p = 8
+    rows = []
+    for k in (1, 2, 4, 8):
+        da, db = _sorted_pair(rng, p, 600, 600)
+
+        def run(da=da, db=db, k=k):
+            net = MCBNetwork(p=p, k=k)
+            out = mcb_merge(net, da, db)
+            return net, out
+
+        if k == 8:
+            net, out = benchmark.pedantic(run, rounds=1, iterations=1)
+        else:
+            net, out = run()
+        merged = sorted(da.all_elements() + db.all_elements(), reverse=True)
+        flat = [e for i in range(1, p + 1) for e in out.output[i]]
+        assert flat == merged
+
+        combined = Distribution(
+            {i: tuple(da.parts[i]) + tuple(db.parts[i]) for i in range(1, p + 1)}
+        )
+        net_s = MCBNetwork(p=p, k=k)
+        mcb_sort(net_s, combined)
+        rows.append(
+            [k, net.stats.cycles, net_s.stats.cycles,
+             net.stats.messages, net_s.stats.messages]
+        )
+        # cross-ranking beats re-sorting at every k
+        assert net.stats.cycles < net_s.stats.cycles
+        assert net.stats.messages < net_s.stats.messages
+
+    emit(
+        "E16b Multichannel merge (cross-rank + all-to-all) vs full "
+        "re-sort, n=1200, p=8, sweep k",
+        ["k", "merge cyc", "sort cyc", "merge msgs", "sort msgs"],
+        rows,
+    )

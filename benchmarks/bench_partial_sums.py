@@ -1,0 +1,104 @@
+"""E13 — Partial-Sums (§7.1): O(p/k + log k) cycles, O(p) messages.
+
+Sweeps p and k; reports cycles against the closed-form per-level sum and
+messages against 2p.  Both normalized columns must stay flat.
+"""
+
+from operator import add
+
+from repro.analysis import growth_exponent
+from repro.mcb import MCBNetwork
+from repro.prefix import (
+    mcb_partial_sums,
+    mcb_total_sum,
+    partial_sums_cycle_bound,
+    serial_partial_sums,
+)
+
+
+def test_e13_scaling_in_p(benchmark, emit):
+    k = 4
+    rows, ps, msgs = [], [], []
+    for p in (16, 32, 64, 128, 256):
+        vals = {i: i % 7 + 1 for i in range(1, p + 1)}
+
+        def run(p=p, vals=vals):
+            net = MCBNetwork(p=p, k=k)
+            res = mcb_partial_sums(net, vals)
+            return net, res
+
+        if p == 256:
+            net, res = benchmark.pedantic(run, rounds=1, iterations=1)
+        else:
+            net, res = run()
+        seq = [vals[i] for i in range(1, p + 1)]
+        want = serial_partial_sums(seq, add)
+        assert [res[i].incl for i in range(1, p + 1)] == want
+        bound = partial_sums_cycle_bound(p, k)
+        rows.append(
+            [p, net.stats.cycles, bound, net.stats.messages,
+             net.stats.messages / p]
+        )
+        ps.append(p)
+        msgs.append(net.stats.messages)
+        assert net.stats.cycles <= bound
+
+    assert 0.9 <= growth_exponent(ps, msgs) <= 1.1, "messages are Theta(p)"
+
+    emit(
+        "E13  Partial-Sums (k=4), sweep p: cycles within the closed-form "
+        "O(p/k + log k), messages Theta(p)",
+        ["p", "cycles", "closed-form cap", "messages", "messages/p"],
+        rows,
+    )
+
+
+def test_e13_scaling_in_k(benchmark, emit):
+    p = 128
+    vals = {i: 1 for i in range(1, p + 1)}
+    rows = []
+    cyc = {}
+    for k in (1, 2, 4, 8, 16, 32):
+        net = MCBNetwork(p=p, k=k)
+        mcb_partial_sums(net, vals)
+        cyc[k] = net.stats.cycles
+        rows.append([k, net.stats.cycles, partial_sums_cycle_bound(p, k)])
+    assert cyc[32] < cyc[4] < cyc[1]
+
+    emit(
+        "E13b Partial-Sums at p=128, sweep k: the p/k term shrinks, the "
+        "log k term floors the curve",
+        ["k", "cycles", "closed-form cap"],
+        rows,
+    )
+
+    benchmark.pedantic(
+        lambda: mcb_partial_sums(MCBNetwork(p=p, k=8), vals),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_e13_total_only_variant(benchmark, emit):
+    p, k = 64, 4
+    vals = {i: 2 for i in range(1, p + 1)}
+    net_t = MCBNetwork(p=p, k=k)
+    res = mcb_total_sum(net_t, vals)
+    assert all(v == 2 * p for v in res.values())
+    net_f = MCBNetwork(p=p, k=k)
+    mcb_partial_sums(net_f, vals)
+
+    emit(
+        "E13c Total-sum-only variant (bottom-up + one broadcast) vs the "
+        "full two-sweep algorithm (p=64, k=4)",
+        ["variant", "cycles", "messages"],
+        [["total only", net_t.stats.cycles, net_t.stats.messages],
+         ["full partial sums", net_f.stats.cycles, net_f.stats.messages]],
+    )
+    assert net_t.stats.messages < net_f.stats.messages
+
+    benchmark.pedantic(
+        lambda: mcb_total_sum(MCBNetwork(p=p, k=k), vals),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,103 @@
+"""E12 — the Section 2 simulation lemma: MCB(p', k') on MCB(p, k).
+
+Measures the real cycle and message overhead of running virtual
+programs on smaller networks and compares with the oblivious schedule's
+guarantee of ``(p'/p)^2 * (k'/k)`` cycles and ``p'/p`` messages per
+virtual unit (the paper's constant-factor w.l.o.g. uses have
+``p'/p <= 2``, where this matches its ``O((p'/p)(k'/k))`` claim).
+"""
+
+from repro.core import Distribution
+from repro.core.problem import is_sorted_output
+from repro.mcb import CycleOp, MCBNetwork, Message, run_simulated, simulation_overhead
+from repro.sort.rank_sort import rank_sort_group
+
+
+def _broadcast_prog(channel):
+    def prog(ctx):
+        if ctx.pid == 1:
+            yield CycleOp(write=channel, payload=Message("v", 1))
+            return 1
+        got = yield CycleOp(read=channel)
+        return got.fields[0] if got else None
+
+    return prog
+
+
+def test_e12_overhead_factors(benchmark, emit):
+    rows = []
+    for p_virt, k_virt, p, k in [
+        (4, 2, 4, 2),   # identity
+        (8, 4, 4, 4),   # halve processors
+        (8, 4, 8, 2),   # halve channels
+        (8, 4, 4, 2),   # halve both
+        (16, 4, 4, 2),  # quarter processors
+    ]:
+        cyc_per, msg_per = simulation_overhead(p_virt, k_virt, p, k)
+        net = MCBNetwork(p=p, k=k)
+        progs = {q: _broadcast_prog(1) for q in range(1, p_virt + 1)}
+        res = run_simulated(net, p_virt, k_virt, progs)
+        assert all(res[q] == 1 for q in range(1, p_virt + 1))
+        rows.append(
+            [f"({p_virt},{k_virt}) on ({p},{k})",
+             net.stats.cycles, cyc_per, net.stats.messages, msg_per]
+        )
+        assert net.stats.cycles <= cyc_per  # one virtual cycle
+        assert net.stats.messages == msg_per  # one virtual message
+
+    emit(
+        "E12  Simulation lemma: one virtual broadcast cycle on a smaller "
+        "network — measured vs guaranteed overhead",
+        ["configuration", "real cycles", "cycle cap",
+         "real msgs", "msg factor"],
+        rows,
+    )
+
+    net = MCBNetwork(p=4, k=2)
+    benchmark.pedantic(
+        lambda: run_simulated(
+            MCBNetwork(p=4, k=2), 16, 4,
+            {q: _broadcast_prog(1) for q in range(1, 17)},
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_e12_whole_algorithm_under_simulation(benchmark, emit):
+    # The lemma's purpose: run an algorithm written for a convenient
+    # (p', k') on the network you actually have, at constant-factor cost.
+    d = Distribution.even(64, 8, seed=12)
+    counts = [8] * 8
+
+    def program(ctx):
+        out = yield from rank_sort_group(
+            1, ctx.pid - 1, counts, list(d.parts[ctx.pid])
+        )
+        return out
+
+    # native run
+    native = MCBNetwork(p=8, k=1)
+    res_n = native.run({q: program for q in range(1, 9)})
+    assert is_sorted_output(d, {q: tuple(v) for q, v in res_n.items()})
+
+    # simulated on half the processors
+    real = MCBNetwork(p=4, k=1)
+    res_s = benchmark.pedantic(
+        lambda: run_simulated(real, 8, 1, {q: program for q in range(1, 9)}),
+        rounds=1,
+        iterations=1,
+    )
+    assert is_sorted_output(d, {q: tuple(v) for q, v in res_s.items()})
+
+    cyc_per, msg_per = simulation_overhead(8, 1, 4, 1)
+    emit(
+        "E12b Whole Rank-Sort under simulation: MCB(8,1) program on "
+        "MCB(4,1)",
+        ["run", "cycles", "messages"],
+        [["native MCB(8,1)", native.stats.cycles, native.stats.messages],
+         [f"simulated on MCB(4,1) (caps x{cyc_per}/x{msg_per})",
+          real.stats.cycles, real.stats.messages]],
+    )
+    assert real.stats.cycles <= cyc_per * native.stats.cycles
+    assert real.stats.messages <= msg_per * native.stats.messages

@@ -1,0 +1,119 @@
+"""E5/E6 — even-distribution sorting (Corollary 5): Theta(n) messages,
+Theta(n/k) cycles.
+
+Sweeps n with p = k (the basic §5.2 algorithm) and sweeps k at fixed n,
+reporting messages/n and cycles/(n/k) — both ratios must stay flat for
+the bound to be tight.  E6 contrasts the p > k collect variant and the
+virtual-column variant at the same sizes.
+"""
+
+from repro.analysis import growth_exponent, ratio_band
+from repro.core import Distribution
+from repro.core.problem import is_sorted_output
+from repro.mcb import MCBNetwork
+from repro.sort import mcb_sort, sort_even_collect, sort_virtual
+
+
+def test_e5_scaling_in_n(benchmark, emit):
+    p = k = 8
+    rows, ns, cycles, msgs = [], [], [], []
+    for npp in (64, 128, 256, 512, 1024):
+        n = p * npp
+        d = Distribution.even(n, p, seed=npp)
+
+        def run(d=d):
+            net = MCBNetwork(p=p, k=k)
+            out = mcb_sort(net, d)
+            return net, out
+
+        if npp == 1024:
+            net, out = benchmark.pedantic(run, rounds=1, iterations=1)
+        else:
+            net, out = run()
+        assert is_sorted_output(d, out.output)
+        rows.append(
+            [n, net.stats.cycles, net.stats.messages,
+             net.stats.cycles / (n / k), net.stats.messages / n]
+        )
+        ns.append(n)
+        cycles.append(net.stats.cycles)
+        msgs.append(net.stats.messages)
+
+    assert 0.9 <= growth_exponent(ns, msgs) <= 1.1, "messages are Theta(n)"
+    assert 0.9 <= growth_exponent(ns, cycles) <= 1.1, "cycles are Theta(n/k)"
+    assert ratio_band(cycles, [n / k for n in ns]).is_bounded(2.0)
+
+    emit(
+        "E5  Even sorting, p = k = 8 (§5.2): both normalized ratios flat "
+        "=> Theta(n) messages, Theta(n/k) cycles",
+        ["n", "cycles", "messages", "cycles/(n/k)", "messages/n"],
+        rows,
+    )
+
+
+def test_e5_scaling_in_k(benchmark, emit):
+    n = 4096
+    rows = []
+    cycles_by_k = {}
+    for k in (2, 4, 8, 16):
+        p = k
+        d = Distribution.even(n, p, seed=k)
+
+        def run(d=d, p=p, k=k):
+            net = MCBNetwork(p=p, k=k)
+            out = mcb_sort(net, d)
+            return net, out
+
+        if k == 16:
+            net, out = benchmark.pedantic(run, rounds=1, iterations=1)
+        else:
+            net, out = run()
+        assert is_sorted_output(d, out.output)
+        cycles_by_k[k] = net.stats.cycles
+        rows.append([k, net.stats.cycles, net.stats.messages,
+                     net.stats.cycles / (n / k)])
+
+    # Doubling k halves the cycles (down to the n/k floor).
+    assert cycles_by_k[4] < cycles_by_k[2]
+    assert cycles_by_k[16] < cycles_by_k[8] < cycles_by_k[4]
+
+    emit(
+        "E5b Even sorting at fixed n = 4096, sweep k = p: cycles fall "
+        "as 1/k while messages stay ~n",
+        ["k", "cycles", "messages", "cycles/(n/k)"],
+        rows,
+    )
+
+
+def test_e6_collect_vs_virtual(benchmark, emit):
+    rows = []
+    p, k = 16, 4
+    for npp in (32, 64, 128):
+        n = p * npp
+        d = Distribution.even(n, p, seed=npp)
+        net_c = MCBNetwork(p=p, k=k)
+        out_c = sort_even_collect(net_c, d.parts)
+        net_v = MCBNetwork(p=p, k=k)
+        out_v = sort_virtual(net_v, d.parts)
+        assert is_sorted_output(d, out_c.output)
+        assert is_sorted_output(d, out_v.output)
+        rows.append(
+            [n, net_c.stats.cycles, net_v.stats.cycles,
+             net_c.stats.max_aux_peak, net_v.stats.max_aux_peak]
+        )
+        # The §6.1 point: same asymptotics, no Theta(n/k) buffers.
+        assert net_v.stats.max_aux_peak < net_c.stats.max_aux_peak
+
+    emit(
+        "E6  p > k (p=16, k=4): §5.2 collect vs §6.1 virtual — same "
+        "cycle family, collect pays Theta(n/k) memory at representatives",
+        ["n", "collect cycles", "virtual cycles", "collect aux", "virtual aux"],
+        rows,
+    )
+
+    d = Distribution.even(2048, p, seed=99)
+    benchmark.pedantic(
+        lambda: sort_virtual(MCBNetwork(p=p, k=k), d.parts),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,86 @@
+"""E9 — uneven-distribution sorting (Corollary 6):
+Theta(n) messages, Theta(max(n/k, n_max)) cycles.
+
+Sweeps the skew parameter alpha = n_max/n at fixed n: while the n/k term
+dominates the cycle count is flat; once n_max crosses n/k the cycles
+track n_max — the crossover the Corollary 6 bound predicts.
+"""
+
+from repro.analysis import ratio_band
+from repro.bounds import sorting_cycles_theta, thm3_sorting_messages_lb
+from repro.core import Distribution
+from repro.core.problem import is_sorted_output
+from repro.mcb import MCBNetwork
+from repro.sort import sort_uneven
+
+
+def test_e9_skew_sweep(benchmark, emit):
+    n, p, k = 2000, 16, 4
+    rows, measured, bounds = [], [], []
+    for frac in (0.10, 0.20, 0.35, 0.50, 0.70):
+        d = Distribution.uneven(n, p, seed=9, skew=2.0, n_max_fraction=frac)
+
+        def run(d=d):
+            net = MCBNetwork(p=p, k=k)
+            out = sort_uneven(net, d.parts)
+            return net, out
+
+        if frac == 0.70:
+            net, out = benchmark.pedantic(run, rounds=1, iterations=1)
+        else:
+            net, out = run()
+        assert is_sorted_output(d, out.output)
+        bound = sorting_cycles_theta(n, k, d.n_max)
+        rows.append(
+            [f"{frac:.2f}", d.n_max, net.stats.cycles, net.stats.messages,
+             net.stats.cycles / bound, net.stats.messages / n]
+        )
+        measured.append(net.stats.cycles)
+        bounds.append(bound)
+        assert net.stats.messages >= thm3_sorting_messages_lb(d.sizes())
+
+    band = ratio_band(measured, bounds)
+    assert band.is_bounded(3.0), (
+        f"cycles/Theta(max(n/k, n_max)) drifted: {band.ratios}"
+    )
+    # The crossover: heavy skew must cost more cycles than light skew.
+    assert measured[-1] > measured[0]
+
+    emit(
+        "E9  Uneven sorting (n=2000, p=16, k=4), sweep alpha = n_max/n: "
+        "cycles track max(n/k, n_max); messages stay Theta(n)",
+        ["alpha", "n_max", "cycles", "messages", "cycles/bound", "messages/n"],
+        rows,
+    )
+
+
+def test_e9_distribution_families(benchmark, emit):
+    n, p, k = 1200, 12, 4
+    rows = []
+    cases = {
+        "even": Distribution.even(n, p, seed=1),
+        "mild skew": Distribution.uneven(n, p, seed=1, skew=1.0),
+        "heavy skew": Distribution.uneven(n, p, seed=1, skew=6.0),
+        "single holder": Distribution.single_holder(n, p, seed=1),
+        "thm3 worst": Distribution.theorem3_worst_case([n // p] * p, seed=1),
+    }
+    for name, d in cases.items():
+        net = MCBNetwork(p=p, k=k)
+        out = sort_uneven(net, d.parts)
+        assert is_sorted_output(d, out.output)
+        bound = sorting_cycles_theta(n, k, d.n_max)
+        rows.append([name, d.n_max, net.stats.cycles, net.stats.messages,
+                     net.stats.cycles / bound])
+
+    emit(
+        "E9b Uneven sorting across distribution families (n=1200, p=12, k=4)",
+        ["family", "n_max", "cycles", "messages", "cycles/bound"],
+        rows,
+    )
+
+    d = cases["heavy skew"]
+    benchmark.pedantic(
+        lambda: sort_uneven(MCBNetwork(p=p, k=k), d.parts),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark sweeps a parameter, measures cycles/messages on the MCB
+simulator, prints the table the corresponding paper claim predicts
+(visible live thanks to ``capsys.disabled``), asserts the reproduction
+holds (who wins / how costs scale), and times one representative
+configuration through pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print an experiment table to the real terminal (uncaptured)."""
+
+    def _emit(title, headers, rows, notes=None):
+        with capsys.disabled():
+            print()
+            print(format_table(headers, rows, title=title))
+            if notes:
+                print(notes)
+            print()
+
+    return _emit

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Scenario: globally ordering sharded event logs (uneven distribution).
+
+A cluster of 12 nodes shares 4 broadcast channels.  Each node buffered a
+different number of timestamped events (bursty producers), and a global
+replay needs them redistributed so node 1 holds the newest segment, node
+2 the next, and so on — exactly the paper's sorting specification with
+an *uneven* input (§7).
+
+Corollary 6: Theta(n) messages and Theta(max(n/k, n_max)) cycles.  The
+script sweeps the burstiness and shows the cycle cost switching from the
+n/k regime to the n_max regime — the crossover the bound predicts.
+
+Run:  python examples/log_shard_sort.py
+"""
+
+from repro import Distribution, MCBNetwork, mcb_sort
+from repro.analysis import format_table
+from repro.core.problem import is_sorted_output
+
+
+def main() -> None:
+    p, k, n = 12, 4, 2400
+    rows = []
+    for label, frac in [("balanced", 0.10), ("bursty", 0.40),
+                        ("one hot shard", 0.75)]:
+        data = Distribution.uneven(n, p, seed=3, skew=2.0, n_max_fraction=frac)
+        net = MCBNetwork(p=p, k=k)
+        result = mcb_sort(net, data)
+        assert is_sorted_output(data, result.output)
+        bound = max(n / k, data.n_max)
+        rows.append([
+            label, data.n_max, net.stats.cycles, net.stats.messages,
+            f"{net.stats.cycles / bound:.2f}",
+        ])
+
+    print(format_table(
+        ["workload", "n_max", "cycles", "messages", "cycles / max(n/k, n_max)"],
+        rows,
+        title=f"global log ordering, n={n}, p={p}, k={k}",
+    ))
+    print("\nThe normalized column stays flat while the absolute cycle "
+          "count tracks the hot shard:\nexactly the "
+          "Theta(max(n/k, n_max)) behaviour of Corollary 6.")
+
+    # show the per-phase breakdown for the bursty case
+    data = Distribution.uneven(n, p, seed=3, skew=2.0, n_max_fraction=0.40)
+    net = MCBNetwork(p=p, k=k)
+    mcb_sort(net, data)
+    print("\nper-phase accounting (bursty case):")
+    print(net.stats.breakdown())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Scenario: robust aggregation with weighted medians.
+
+A sensor network of 12 nodes sharing 3 broadcast channels reports
+measurements with per-reading confidence weights (number of raw samples
+behind each reading).  The operator wants the *weighted median* — the
+reading at which half the total evidence lies on each side — which is
+robust to both outlier values and outlier confidences, unlike the
+weighted mean.
+
+`mcb_select_weighted` generalizes the paper's §8 filtering loop from
+counts to weight sums: every phase still discards at least a quarter of
+the remaining evidence, so the cost stays in the p·log family no matter
+how large the weights are.
+
+Run:  python examples/weighted_aggregation.py
+"""
+
+import numpy as np
+
+from repro import MCBNetwork
+from repro.analysis import format_table
+from repro.select import mcb_select_weighted
+
+
+def main() -> None:
+    p, k = 12, 3
+    rng = np.random.default_rng(7)
+
+    # Honest sensors cluster near 20.0 with strong evidence; a few
+    # faulty ones report wild values, some with inflated confidence.
+    parts: dict[int, list[tuple[float, int]]] = {}
+    for i in range(1, p + 1):
+        readings = []
+        for _ in range(int(rng.integers(3, 9))):
+            if rng.random() < 0.15:  # faulty reading
+                value = float(rng.uniform(-500, 500))
+                weight = int(rng.integers(1, 40))
+            else:
+                value = float(rng.normal(20.0, 2.0))
+                weight = int(rng.integers(10, 60))
+            readings.append((value + rng.random() * 1e-9, weight))
+        parts[i] = readings
+
+    flat = [x for v in parts.values() for x in v]
+    total_w = sum(w for _, w in flat)
+    mean = sum(v * w for v, w in flat) / total_w
+
+    net = MCBNetwork(p=p, k=k)
+    res = mcb_select_weighted(net, parts, (total_w + 1) // 2)
+
+    rows = [
+        ["weighted mean (fragile)", f"{mean:8.2f}", "-", "-"],
+        ["weighted median (robust)", f"{res.value:8.2f}",
+         net.stats.messages, net.stats.cycles],
+    ]
+    print(format_table(
+        ["aggregate", "value", "messages", "cycles"],
+        rows,
+        title=f"robust aggregation over {len(flat)} readings, "
+              f"total evidence {total_w} (p={p}, k={k})",
+    ))
+    print(f"\nfiltering phases used: {res.phases}")
+    print(
+        "\nThe faulty high-confidence readings drag the mean far from the\n"
+        "20.0 cluster; the weighted median stays put — and costs only\n"
+        "p·log-style traffic, independent of the weight magnitudes."
+    )
+
+
+if __name__ == "__main__":
+    main()

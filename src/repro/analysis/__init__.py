@@ -1,0 +1,16 @@
+"""Measurement analysis: ratio bands, growth exponents, tables."""
+
+from .fits import RatioBand, growth_exponent, ratio_band
+from .latency import BandwidthModel, optimal_k, wall_time_curve
+from .tables import format_table, markdown_table
+
+__all__ = [
+    "BandwidthModel",
+    "RatioBand",
+    "format_table",
+    "growth_exponent",
+    "markdown_table",
+    "optimal_k",
+    "ratio_band",
+    "wall_time_curve",
+]

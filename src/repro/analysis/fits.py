@@ -1,0 +1,62 @@
+"""Ratio analysis: checking measured costs against the paper's bounds.
+
+"Tight" in the paper means matching upper and lower bounds up to
+constants.  Empirically we verify this by sweeping a size parameter and
+checking that ``measured / bound`` stays inside a fixed band — neither
+growing (the algorithm would be asymptotically worse than the bound)
+nor shrinking toward zero (the bound would be loose for these inputs).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class RatioBand:
+    """Summary of measured/bound ratios across a sweep."""
+
+    ratios: tuple[float, ...]
+
+    @property
+    def lo(self) -> float:
+        return min(self.ratios)
+
+    @property
+    def hi(self) -> float:
+        return max(self.ratios)
+
+    @property
+    def spread(self) -> float:
+        """hi/lo — how far from constant the ratio is across the sweep."""
+        return self.hi / self.lo if self.lo > 0 else math.inf
+
+    def is_bounded(self, max_spread: float = 4.0) -> bool:
+        """True if the ratio varies by at most ``max_spread`` across the
+        sweep — the empirical signature of a Theta-tight bound."""
+        return self.spread <= max_spread
+
+
+def ratio_band(measured: Sequence[float], bound: Sequence[float]) -> RatioBand:
+    """The band of measured/bound ratios across a parameter sweep."""
+    if len(measured) != len(bound):
+        raise ValueError("measured and bound sweeps differ in length")
+    if any(b <= 0 for b in bound):
+        raise ValueError("bounds must be positive")
+    return RatioBand(ratios=tuple(m / b for m, b in zip(measured, bound)))
+
+
+def growth_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log(y) vs log(x) — the empirical growth
+    order of a cost curve (e.g. ~1.0 for Theta(n) messages)."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two sweep points")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    mx = sum(lx) / len(lx)
+    my = sum(ly) / len(ly)
+    num = sum((a - mx) * (b - my) for a, b in zip(lx, ly))
+    den = sum((a - mx) ** 2 for a in lx)
+    return num / den

@@ -1,0 +1,84 @@
+"""Wall-clock latency under the multi-channel bandwidth trade-off (§1).
+
+The paper's motivation: "In environments where messages are generated in
+real time, multiple channels reduce the channel contention among
+processors at the expense of longer transmission time.  It has been
+shown in [Mars83] that for high communication rates the reduced
+contention dominates the increased transmission time, and the overall
+message delay is decreased."
+
+The MCB cost model counts *cycles*; physically, one cycle is one slot
+whose duration depends on the channel width.  Splitting a fixed
+aggregate bandwidth ``W`` into ``k`` channels makes each channel ``k``
+times slower, so
+
+    wall_time  =  cycles(k) * slot_time(k),
+    slot_time(k)  =  (bits_per_slot * k) / W      (fixed total bandwidth)
+
+An algorithm whose cycle count falls like ``1/k`` (sorting's data
+movement) is then *bandwidth-neutral* — the win comes only from the
+terms that don't scale, such as per-phase latencies — while an algorithm
+with a large ``k``-independent control component (selection) actively
+*loses* wall-clock time as ``k`` grows.  This module computes those
+curves from measured cycle counts so benchmarks can reproduce the
+trade-off quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+
+@dataclass(frozen=True)
+class BandwidthModel:
+    """How slot duration scales with the channel count.
+
+    Attributes
+    ----------
+    total_bandwidth:
+        Aggregate bits/second across all channels (fixed as k varies —
+        the spectrum is split, not multiplied).
+    bits_per_slot:
+        Message size per slot (the paper's O(log beta) bits).
+    overhead_per_slot:
+        Fixed per-slot cost in seconds (synchronization, guard time) —
+        the contention-independent term that makes *fewer* slots matter.
+    """
+
+    total_bandwidth: float = 1e6
+    bits_per_slot: float = 64.0
+    overhead_per_slot: float = 0.0
+
+    def slot_time(self, k: int) -> float:
+        """Duration of one synchronous slot with ``k`` channels sharing
+        the aggregate bandwidth."""
+        return self.bits_per_slot * k / self.total_bandwidth + self.overhead_per_slot
+
+    def wall_time(self, cycles: int, k: int) -> float:
+        """Wall-clock seconds for a run of ``cycles`` slots."""
+        return cycles * self.slot_time(k)
+
+
+def optimal_k(
+    cycle_counts: dict[int, int], model: BandwidthModel
+) -> tuple[int, float]:
+    """The channel count minimizing wall time over measured cycle counts.
+
+    ``cycle_counts`` maps k -> measured cycles for the same workload.
+    Returns ``(best_k, best_wall_time)``.
+    """
+    if not cycle_counts:
+        raise ValueError("need at least one measurement")
+    best = min(cycle_counts, key=lambda k: model.wall_time(cycle_counts[k], k))
+    return best, model.wall_time(cycle_counts[best], best)
+
+
+def wall_time_curve(
+    cycle_counts: dict[int, int], model: BandwidthModel
+) -> list[tuple[int, int, float]]:
+    """``(k, cycles, wall_time)`` rows sorted by k."""
+    return [
+        (k, c, model.wall_time(c, k))
+        for k, c in sorted(cycle_counts.items())
+    ]

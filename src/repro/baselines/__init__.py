@@ -1,0 +1,6 @@
+"""Baselines: naive/centralized sorts and related-model selection."""
+
+from .shout_echo import ShoutEchoResult, shout_echo_select
+from .single_channel import gather_sort_scatter
+
+__all__ = ["ShoutEchoResult", "gather_sort_scatter", "shout_echo_select"]

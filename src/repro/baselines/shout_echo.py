@@ -1,0 +1,192 @@
+"""A Shout-Echo-style selection baseline (related work, §1 and §9).
+
+In the Shout-Echo model [Sant82, Sant83] a *basic communication
+activity* is one processor broadcasting a message (the shout) and
+receiving a reply from **all** other processors (the echoes) — ``p``
+messages per activity, serialized on the single shared medium.  The MCB
+paper contrasts its per-message accounting against this: a shout-echo
+algorithm pays ``p`` messages even when one reply would do, which is
+exactly the gap the E14 benchmark shows.
+
+We implement a classic iterative selection in this style on top of the
+MCB engine (k = 1, echoes serialized): each round the coordinator shouts
+a request, gathers ``(median, count)`` echoes, shouts the weighted
+median as a pivot, gathers ``>= pivot`` counts, and discards one side —
+the same filtering skeleton as §8, but paying full echo rounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..mcb.message import EMPTY, Message
+from ..mcb.network import MCBNetwork
+from ..mcb.program import CycleOp, ProcContext, Sleep
+from ..select.local_select import local_median, select_kth_largest
+from ..sort.common import pack_elem, unpack_elem
+
+
+@dataclass
+class ShoutEchoResult:
+    value: Any
+    rounds: int
+    activities: int  # shout-echo basic activities performed
+
+
+def shout_echo_select(
+    net: MCBNetwork,
+    parts: dict[int, Sequence[Any]],
+    d: int,
+    *,
+    phase: str = "shout-echo-select",
+) -> ShoutEchoResult:
+    """Select the d-th largest element, Shout-Echo style (coordinator P_1).
+
+    Requires distinct elements.  Uses only channel 1; each shout-echo
+    activity costs ``p`` cycles and ``p`` messages (1 shout, ``p-1``
+    echoes), matching the model's accounting.
+    """
+    p = net.p
+    if sorted(parts) != list(range(1, p + 1)):
+        raise ValueError("parts must cover processors 1..p")
+    n = sum(len(v) for v in parts.values())
+    if not 1 <= d <= n:
+        raise ValueError(f"rank d={d} out of range 1..{n}")
+
+    state = {"rounds": 0, "activities": 0}
+
+    def coordinator(ctx: ProcContext):
+        mine = list(parts[1])
+        want = d
+        while True:
+            state["rounds"] += 1
+            # --- activity 1: shout "report", echo (median, count) -------
+            yield CycleOp(write=1, payload=Message("report"))
+            state["activities"] += 1
+            meds: list[tuple[Any, int]] = []
+            if mine:
+                meds.append((local_median(mine), len(mine)))
+            for _ in range(p - 1):
+                got = yield CycleOp(read=1)
+                cnt = got.fields[-1]
+                if cnt > 0:
+                    meds.append((unpack_elem(got.fields[:-1]), cnt))
+            total = sum(c for _, c in meds)
+            if total <= max(1, p):
+                break  # few enough: gather and finish below
+            meds.sort(key=lambda mc: mc[0], reverse=True)
+            half = (total + 1) // 2
+            acc = 0
+            for med, cnt in meds:
+                acc += cnt
+                if acc >= half:
+                    pivot = med
+                    break
+            # --- activity 2: shout the pivot, echo counts >= pivot ------
+            yield CycleOp(write=1, payload=Message("pivot", *pack_elem(pivot)))
+            state["activities"] += 1
+            ge = sum(1 for e in mine if e >= pivot)
+            for _ in range(p - 1):
+                got = yield CycleOp(read=1)
+                ge += got.fields[0]
+            # --- activity 3: shout the verdict; everyone filters --------
+            if ge == want:
+                yield CycleOp(write=1, payload=Message("done", *pack_elem(pivot)))
+                state["activities"] += 1
+                for _ in range(p - 1):
+                    yield CycleOp(read=1)  # courtesy echoes (acks)
+                return pivot
+            keep_high = ge > want
+            yield CycleOp(
+                write=1, payload=Message("filter", keep_high)
+            )
+            state["activities"] += 1
+            for _ in range(p - 1):
+                yield CycleOp(read=1)  # acks
+            if keep_high:
+                mine = [e for e in mine if e > pivot]
+                # rank unchanged among the larger side
+            else:
+                mine = [e for e in mine if e < pivot]
+                want = want - ge
+        # --- final gather: repeated rounds, one candidate per echo ------
+        pool = list(mine)
+        while True:
+            yield CycleOp(write=1, payload=Message("gather"))
+            state["activities"] += 1
+            round_empty = True
+            for _ in range(p - 1):
+                got = yield CycleOp(read=1)
+                if got.fields[0] is not None:
+                    pool.append(unpack_elem(got.fields))
+                    round_empty = False
+            if round_empty:
+                break
+        answer = select_kth_largest(pool, want)
+        yield CycleOp(write=1, payload=Message("done", *pack_elem(answer)))
+        state["activities"] += 1
+        for _ in range(p - 1):
+            yield CycleOp(read=1)
+        return answer
+
+    def member(ctx: ProcContext):
+        pid = ctx.pid
+        mine = list(parts[pid])
+        while True:
+            got = yield CycleOp(read=1)
+            kind = got.kind
+            if kind == "report":
+                payload = (
+                    pack_elem(local_median(mine)) + (len(mine),)
+                    if mine
+                    else (None, 0)
+                )
+                yield from _echo_slot(pid, p, Message("echo", *payload))
+            elif kind == "pivot":
+                pivot = unpack_elem(got.fields)
+                ge = sum(1 for e in mine if e >= pivot)
+                yield from _echo_slot(pid, p, Message("echo", ge))
+                got2 = yield CycleOp(read=1)
+                if got2.kind == "done":
+                    yield from _echo_slot(pid, p, Message("ack"))
+                    return unpack_elem(got2.fields)
+                keep_high = got2.fields[0]
+                yield from _echo_slot(pid, p, Message("ack"))
+                if keep_high:
+                    mine = [e for e in mine if e > pivot]
+                else:
+                    mine = [e for e in mine if e < pivot]
+            elif kind == "gather":
+                if mine:
+                    e = mine.pop()
+                    yield from _echo_slot(pid, p, Message("echo", *pack_elem(e)))
+                else:
+                    yield from _echo_slot(pid, p, Message("echo", None))
+            elif kind == "done":
+                yield from _echo_slot(pid, p, Message("ack"))
+                return unpack_elem(got.fields)
+            else:  # pragma: no cover - protocol safety
+                raise AssertionError(f"unexpected shout {kind!r}")
+
+    results = net.run(
+        {i: (coordinator if i == 1 else member) for i in range(1, p + 1)},
+        phase=phase,
+    )
+    value = results[1]
+    assert all(v == value for v in results.values())
+    return ShoutEchoResult(
+        value=value, rounds=state["rounds"], activities=state["activities"]
+    )
+
+
+def _echo_slot(pid: int, p: int, msg: Message):
+    """Echoes are serialized: P_i replies in slot i-2 after the shout."""
+    slot = pid - 2
+    if slot > 0:
+        yield Sleep(slot)
+    yield CycleOp(write=1, payload=msg)
+    rest = (p - 1) - slot - 1
+    if rest > 0:
+        yield Sleep(rest)

@@ -1,0 +1,91 @@
+"""Single-channel and centralized baselines.
+
+These are the comparison points the benchmarks use to show what the
+multi-channel algorithms buy:
+
+* :func:`gather_sort_scatter` — the most naive distributed sort: ship
+  everything to ``P_1`` (paced on channel 1), sort locally, ship the
+  segments back.  ``Theta(n)`` messages like Columnsort, but ``~2n``
+  cycles regardless of ``k`` — no channel parallelism — and ``Theta(n)``
+  memory at ``P_1``.
+* The ``k = 1`` variants of Rank-Sort / Merge-Sort (the IPBAM-style
+  setting of §9) live in :mod:`repro.sort.rank_sort` /
+  :mod:`repro.sort.merge_sort`; the Shout-Echo selection baseline in
+  :mod:`repro.baselines.shout_echo`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..mcb.message import EMPTY, Message
+from ..mcb.network import MCBNetwork
+from ..mcb.program import CycleOp, ProcContext, Sleep
+from ..sort.common import descending, pack_elem, unpack_elem
+from ..sort.even_pk import SortResult
+
+
+def gather_sort_scatter(
+    net: MCBNetwork,
+    parts: dict[int, Sequence[Any]],
+    *,
+    phase: str = "gather-sort-scatter",
+) -> SortResult:
+    """Centralized sort baseline on channel 1 (any distribution).
+
+    Costs ``2(n - n_1)`` cycles and messages plus one local sort at
+    ``P_1`` holding the entire set — the memory/parallelism anti-pattern
+    the paper's algorithms avoid.
+    """
+    p = net.p
+    if sorted(parts) != list(range(1, p + 1)):
+        raise ValueError("parts must cover processors 1..p")
+    counts = [len(parts[i]) for i in range(1, p + 1)]
+    prefix = [0]
+    for c in counts:
+        prefix.append(prefix[-1] + c)
+    n = prefix[-1]
+
+    def program(ctx: ProcContext):
+        pid = ctx.pid
+        mine = list(parts[pid])
+        if pid == 1:
+            pool = list(mine)
+            ctx.aux_acquire(n)
+            for _ in range(n - len(mine)):
+                got = yield CycleOp(read=1)
+                pool.append(unpack_elem(got.fields))
+            pool = descending(pool)
+            # Scatter every position except my own segment.
+            for pos in range(counts[0], n):
+                yield CycleOp(
+                    write=1, payload=Message("elem", *pack_elem(pool[pos]))
+                )
+            ctx.aux_release(n)
+            return pool[: counts[0]]
+        # Gather: my slot is [prefix[pid-1] - n_1, ...) after P_1's own.
+        start = prefix[pid - 1] - counts[0]
+        if start > 0:
+            yield Sleep(start)
+        for e in mine:
+            yield CycleOp(write=1, payload=Message("elem", *pack_elem(e)))
+        rest = (n - counts[0]) - start - len(mine)
+        if rest > 0:
+            yield Sleep(rest)
+        # Scatter: positions [prefix[pid-1], prefix[pid]) arrive at
+        # cycles offset by my prefix (P_1 broadcasts in position order,
+        # skipping its own first segment).
+        lead = prefix[pid - 1] - counts[0]
+        if lead > 0:
+            yield Sleep(lead)
+        out = []
+        for _ in range(len(mine)):
+            got = yield CycleOp(read=1)
+            out.append(unpack_elem(got.fields))
+        tail = (n - counts[0]) - lead - len(mine)
+        if tail > 0:
+            yield Sleep(tail)
+        return out
+
+    results = net.run({i: program for i in range(1, p + 1)}, phase=phase)
+    return SortResult(output={pid: tuple(v) for pid, v in results.items()})

@@ -1,0 +1,44 @@
+"""Lower bounds: closed forms, the executable adversary, worst cases."""
+
+from .adversary import Pair, SelectionAdversary
+from .formulas import (
+    cor1_selection_cycles_lb,
+    cor2_selection_cycles_lb,
+    cor3_sorting_cycles_lb,
+    filtering_phases_bound,
+    selection_cycles_theta,
+    selection_messages_theta,
+    sorting_cycles_lb,
+    sorting_cycles_theta,
+    sorting_messages_theta,
+    thm1_selection_messages_lb,
+    thm2_selection_messages_lb,
+    thm3_sorting_messages_lb,
+    thm5_sorting_cycles_lb,
+)
+from .worst_case import (
+    holder_of,
+    theorem3_neighbors_separated,
+    theorem5_pmax_interleaved,
+)
+
+__all__ = [
+    "Pair",
+    "SelectionAdversary",
+    "cor1_selection_cycles_lb",
+    "cor2_selection_cycles_lb",
+    "cor3_sorting_cycles_lb",
+    "filtering_phases_bound",
+    "holder_of",
+    "selection_cycles_theta",
+    "selection_messages_theta",
+    "sorting_cycles_lb",
+    "sorting_cycles_theta",
+    "sorting_messages_theta",
+    "theorem3_neighbors_separated",
+    "theorem5_pmax_interleaved",
+    "thm1_selection_messages_lb",
+    "thm2_selection_messages_lb",
+    "thm3_sorting_messages_lb",
+    "thm5_sorting_cycles_lb",
+]

@@ -1,0 +1,161 @@
+"""The executable selection adversary of Theorems 1 and 2.
+
+The proofs devise an adversary that watches a comparison-based selection
+algorithm and fixes element magnitudes as messages are sent, so that
+every message eliminates at most about half the candidates of one
+processor *pair*.  This module makes that argument executable:
+
+* :class:`SelectionAdversary` keeps the adversary's state — disjoint
+  processor pairs (paired by non-increasing ``n_i``), per-pair candidate
+  counts, and very-small/very-large balance — and exposes
+  :meth:`observe_message`, which performs the elimination bookkeeping
+  and *asserts the proof's invariants* (equal candidate counts inside a
+  pair, at most ``m + 1`` of the ``2m`` pair candidates eliminated by
+  one message, global balance of fixed elements).
+
+* :meth:`messages_needed` replays the *best possible* strategy against
+  this adversary (each message exposing the pair's current median, the
+  maximum-elimination move) and counts the messages until one candidate
+  remains — an executable witness that ``Omega(sum log 2n_i)`` messages
+  are necessary.  Benchmarks compare this count with the formulas in
+  :mod:`repro.bounds.formulas` and with measured algorithm costs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass
+class Pair:
+    """One adversary pair: both sides hold ``count`` live candidates."""
+
+    a: int  # pid of the larger-input processor
+    b: Optional[int]  # pid of the partner (None for an odd leftover)
+    count: int  # candidates per side
+
+
+class SelectionAdversary:
+    """Adversary state for median selection (Theorem 1) or rank ``d``
+    selection (Theorem 2, pass ``d``)."""
+
+    def __init__(self, sizes: Sequence[int], d: Optional[int] = None):
+        p = len(sizes)
+        n = sum(sizes)
+        if any(s < 1 for s in sizes):
+            raise ValueError("all processor sizes must be positive")
+        order = sorted(range(p), key=lambda i: -sizes[i])  # non-increasing
+        self.sizes = list(sizes)
+        self.pairs: list[Pair] = []
+        self.pair_of: dict[int, Pair] = {}
+
+        if d is None:
+            # Theorem 1 (median): each pair keeps min(n_a, n_b) candidates
+            # per side; the surplus of the larger processor is pre-fixed.
+            for t in range(0, p - 1, 2):
+                ia, ib = order[t], order[t + 1]
+                c = min(sizes[ia], sizes[ib])
+                pair = Pair(a=ia + 1, b=ib + 1, count=c)
+                self.pairs.append(pair)
+                self.pair_of[ia + 1] = pair
+                self.pair_of[ib + 1] = pair
+            if p % 2 == 1:
+                # The leftover processor is fixed entirely (half small,
+                # half large): it contributes no candidates.
+                self.pairs.append(Pair(a=order[-1] + 1, b=None, count=0))
+        else:
+            if not p <= d <= (n + 1) // 2:
+                raise ValueError(f"Theorem 2 assumes p <= d <= n/2, got {d}")
+            # Theorem 2: cap the total candidate count at 2d while giving
+            # every processor at least d/p candidates where possible.
+            budget = 2 * d
+            floor_cand = max(1, d // p)
+            per_side: list[int] = []
+            pairings: list[tuple[int, int]] = []
+            for t in range(0, p - 1, 2):
+                ia, ib = order[t], order[t + 1]
+                pairings.append((ia, ib))
+                per_side.append(min(sizes[ia], sizes[ib]))
+            # Scale down large pairs so the total fits in the budget,
+            # never below floor_cand.
+            total = 2 * sum(per_side)
+            idx = 0
+            while total > budget and idx < 10 * len(per_side):
+                j = max(range(len(per_side)), key=lambda t: per_side[t])
+                if per_side[j] <= floor_cand:
+                    break
+                take = min(per_side[j] - floor_cand, (total - budget + 1) // 2)
+                per_side[j] -= max(1, take)
+                total = 2 * sum(per_side)
+                idx += 1
+            for (ia, ib), c in zip(pairings, per_side):
+                pair = Pair(a=ia + 1, b=ib + 1, count=c)
+                self.pairs.append(pair)
+                self.pair_of[ia + 1] = pair
+                self.pair_of[ib + 1] = pair
+            if p % 2 == 1:
+                self.pairs.append(Pair(a=order[-1] + 1, b=None, count=0))
+
+        self.initial_counts = [pr.count for pr in self.pairs]
+        self.messages = 0
+
+    # ------------------------------------------------------------------
+    def candidates_remaining(self) -> int:
+        """Total live median candidates across all pairs."""
+        return 2 * sum(pr.count for pr in self.pairs)
+
+    def observe_message(self, pid: int, position: int) -> int:
+        """The algorithm sent a message containing the candidate of
+        ``pid`` at 1-based ``position`` from the bottom of its remaining
+        candidate window.  Returns the number of candidates eliminated.
+
+        Implements the proof's rule: exposing a candidate at or below the
+        local median fixes it and everything below as very small (and the
+        same number of the partner's top candidates as very large);
+        exposing above the median mirrors the move.  Asserts the
+        ``<= m + 1`` elimination cap used in the counting argument.
+        """
+        pair = self.pair_of.get(pid)
+        if pair is None or pair.count == 0:
+            return 0  # no live candidates: the adversary ignores it
+        c = pair.count
+        if not 1 <= position <= c:
+            raise ValueError(f"position {position} outside window 1..{c}")
+        median = (c + 1) // 2
+        if position <= median:
+            eliminated_per_side = position
+        else:
+            eliminated_per_side = c - position + 1
+        total = 2 * eliminated_per_side
+        assert total <= c + 1, "a message may eliminate at most m+1 of 2m"
+        pair.count = c - eliminated_per_side
+        self.messages += 1
+        return total
+
+    # ------------------------------------------------------------------
+    def messages_needed(self) -> int:
+        """Play the algorithm's best strategy (always expose the current
+        median — the maximum-elimination move) and count messages until
+        at most one candidate pair entry remains per pair.
+
+        This is exactly the quantity the theorem lower-bounds:
+        ``ceil(log2)`` messages per pair, summing to the
+        ``Omega(sum log 2n_i - log 2n_max)`` bound.
+        """
+        msgs = 0
+        for pr in self.pairs:
+            c = pr.count
+            while c > 0:
+                median = (c + 1) // 2
+                c -= median
+                msgs += 1
+        return msgs
+
+    def theoretical_bound(self) -> float:
+        """``(1/2) sum log(2 m_j)`` over the initial per-side pair counts
+        — the proof's final expression, for direct comparison."""
+        return 0.5 * sum(
+            math.log2(2 * c) for c in self.initial_counts if c > 0
+        )

@@ -1,0 +1,129 @@
+"""Closed-form lower/upper bounds from the paper (Theorems 1-5, Cor. 1-7).
+
+Every function returns the *value of the bound expression* (without the
+hidden constant of the Omega/Theta), as a float, for a concrete problem
+instance.  The benchmark harness divides measured costs by these values
+and checks that the ratio stays bounded across a sweep — the empirical
+meaning of "tight".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def _log2(x: float) -> float:
+    return math.log2(x) if x > 0 else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Selection lower bounds
+# ---------------------------------------------------------------------------
+
+def thm1_selection_messages_lb(sizes: Sequence[int]) -> float:
+    """Theorem 1: messages to select the median.
+
+    ``Omega(sum_i log 2n_i  -  log 2n_max)``; we return the proof's
+    explicit form ``(1/2) * sum_{j>=2} log(2 n_{i_j})`` over the sizes in
+    non-increasing order (the largest is dropped).
+    """
+    s = sorted(sizes, reverse=True)
+    return 0.5 * sum(_log2(2 * x) for x in s[1:])
+
+
+def cor1_selection_cycles_lb(sizes: Sequence[int], k: int) -> float:
+    """Corollary 1: the Theorem 1 bound divided by the channel count."""
+    return thm1_selection_messages_lb(sizes) / k
+
+
+def thm2_selection_messages_lb(sizes: Sequence[int], d: int) -> float:
+    """Theorem 2: messages to select rank ``d`` (``p <= d <= n/2``).
+
+    ``Omega((s-1) log(2d/p) + sum_{j=s+1}^{p} log 2 n_{i_j})`` where ``s``
+    counts processors with ``n_i >= d/p`` and sizes are non-increasing.
+    """
+    p = len(sizes)
+    n = sum(sizes)
+    if not p <= d <= (n + 1) // 2:
+        raise ValueError(f"Theorem 2 assumes p <= d <= n/2, got d={d}")
+    ordered = sorted(sizes, reverse=True)
+    s = sum(1 for x in ordered if x >= d / p)
+    tail = sum(_log2(2 * x) for x in ordered[s:])
+    return 0.5 * (max(0, s - 1) * _log2(2 * d / p) + tail)
+
+
+def cor2_selection_cycles_lb(sizes: Sequence[int], d: int, k: int) -> float:
+    """Corollary 2: Theorem 2 divided by the channel count."""
+    return thm2_selection_messages_lb(sizes, d) / k
+
+
+# ---------------------------------------------------------------------------
+# Sorting lower bounds
+# ---------------------------------------------------------------------------
+
+def thm3_sorting_messages_lb(sizes: Sequence[int]) -> float:
+    """Theorem 3: ``Omega(n - n_max + n_max2)`` messages to sort.
+
+    We return the proof's explicit count ``(n - (n_max - n_max2)) / 2`` —
+    half the length of the sorted prefix in which no two neighbours share
+    a processor under the circular worst-case placement.
+    """
+    n = sum(sizes)
+    ordered = sorted(sizes, reverse=True)
+    n_max = ordered[0]
+    n_max2 = ordered[1] if len(ordered) > 1 else ordered[0]
+    return (n - (n_max - n_max2)) / 2
+
+
+def cor3_sorting_cycles_lb(sizes: Sequence[int], k: int) -> float:
+    """Corollary 3: Theorem 3 divided by the channel count."""
+    return thm3_sorting_messages_lb(sizes) / k
+
+
+def thm5_sorting_cycles_lb(sizes: Sequence[int]) -> float:
+    """Theorem 5: ``Omega(min(n_max, n - n_max))`` cycles to sort.
+
+    The processor holding ``n_max`` elements participates in every
+    neighbour comparison of the interleaved worst case, serializing them.
+    """
+    n = sum(sizes)
+    n_max = max(sizes)
+    return min(n_max, n - n_max)
+
+
+def sorting_cycles_lb(sizes: Sequence[int], k: int) -> float:
+    """The combined sorting cycle lower bound: max of Cor. 3 and Thm. 5."""
+    return max(cor3_sorting_cycles_lb(sizes, k), thm5_sorting_cycles_lb(sizes))
+
+
+# ---------------------------------------------------------------------------
+# Matching upper bounds (the Theta shapes of Corollaries 5, 6, 7)
+# ---------------------------------------------------------------------------
+
+def sorting_messages_theta(n: int) -> float:
+    """Corollary 5/6: ``Theta(n)`` messages."""
+    return float(n)
+
+
+def sorting_cycles_theta(n: int, k: int, n_max: int) -> float:
+    """Corollary 6: ``Theta(max(n/k, n_max))`` cycles."""
+    return max(n / k, n_max)
+
+
+def selection_messages_theta(n: int, p: int, k: int) -> float:
+    """Corollary 7: ``Theta(p log(kn/p))`` messages."""
+    return p * max(1.0, _log2(k * n / p))
+
+
+def selection_cycles_theta(n: int, p: int, k: int) -> float:
+    """Corollary 7: ``Theta((p/k) log(kn/p))`` cycles."""
+    return (p / k) * max(1.0, _log2(k * n / p))
+
+
+def filtering_phases_bound(n: int, m_star: int) -> float:
+    """Each phase purges >= 1/4 of the candidates, so
+    ``log_{4/3}(n/m*)`` phases suffice (§8.2)."""
+    if n <= m_star:
+        return 0.0
+    return math.log(n / m_star) / math.log(4 / 3)

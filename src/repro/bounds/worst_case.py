@@ -1,0 +1,56 @@
+"""Checkable properties of the worst-case sorting distributions.
+
+:meth:`Distribution.theorem3_worst_case` and
+:meth:`Distribution.theorem5_worst_case` construct the adversarial
+placements used in the sorting lower-bound proofs; the predicates here
+verify — on a concrete instance — the structural property each proof
+relies on.  Tests assert them; the lower-bound benchmarks run the real
+sorting algorithms on these inputs and compare measured costs to the
+bound formulas.
+"""
+
+from __future__ import annotations
+
+from ..core.distribution import Distribution
+
+
+def holder_of(dist: Distribution) -> dict[float, int]:
+    """Map each element to the pid holding it."""
+    where: dict[float, int] = {}
+    for pid, vals in dist.parts.items():
+        for v in vals:
+            where[v] = pid
+    return where
+
+
+def theorem3_neighbors_separated(dist: Distribution) -> bool:
+    """The Theorem 3 property: in the circular placement, no two
+    immediate neighbours of the sorted prefix
+    ``N[1, n - (n_max - n_max2)]`` live in the same processor, so each of
+    the ``(prefix length)/2`` disjoint comparisons costs a message."""
+    where = holder_of(dist)
+    ordered = dist.sorted_descending()
+    prefix = dist.n - (dist.n_max - dist.n_max2)
+    return all(
+        where[ordered[i]] != where[ordered[i + 1]]
+        for i in range(prefix - 1)
+    )
+
+
+def theorem5_pmax_interleaved(dist: Distribution) -> bool:
+    """The Theorem 5 property: the even-ranked elements of the top
+    ``2 * n_max`` prefix all live in ``P_max`` and the odd-ranked ones
+    all live elsewhere, so ``P_max`` participates in every one of the
+    ``n_max`` neighbour comparisons — serializing them into
+    ``Omega(min(n_max, n - n_max))`` cycles."""
+    where = holder_of(dist)
+    sizes = dist.sizes()
+    p_max = 1 + max(range(len(sizes)), key=lambda i: sizes[i])
+    n_max = dist.n_max
+    ordered = dist.sorted_descending()
+    for j in range(1, n_max + 1):
+        if where[ordered[2 * j - 1]] != p_max:  # N[2j] must be in P_max
+            return False
+        if where[ordered[2 * j - 2]] == p_max:  # N[2j-1] must not be
+            return False
+    return True

@@ -1,0 +1,67 @@
+"""Columnsort kernel: transformations, sequential reference, schedules."""
+
+from .matrix import (
+    PHASE_PERMS,
+    apply_perm,
+    dims_valid,
+    downshift_perm,
+    from_columns,
+    is_permutation,
+    max_columns_for,
+    require_valid_dims,
+    to_columns,
+    transfer_matrix,
+    transpose_perm,
+    undiagonalize_perm,
+    upshift_perm,
+)
+from .reference import (
+    ColumnsortTrace,
+    columnsort,
+    figure1_example,
+    is_columnsorted,
+    transformations_demo,
+)
+from .zero_one import (
+    columnsort_zero_one_counterexample,
+    columnsort_zero_one_exhaustive,
+    columnsort_zero_one_sampled,
+)
+from .schedule import (
+    BroadcastSchedule,
+    Transfer,
+    build_schedule,
+    bvn_decomposition,
+    paper_transpose_schedule,
+    schedule_for_phase,
+)
+
+__all__ = [
+    "BroadcastSchedule",
+    "ColumnsortTrace",
+    "PHASE_PERMS",
+    "Transfer",
+    "apply_perm",
+    "build_schedule",
+    "bvn_decomposition",
+    "columnsort",
+    "columnsort_zero_one_counterexample",
+    "columnsort_zero_one_exhaustive",
+    "columnsort_zero_one_sampled",
+    "dims_valid",
+    "downshift_perm",
+    "figure1_example",
+    "from_columns",
+    "is_columnsorted",
+    "is_permutation",
+    "max_columns_for",
+    "paper_transpose_schedule",
+    "require_valid_dims",
+    "schedule_for_phase",
+    "to_columns",
+    "transfer_matrix",
+    "transformations_demo",
+    "transpose_perm",
+    "undiagonalize_perm",
+    "upshift_perm",
+]

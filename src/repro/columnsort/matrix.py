@@ -1,0 +1,150 @@
+"""The four Columnsort matrix transformations (paper Section 5.1).
+
+The input is viewed as an ``m x k`` matrix — ``k`` columns of length ``m``
+— stored here in *column-major* order (the paper's "(column, row)
+lexicographic" list view).  Each transformation is a permutation of the
+``m*k`` column-major positions; we expose both the permutation vector
+(used by the broadcast schedulers to route elements between processors)
+and an apply function (used by the sequential reference algorithm).
+
+Position convention (0-based): column-major index ``g`` corresponds to
+column ``g // m`` and row ``g % m``.
+
+Validity (Leighton's condition as stated in the paper): the algorithm
+requires ``m >= k*(k-1)`` and ``k | m``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def dims_valid(m: int, k: int) -> bool:
+    """True iff Columnsort works on an ``m x k`` matrix (§5.1)."""
+    return k >= 1 and m >= k * (k - 1) and m % max(k, 1) == 0
+
+
+def require_valid_dims(m: int, k: int) -> None:
+    """Raise ``ValueError`` unless Columnsort works on ``m x k`` (§5.1)."""
+    if not dims_valid(m, k):
+        raise ValueError(
+            f"Columnsort requires m >= k(k-1) and k | m; got m={m}, k={k}"
+        )
+
+
+def max_columns_for(n: int, k: int) -> int:
+    """Largest usable column count ``k' <= k`` for ``n`` elements.
+
+    §5.2: "inputs of size n < k^2(k-1) cannot be sorted using k columns.
+    To handle inputs of such size, we need to use fewer columns."  The
+    paper notes ``ceil(n^{1/4})`` suffices; we return the largest ``k'``
+    with ``k'^2 (k'-1) <= n``, which dominates that choice.
+    """
+    if n < 1:
+        raise ValueError("need at least one element")
+    best = 1
+    kp = 1
+    while kp <= k:
+        if kp * kp * (kp - 1) <= n:
+            best = kp
+        kp += 1
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Permutations: perm[g] = destination column-major position of the element
+# currently at column-major position g.
+# ---------------------------------------------------------------------------
+
+def transpose_perm(m: int, k: int) -> np.ndarray:
+    """Transpose: read column-major, store row-major (§5.1).
+
+    The element at column-major position ``g`` lands at row ``g // k``,
+    column ``g % k``.
+    """
+    g = np.arange(m * k)
+    return (g % k) * m + (g // k)
+
+
+def undiagonalize_perm(m: int, k: int) -> np.ndarray:
+    """Un-diagonalize: read diagonal-by-diagonal, store column-major.
+
+    Diagonal order per the paper: ``(1,1), (2,1), (1,2), (3,1), (2,2),
+    (1,3), ..., (k,m)`` — anti-diagonals ``column + row = const``, each
+    traversed in decreasing column.  The j-th cell of this enumeration
+    moves to column-major position j.
+    """
+    perm = np.empty(m * k, dtype=np.int64)
+    j = 0
+    # 1-based diagonal constant d = column + row, from 2 to k + m.
+    for d in range(2, m + k + 1):
+        c_hi = min(k, d - 1)
+        for c in range(c_hi, 0, -1):
+            r = d - c
+            if 1 <= r <= m:
+                g = (c - 1) * m + (r - 1)
+                perm[g] = j
+                j += 1
+    assert j == m * k
+    return perm
+
+
+def upshift_perm(m: int, k: int) -> np.ndarray:
+    """Up-shift: circular shift by ``floor(m/2)`` ascending positions."""
+    g = np.arange(m * k)
+    return (g + m // 2) % (m * k)
+
+
+def downshift_perm(m: int, k: int) -> np.ndarray:
+    """Down-shift: the inverse of up-shift."""
+    g = np.arange(m * k)
+    return (g - m // 2) % (m * k)
+
+
+#: All transformation permutations by paper phase number.
+PHASE_PERMS = {
+    2: transpose_perm,
+    4: undiagonalize_perm,
+    6: upshift_perm,
+    8: downshift_perm,
+}
+
+
+def apply_perm(flat: np.ndarray, perm: np.ndarray) -> np.ndarray:
+    """Apply a destination permutation to a column-major flat array."""
+    out = np.empty_like(flat)
+    out[perm] = flat
+    return out
+
+
+def is_permutation(perm: np.ndarray) -> bool:
+    """True iff ``perm`` is a bijection on ``0..len(perm)-1``."""
+    seen = np.zeros(len(perm), dtype=bool)
+    seen[perm] = True
+    return bool(seen.all())
+
+
+def to_columns(flat: np.ndarray, m: int, k: int) -> list[list[float]]:
+    """Split a column-major flat array into ``k`` columns of length ``m``."""
+    return [flat[c * m: (c + 1) * m].tolist() for c in range(k)]
+
+
+def from_columns(columns: list[list[float]]) -> np.ndarray:
+    """Concatenate columns into a column-major flat array."""
+    return np.concatenate([np.asarray(c, dtype=float) for c in columns])
+
+
+def transfer_matrix(perm: np.ndarray, m: int, k: int) -> np.ndarray:
+    """Count of elements moving from each source column to each destination.
+
+    Entry ``[s, d]`` is how many elements column ``s`` sends to column
+    ``d`` under ``perm``.  For all four Columnsort transformations every
+    row and column sums to ``m`` (each column sends and receives exactly a
+    column's worth), which is what makes a collision-free ``m``-cycle
+    broadcast schedule possible (see :mod:`repro.columnsort.schedule`).
+    """
+    src_col = np.arange(m * k) // m
+    dst_col = perm // m
+    t = np.zeros((k, k), dtype=np.int64)
+    np.add.at(t, (src_col, dst_col), 1)
+    return t

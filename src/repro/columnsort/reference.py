@@ -1,0 +1,165 @@
+"""Sequential reference Columnsort (paper §5.1) and the Figure 1 demo.
+
+This is the correctness oracle for the distributed implementations: the
+same 8 phases (plus the optional phase 9 the MCB version adds), run on a
+plain in-memory matrix.  Output is the input in descending order, stored
+column after column beginning with column 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .matrix import (
+    apply_perm,
+    downshift_perm,
+    require_valid_dims,
+    to_columns,
+    transpose_perm,
+    undiagonalize_perm,
+    upshift_perm,
+)
+
+
+def _sort_columns_desc(flat: np.ndarray, m: int, k: int, skip_first: bool = False) -> np.ndarray:
+    cols = flat.reshape(k, m)
+    out = cols.copy()
+    start = 1 if skip_first else 0
+    out[start:] = -np.sort(-cols[start:], axis=1)
+    return out.reshape(-1)
+
+
+@dataclass
+class ColumnsortTrace:
+    """Matrix snapshots after every phase (used to reproduce Figure 1)."""
+
+    m: int
+    k: int
+    snapshots: list[tuple[str, np.ndarray]]
+
+    def render(self) -> str:
+        """ASCII rendering of each phase's matrix, rows across columns."""
+        blocks = []
+        for name, flat in self.snapshots:
+            cols = flat.reshape(self.k, self.m)
+            lines = [name]
+            for r in range(self.m):
+                lines.append(
+                    " ".join(f"{cols[c, r]:>5g}" for c in range(self.k))
+                )
+            blocks.append("\n".join(lines))
+        return "\n\n".join(blocks)
+
+
+def columnsort(
+    values,
+    m: int,
+    k: int,
+    *,
+    with_phase9: bool = False,
+    trace: bool = False,
+    check_dims: bool = True,
+) -> np.ndarray | tuple[np.ndarray, ColumnsortTrace]:
+    """Sort ``m*k`` values into descending column-major order.
+
+    Parameters
+    ----------
+    values:
+        Sequence of ``m*k`` comparable numbers, interpreted column-major.
+    m, k:
+        Matrix dimensions; must satisfy ``m >= k(k-1)`` and ``k | m``.
+    with_phase9:
+        Run the extra local sorting phase the MCB implementation appends
+        (§5.2).  The matrix algorithm sorts without it; the distributed
+        version uses it to avoid maintaining order during phase 8.
+    trace:
+        Also return per-phase snapshots (Figure 1 reproduction).
+    check_dims:
+        Set False to run the phases on *invalid* dimensions — the output
+        may then be unsorted; the 0-1 verifier uses this to exhibit the
+        counterexamples that make the ``m >= k(k-1)`` condition necessary.
+    """
+    if check_dims:
+        require_valid_dims(m, k)
+    elif m % max(k, 1) != 0:
+        raise ValueError("the transformations still require k | m")
+    flat = np.asarray(values, dtype=float)
+    if flat.size != m * k:
+        raise ValueError(f"expected {m * k} values, got {flat.size}")
+
+    snaps: list[tuple[str, np.ndarray]] = []
+
+    def snap(name: str) -> None:
+        if trace:
+            snaps.append((name, flat.copy()))
+
+    snap("input")
+    flat = _sort_columns_desc(flat, m, k)
+    snap("phase 1: sort columns")
+    flat = apply_perm(flat, transpose_perm(m, k))
+    snap("phase 2: transpose")
+    flat = _sort_columns_desc(flat, m, k)
+    snap("phase 3: sort columns")
+    flat = apply_perm(flat, undiagonalize_perm(m, k))
+    snap("phase 4: un-diagonalize")
+    flat = _sort_columns_desc(flat, m, k)
+    snap("phase 5: sort columns")
+    flat = apply_perm(flat, upshift_perm(m, k))
+    snap("phase 6: up-shift")
+    flat = _sort_columns_desc(flat, m, k, skip_first=True)
+    snap("phase 7: sort columns except column 1")
+    flat = apply_perm(flat, downshift_perm(m, k))
+    snap("phase 8: down-shift")
+    if with_phase9:
+        flat = _sort_columns_desc(flat, m, k)
+        snap("phase 9: sort columns")
+
+    if trace:
+        return flat, ColumnsortTrace(m=m, k=k, snapshots=snaps)
+    return flat
+
+
+def is_columnsorted(flat: np.ndarray) -> bool:
+    """True iff the flat column-major array is in descending order."""
+    return bool(np.all(flat[:-1] >= flat[1:]))
+
+
+def figure1_example(m: int = 6, k: int = 3, seed: int = 1985):
+    """Reproduce Figure 1: the four transformations on a small example.
+
+    Returns ``(trace, sorted_flat)`` where the trace's snapshots include
+    every transformation the figure illustrates.
+    """
+    rng = np.random.default_rng(seed)
+    values = rng.permutation(m * k) + 1
+    flat, tr = columnsort(values, m, k, trace=True)
+    return tr, flat
+
+
+def transformations_demo(m: int = 6, k: int = 3) -> str:
+    """Figure 1 proper: each transformation applied to the identity matrix.
+
+    Shows where each position's element goes, exactly what the paper's
+    figure depicts with example matrices.
+    """
+    base = np.arange(1, m * k + 1, dtype=float)
+    blocks = []
+    for name, perm_fn in [
+        ("Transpose", transpose_perm),
+        ("Un-Diagonalize", undiagonalize_perm),
+        ("Up-Shift", upshift_perm),
+        ("Down-Shift", downshift_perm),
+    ]:
+        out = apply_perm(base, perm_fn(m, k))
+        before = "\n".join(
+            " ".join(f"{base[c * m + r]:>4g}" for c in range(k))
+            for r in range(m)
+        )
+        after = "\n".join(
+            " ".join(f"{out[c * m + r]:>4g}" for c in range(k))
+            for r in range(m)
+        )
+        blocks.append(f"{name}\nbefore:\n{before}\nafter:\n{after}")
+    return "\n\n".join(blocks)

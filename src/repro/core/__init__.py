@@ -1,0 +1,23 @@
+"""Core data layer: distributed inputs, elements, problem verification."""
+
+from .distribution import Distribution
+from .element import has_duplicates, kth_largest, rank_of, tag_elements, untag
+from .problem import (
+    is_selection_output,
+    is_sorted_output,
+    sorting_violations,
+    validate_rank,
+)
+
+__all__ = [
+    "Distribution",
+    "has_duplicates",
+    "is_selection_output",
+    "is_sorted_output",
+    "kth_largest",
+    "rank_of",
+    "sorting_violations",
+    "tag_elements",
+    "untag",
+    "validate_rank",
+]

@@ -1,0 +1,323 @@
+"""Distributed inputs: a set N of n elements spread over p processors.
+
+This module is the workload generator for all tests, examples and
+benchmarks.  A :class:`Distribution` captures the paper's Section 3 setup —
+subsets :math:`N_i` of sizes :math:`n_i > 0` with :math:`n = \\sum n_i` —
+plus the derived quantities the bounds are stated in (``n_max``,
+``n_max2``, partial sums ``n_i^+``).
+
+Generators cover the evaluation's workload space:
+
+* :meth:`Distribution.even` — the Section 5 setting (all ``n_i`` equal);
+* :meth:`Distribution.uneven` — skewed sizes (geometric / Zipf-like / random
+  composition) for Section 7 and Corollary 6;
+* :meth:`Distribution.theorem3_worst_case` — the circular placement from the
+  sorting message lower bound (no two sorted neighbours co-located);
+* :meth:`Distribution.theorem5_worst_case` — the alternating placement
+  against the largest processor from the sorting cycle lower bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """An input set distributed among the processors of an MCB network.
+
+    Attributes
+    ----------
+    parts:
+        1-based processor id -> tuple of local elements (unordered).
+        Every processor ``1..p`` must hold at least one element
+        (the paper assumes ``n_i > 0``).
+    """
+
+    parts: dict[int, tuple[float, ...]]
+
+    def __post_init__(self):
+        if not self.parts:
+            raise ValueError("a distribution needs at least one processor")
+        pids = sorted(self.parts)
+        if pids != list(range(1, len(pids) + 1)):
+            raise ValueError(f"processor ids must be 1..p, got {pids}")
+        for pid, vals in self.parts.items():
+            if len(vals) == 0:
+                raise ValueError(
+                    f"the paper assumes n_i > 0; P{pid} is empty"
+                )
+        object.__setattr__(
+            self,
+            "parts",
+            {pid: tuple(vals) for pid, vals in self.parts.items()},
+        )
+
+    # ---- basic quantities -------------------------------------------------
+    @property
+    def p(self) -> int:
+        """Number of processors."""
+        return len(self.parts)
+
+    @property
+    def n(self) -> int:
+        """Total number of elements."""
+        return sum(len(v) for v in self.parts.values())
+
+    def sizes(self) -> list[int]:
+        """The cardinalities ``[n_1, ..., n_p]``."""
+        return [len(self.parts[i]) for i in range(1, self.p + 1)]
+
+    @property
+    def n_max(self) -> int:
+        """Largest ``n_i``."""
+        return max(self.sizes())
+
+    @property
+    def n_max2(self) -> int:
+        """Second largest ``n_i`` (equals ``n_max`` when p == 1)."""
+        s = sorted(self.sizes(), reverse=True)
+        return s[1] if len(s) > 1 else s[0]
+
+    def partial_sums(self) -> list[int]:
+        """``[n_0^+, n_1^+, ..., n_p^+]`` with ``n_0^+ = 0`` (paper §3)."""
+        sums = [0]
+        for i in range(1, self.p + 1):
+            sums.append(sums[-1] + len(self.parts[i]))
+        return sums
+
+    @property
+    def is_even(self) -> bool:
+        """True iff all ``n_i`` are equal (the paper's *even* distribution)."""
+        sizes = self.sizes()
+        return all(s == sizes[0] for s in sizes)
+
+    def all_elements(self) -> list[float]:
+        """Every element, in processor order (arbitrary within processor)."""
+        out: list[float] = []
+        for i in range(1, self.p + 1):
+            out.extend(self.parts[i])
+        return out
+
+    def has_distinct_elements(self) -> bool:
+        """True iff no value occurs twice anywhere in the network."""
+        elems = self.all_elements()
+        return len(set(elems)) == len(elems)
+
+    def sorted_descending(self) -> list[float]:
+        """The list ``N[1], N[2], ..., N[n]`` (descending — paper order)."""
+        return sorted(self.all_elements(), reverse=True)
+
+    def target_layout(self) -> dict[int, tuple[float, ...]]:
+        """The paper's sorting post-condition ``N_i = N[n^+_{i-1}+1, n^+_i]``.
+
+        Same cardinalities as the input, but processor ``P_i`` holds the
+        ``i``-th descending segment of the sorted list.
+        """
+        ordered = self.sorted_descending()
+        sums = self.partial_sums()
+        return {
+            i: tuple(ordered[sums[i - 1]: sums[i]])
+            for i in range(1, self.p + 1)
+        }
+
+    def replace_parts(self, parts: dict[int, Iterable[float]]) -> "Distribution":
+        """A new distribution with the same processor set, new contents."""
+        return Distribution({pid: tuple(vals) for pid, vals in parts.items()})
+
+    # ---- generators ---------------------------------------------------------
+    @staticmethod
+    def from_lists(parts: Sequence[Sequence[float]]) -> "Distribution":
+        """Build from a 0-indexed list of per-processor value lists."""
+        return Distribution(
+            {i + 1: tuple(vals) for i, vals in enumerate(parts)}
+        )
+
+    @staticmethod
+    def even(
+        n: int,
+        p: int,
+        *,
+        seed: int | np.random.Generator | None = 0,
+        value_range: int | None = None,
+    ) -> "Distribution":
+        """Even distribution: ``n_i = n / p`` distinct values, shuffled.
+
+        ``p`` must divide ``n`` (pad the input otherwise, as the paper does
+        with dummy elements).
+        """
+        if n % p != 0:
+            raise ValueError(f"even distribution requires p | n, got n={n}, p={p}")
+        rng = _rng(seed)
+        hi = value_range if value_range is not None else max(4 * n, 1024)
+        values = rng.choice(hi, size=n, replace=False)
+        per = n // p
+        return Distribution.from_lists(
+            [values[i * per: (i + 1) * per].tolist() for i in range(p)]
+        )
+
+    @staticmethod
+    def uneven(
+        n: int,
+        p: int,
+        *,
+        seed: int | np.random.Generator | None = 0,
+        skew: float = 1.0,
+        n_max_fraction: float | None = None,
+    ) -> "Distribution":
+        """Uneven distribution with controllable skew.
+
+        Sizes are drawn from a Dirichlet composition with concentration
+        ``1/skew`` (larger ``skew`` = more uneven), each clamped to at
+        least 1.  If ``n_max_fraction`` is given, the largest processor is
+        forced to hold ``floor(n_max_fraction * n)`` elements (the Cor. 6
+        sweep parameter alpha).
+        """
+        if n < p:
+            raise ValueError("need n >= p so every processor holds an element")
+        rng = _rng(seed)
+        alpha = max(1e-3, 1.0 / max(skew, 1e-3))
+        weights = rng.dirichlet([alpha] * p)
+        sizes = _weights_to_sizes(weights, n, p)
+        if n_max_fraction is not None:
+            forced = max(1, int(n_max_fraction * n))
+            if forced > n - (p - 1):
+                raise ValueError(
+                    f"n_max_fraction={n_max_fraction} leaves no room for "
+                    f"the other {p - 1} processors"
+                )
+            sizes = _force_max_size(sizes, forced, n, p)
+        values = rng.choice(max(4 * n, 1024), size=n, replace=False)
+        parts: list[list[float]] = []
+        at = 0
+        for s in sizes:
+            parts.append(values[at: at + s].tolist())
+            at += s
+        return Distribution.from_lists(parts)
+
+    @staticmethod
+    def single_holder(n: int, p: int, *, seed: int | np.random.Generator | None = 0) -> "Distribution":
+        """Extreme skew: P_1 holds ``n - (p-1)`` elements, others one each."""
+        rng = _rng(seed)
+        values = rng.choice(max(4 * n, 1024), size=n, replace=False).tolist()
+        parts = [values[: n - (p - 1)]] + [[values[n - p + i]] for i in range(1, p)]
+        return Distribution.from_lists(parts)
+
+    @staticmethod
+    def theorem3_worst_case(sizes: Sequence[int], *, seed: int | np.random.Generator | None = 0) -> "Distribution":
+        """The Theorem 3 adversarial placement for given cardinalities.
+
+        Elements are dealt in descending order circularly over all
+        processors that have not yet reached capacity ("placing one element
+        at a time in the sorted order in each processor"), so that no two
+        immediate neighbours of the sorted prefix
+        ``N[1, n-(n_max-n_max2)]`` end up in the same processor.  Sorting
+        this input needs ``Omega(n - n_max + n_max2)`` messages.
+        """
+        p = len(sizes)
+        if any(s < 1 for s in sizes):
+            raise ValueError("all cardinalities must be positive")
+        n = sum(sizes)
+        rng = _rng(seed)
+        values = sorted(
+            rng.choice(max(4 * n, 1024), size=n, replace=False).tolist(),
+            reverse=True,
+        )
+        parts: list[list[float]] = [[] for _ in range(p)]
+        at = 0
+        while at < n:
+            for i in range(p):
+                if at < n and len(parts[i]) < sizes[i]:
+                    parts[i].append(values[at])
+                    at += 1
+        return Distribution.from_lists(parts)
+
+    @staticmethod
+    def theorem5_worst_case(
+        n: int, p: int, *, seed: int | np.random.Generator | None = 0
+    ) -> "Distribution":
+        """The Theorem 5 placement: P_1 = P_max holds every even-ranked
+        element of the top ``2*n_max`` prefix, other processors hold the
+        interleaved odd ranks.  Sorting needs ``Omega(min(n_max, n-n_max))``
+        cycles because P_max participates in every neighbour comparison.
+
+        Built with ``n_max = floor(n/2)`` so the bound is ``~ n/2``.
+        """
+        if p < 2:
+            raise ValueError("need at least two processors")
+        n_max = n // 2
+        if n_max < 1 or n - n_max < p - 1:
+            raise ValueError(f"n={n} too small for p={p}")
+        rng = _rng(seed)
+        values = sorted(
+            rng.choice(max(4 * n, 1024), size=n, replace=False).tolist(),
+            reverse=True,
+        )
+        parts: list[list[float]] = [[] for _ in range(p)]
+        # Ranks are 1-based positions in `values` (descending).
+        for j in range(1, n_max + 1):
+            parts[0].append(values[2 * j - 1])  # N[2j] -> P_max
+        others = [values[2 * j - 2] for j in range(1, n_max + 1)]  # N[2j-1]
+        others += values[2 * n_max:]
+        for idx, v in enumerate(others):
+            parts[1 + idx % (p - 1)].append(v)
+        return Distribution.from_lists(parts)
+
+
+def _weights_to_sizes(weights: np.ndarray, n: int, p: int) -> list[int]:
+    """Convert a probability vector to integer sizes >= 1 summing to n."""
+    sizes = np.maximum(1, np.floor(weights * n).astype(int))
+    diff = n - int(sizes.sum())
+    order = np.argsort(-weights)
+    i = 0
+    while diff != 0:
+        j = int(order[i % p])
+        if diff > 0:
+            sizes[j] += 1
+            diff -= 1
+        elif sizes[j] > 1:
+            sizes[j] -= 1
+            diff += 1
+        i += 1
+    return sizes.tolist()
+
+
+def _force_max_size(sizes: list[int], forced: int, n: int, p: int) -> list[int]:
+    """Rescale sizes so the max becomes ``forced`` while keeping sum n."""
+    rest = n - forced
+    others = sizes.copy()
+    big = max(range(p), key=lambda i: others[i])
+    del others[big]
+    if not others:
+        return [forced]
+    total = sum(others)
+    scaled = [max(1, int(round(s * rest / total))) for s in others]
+    diff = rest - sum(scaled)
+    i = 0
+    while diff != 0:
+        j = i % len(scaled)
+        if diff > 0:
+            scaled[j] += 1
+            diff -= 1
+        elif scaled[j] > 1:
+            scaled[j] -= 1
+            diff += 1
+        i += 1
+    # Keep every other processor strictly below `forced` where possible so
+    # the forced processor really is the unique maximum.
+    for j in range(len(scaled)):
+        while scaled[j] > forced and any(s < forced for s in scaled):
+            give = min(range(len(scaled)), key=lambda t: scaled[t])
+            scaled[j] -= 1
+            scaled[give] += 1
+    out = scaled[:big] + [forced] + scaled[big:]
+    return out

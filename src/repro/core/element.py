@@ -1,0 +1,79 @@
+"""Elements and the paper's distinctness device.
+
+Section 3: "W.l.g. we may assume that N is a set, i.e., that all elements
+in N are distinct.  If not, we can replace each element xi in P_i with the
+triple (xi, i, j) where j is a unique index within P_i, and use
+lexicographic order among the triples."
+
+We expose exactly that: :func:`tag_elements` lifts arbitrary (possibly
+duplicated) values to distinct triples, :func:`untag` projects back.
+Algorithms throughout the library operate on plain comparable scalars and
+may assume distinctness; the public API applies the tagging when the input
+contains duplicates.
+
+Throughout the reproduction, "larger" follows the paper's convention:
+``N[1]`` is the *largest* element, ranks count from the top, and sorted
+output is descending.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+#: An element made distinct by tagging: (value, processor id, local index).
+Triple = tuple[float, int, int]
+
+
+def tag_elements(per_processor: dict[int, Sequence[float]]) -> dict[int, list[Triple]]:
+    """Lift per-processor values to distinct lexicographic triples.
+
+    Parameters
+    ----------
+    per_processor:
+        1-based processor id -> local values (any comparable scalars).
+
+    Returns
+    -------
+    dict
+        Same keys; each value replaced by ``(value, pid, local_index)``.
+        Triples are globally distinct and their lexicographic order refines
+        the value order, so any comparison-based algorithm that is correct
+        on distinct inputs is correct on the triples.
+    """
+    return {
+        pid: [(v, pid, j) for j, v in enumerate(vals)]
+        for pid, vals in per_processor.items()
+    }
+
+
+def untag(elements: Iterable[Triple]) -> list[float]:
+    """Project triples back to their underlying values (order-preserving)."""
+    return [e[0] for e in elements]
+
+
+def has_duplicates(per_processor: dict[int, Sequence[float]]) -> bool:
+    """True if any value occurs more than once across the whole network."""
+    seen: set[float] = set()
+    for vals in per_processor.values():
+        for v in vals:
+            if v in seen:
+                return True
+            seen.add(v)
+    return False
+
+
+def rank_of(value: float, universe: Iterable[float]) -> int:
+    """1-based rank of ``value`` in ``universe`` (rank 1 = largest).
+
+    This is the paper's ``N[d]`` convention: ``rank_of(max(N), N) == 1``.
+    Assumes ``value`` occurs in ``universe`` and elements are distinct.
+    """
+    return 1 + sum(1 for u in universe if u > value)
+
+
+def kth_largest(universe: Sequence[float], d: int) -> float:
+    """The element ``N[d]`` — the d-th largest of ``universe`` (1-based)."""
+    n = len(universe)
+    if not 1 <= d <= n:
+        raise ValueError(f"rank d={d} out of range 1..{n}")
+    return sorted(universe, reverse=True)[d - 1]

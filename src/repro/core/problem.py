@@ -1,0 +1,76 @@
+"""Problem definitions and result verification (sorting and selection).
+
+Sorting (paper §3): "rearranging the distribution of N among the
+processors so that N_i = N[n^+_{i-1}+1, n^+_i]" — cardinalities unchanged,
+``P_i``'s elements all larger than ``P_{i+1}``'s, descending order.
+
+Selection: identify ``N[d]``, the d-th largest element, for a given rank d.
+
+These verifiers are used by every test and benchmark to check algorithm
+output against the specification, independent of the algorithm under test.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .distribution import Distribution
+from .element import kth_largest
+
+
+def is_sorted_output(
+    dist: Distribution, output: Mapping[int, Sequence[float]]
+) -> bool:
+    """Check the paper's sorting post-condition exactly.
+
+    ``output[i]`` must equal the i-th descending segment of the sorted
+    input, *in descending order within the processor* and with the original
+    cardinality ``n_i``.
+    """
+    target = dist.target_layout()
+    if set(output) != set(target):
+        return False
+    for pid, want in target.items():
+        got = tuple(output[pid])
+        if got != want:
+            return False
+    return True
+
+
+def sorting_violations(
+    dist: Distribution, output: Mapping[int, Sequence[float]]
+) -> list[str]:
+    """Human-readable list of ways ``output`` violates the sorting spec.
+
+    Empty list means the output is correct.  Used for diagnostic test
+    failures.
+    """
+    problems: list[str] = []
+    target = dist.target_layout()
+    if set(output) != set(target):
+        problems.append(
+            f"processor set mismatch: got {sorted(output)}, want {sorted(target)}"
+        )
+        return problems
+    for pid in sorted(target):
+        got, want = tuple(output[pid]), target[pid]
+        if len(got) != len(want):
+            problems.append(
+                f"P{pid}: cardinality changed {len(want)} -> {len(got)}"
+            )
+        elif sorted(got) != sorted(want):
+            problems.append(f"P{pid}: wrong element set")
+        elif got != want:
+            problems.append(f"P{pid}: right elements, wrong order")
+    return problems
+
+
+def is_selection_output(dist: Distribution, d: int, result: float) -> bool:
+    """Check that ``result`` is the d-th largest element of the input."""
+    return result == kth_largest(dist.all_elements(), d)
+
+
+def validate_rank(dist: Distribution, d: int) -> None:
+    """Raise ``ValueError`` unless ``1 <= d <= n``."""
+    if not 1 <= d <= dist.n:
+        raise ValueError(f"rank d={d} out of range 1..{dist.n}")

@@ -1,0 +1,177 @@
+"""A minimal CREW PRAM and Columnsort on p shared cells (paper §9).
+
+§9: "The Columnsort algorithm for even distributions can be used in the
+CREW model, resulting in the same time complexity as the sorting
+algorithm in [Shil81], and reducing the auxiliary shared memory
+requirements to p memory cells."
+
+The paper's §2 comparison: CREW differs from MCB in that communication
+goes through *shared memory* (cells persist until overwritten) rather
+than memoryless channels, and the shared memory may be arbitrarily
+large.  The §9 claim is that Columnsort needs only ``p`` cells of it:
+each processor owns one cell as its "output port", every transformation
+phase writes one element per processor per step — exactly the MCB(p, p)
+broadcast schedule with cells in place of channels.
+
+:class:`CREWMemory` implements the model: synchronous steps, each
+processor may write one cell and read one cell per step; concurrent
+reads allowed, two writers on one cell in one step violate exclusive
+write and abort.  Cells persist across steps (the one semantic
+difference from MCB channels — checked by tests).
+
+:func:`crew_columnsort` runs the §5.2 even-distribution Columnsort on a
+CREW memory of exactly ``p`` cells.  Because our broadcast schedules
+always read a channel in the same cycle it is written, the MCB programs
+are *already* correct under persistent-cell semantics; the adapter
+reuses them verbatim, which is itself the substance of the §9 remark.
+The engine reports the shared-memory high-water mark (= number of
+distinct cells written) so the "p cells suffice" claim is measured, not
+assumed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .errors import CollisionError, ConfigurationError, ProtocolError
+from .message import EMPTY, Message
+from .program import CycleOp, ProcContext, Sleep
+from .trace import PhaseStats, RunStats
+
+
+class CREWMemory:
+    """A CREW PRAM with ``cells`` shared memory cells.
+
+    Programs are the same generators as for :class:`MCBNetwork` —
+    ``CycleOp(write=cell, payload=..., read=cell)`` — but reads return
+    the *last value ever written* to the cell (or ``EMPTY`` if never
+    written): shared memory persists.
+    """
+
+    def __init__(self, p: int, cells: int):
+        if p < 1 or cells < 1:
+            raise ConfigurationError(f"invalid CREW shape p={p}, cells={cells}")
+        self.p = p
+        self.cells = cells
+        self.stats = RunStats()
+        self.cells_used: set[int] = set()
+
+    def run(self, programs, *, phase: str = "crew", max_cycles: int = 10_000_000):
+        """Execute one synchronized stage; same contract as
+        :meth:`MCBNetwork.run` under CREW semantics."""
+        if not isinstance(programs, dict):
+            programs = {i + 1: fn for i, fn in enumerate(programs)}
+        contexts = {
+            pid: ProcContext(pid=pid, p=self.p, k=self.cells)
+            for pid in programs
+        }
+        gens = {pid: fn(contexts[pid]) for pid, fn in programs.items()}
+        inbox: dict[int, Any] = {pid: None for pid in gens}
+        wake = {pid: 0 for pid in gens}
+        results: dict[int, Any] = {pid: None for pid in gens}
+        memory: dict[int, Message] = {}
+        ph = PhaseStats(name=phase)
+        step = 0
+        while gens:
+            acting = [pid for pid in gens if wake[pid] <= step]
+            if not acting:
+                step = min(wake[pid] for pid in gens)
+                continue
+            if step >= max_cycles:
+                raise ProtocolError(f"exceeded max_cycles={max_cycles}")
+            writes: dict[int, tuple[int, Message]] = {}
+            reads: list[tuple[int, int]] = []
+            any_op = False
+            for pid in acting:
+                try:
+                    op = gens[pid].send(inbox[pid])
+                except StopIteration as stop:
+                    results[pid] = stop.value
+                    del gens[pid]
+                    continue
+                finally:
+                    inbox[pid] = None
+                any_op = True
+                if isinstance(op, Sleep):
+                    wake[pid] = step + max(1, op.cycles)
+                    continue
+                if not isinstance(op, CycleOp):
+                    raise ProtocolError(f"P{pid} yielded {op!r}")
+                wake[pid] = step + 1
+                if op.write is not None:
+                    if not 1 <= op.write <= self.cells:
+                        raise ProtocolError(
+                            f"P{pid}: cell {op.write} outside 1..{self.cells}"
+                        )
+                    if not isinstance(op.payload, Message):
+                        raise ProtocolError(f"P{pid}: write without Message")
+                    if op.write in writes:
+                        raise CollisionError(
+                            step, op.write, [writes[op.write][0], pid]
+                        )
+                    writes[op.write] = (pid, op.payload)
+                if op.read is not None:
+                    if not 1 <= op.read <= self.cells:
+                        raise ProtocolError(
+                            f"P{pid}: cell {op.read} outside 1..{self.cells}"
+                        )
+                    reads.append((pid, op.read))
+            # exclusive write: commit, then deliver concurrent reads.
+            # (Reads see the value as of the END of the step, matching the
+            # MCB same-cycle visibility the algorithms assume.)
+            for cell, (pid, msg) in writes.items():
+                memory[cell] = msg
+                self.cells_used.add(cell)
+                ph.messages += 1
+                ph.bits += msg.bit_size()
+                ph.channel_writes[cell] = ph.channel_writes.get(cell, 0) + 1
+            for pid, cell in reads:
+                if pid in gens:
+                    inbox[pid] = memory.get(cell, EMPTY)
+            if any_op:
+                step += 1
+        ph.cycles = step
+        for pid, ctx in contexts.items():
+            ph.aux_peak[pid] = ctx.aux_peak
+        self.stats.add(ph)
+        return results
+
+
+def crew_columnsort(
+    memory: CREWMemory,
+    columns: dict[int, list],
+    *,
+    phase: str = "crew-columnsort",
+):
+    """§9: even-distribution Columnsort on a CREW PRAM with p cells.
+
+    ``columns`` as in :func:`repro.sort.even_pk.sort_even_pk`; the MCB
+    programs run unchanged, cell ``i`` standing in for channel ``C_i``.
+    Returns the same ``SortResult``; ``memory.cells_used`` afterwards
+    witnesses that at most ``p`` shared cells were touched.
+    """
+    from ..columnsort.matrix import require_valid_dims
+    from ..sort.even_pk import SortResult, columnsort_program
+
+    p = memory.p
+    if memory.cells < p:
+        raise ConfigurationError(
+            f"the §9 construction uses one cell per processor: need "
+            f">= {p} cells, have {memory.cells}"
+        )
+    if sorted(columns) != list(range(1, p + 1)):
+        raise ValueError("columns must be given for every processor 1..p")
+    lengths = {len(c) for c in columns.values()}
+    if len(lengths) != 1:
+        raise ValueError("distribution is not even")
+    m = lengths.pop()
+    require_valid_dims(m, p)
+
+    def program(ctx: ProcContext):
+        out = yield from columnsort_program(
+            ctx.pid - 1, list(columns[ctx.pid]), m, p
+        )
+        return out
+
+    res = memory.run({i: program for i in range(1, p + 1)}, phase=phase)
+    return SortResult(output={pid: tuple(v) for pid, v in res.items()})

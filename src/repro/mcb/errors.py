@@ -1,0 +1,54 @@
+"""Errors raised by the MCB network simulator.
+
+The MCB model (Section 2 of the paper) requires algorithms to be
+*collision-free*: if two processors attempt to write the same channel in the
+same cycle, "the computation fails".  The simulator enforces this by raising
+:class:`CollisionError`, so a collision in any algorithm is a hard test
+failure rather than silent corruption.
+"""
+
+from __future__ import annotations
+
+
+class MCBError(Exception):
+    """Base class for all errors raised by the simulator."""
+
+
+class ConfigurationError(MCBError):
+    """Invalid network or algorithm parameters (e.g. ``k > p``)."""
+
+
+class CollisionError(MCBError):
+    """Two or more processors wrote the same channel in the same cycle.
+
+    Carries enough context to identify the offending cycle, channel and
+    writers when debugging a broadcast schedule.
+    """
+
+    def __init__(self, cycle: int, channel: int, writers: list[int]):
+        self.cycle = cycle
+        self.channel = channel
+        self.writers = sorted(writers)
+        super().__init__(
+            f"write collision on channel C{channel} at cycle {cycle}: "
+            f"processors {['P%d' % w for w in self.writers]}"
+        )
+
+
+class ProtocolError(MCBError):
+    """A program violated the per-cycle access rules of the model.
+
+    Examples: writing a channel index outside ``1..k``, yielding something
+    that is not a :class:`~repro.mcb.program.CycleOp` or
+    :class:`~repro.mcb.program.Sleep`, or attaching a payload without a
+    write channel.
+    """
+
+
+class MessageSizeError(MCBError):
+    """A message exceeded the model's O(log beta) size budget.
+
+    The paper bounds each message to :math:`O(\\log \\beta)` bits, i.e. a
+    constant number of scalar fields.  The network validates the field count
+    against :attr:`~repro.mcb.network.MCBNetwork.max_message_fields`.
+    """

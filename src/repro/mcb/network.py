@@ -1,0 +1,272 @@
+"""The synchronous MCB(p, k) network engine.
+
+This is the substrate every algorithm in the reproduction runs on.  It
+realizes the model of Section 2 exactly:
+
+* ``p`` processors, ``k <= p`` shared broadcast channels;
+* computation proceeds in globally synchronized cycles;
+* per cycle each processor writes at most one channel and reads at most one
+  channel, then performs arbitrary (cost-free) local computation;
+* a message written in a cycle is received only by the processors reading
+  that channel in that same cycle; reading an idle channel yields
+  :data:`~repro.mcb.message.EMPTY`;
+* concurrent writes to one channel are a *collision* and abort the
+  computation (:class:`~repro.mcb.errors.CollisionError`).
+
+Programs are generators (see :mod:`repro.mcb.program`); an algorithm is a
+sequence of ``run()`` calls (stages), matching the paper's use of globally
+known synchronization points between phases.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from .errors import (
+    CollisionError,
+    ConfigurationError,
+    MessageSizeError,
+    ProtocolError,
+)
+from .message import EMPTY, Message
+from .program import CycleOp, ProcContext, ProgramFn, Sleep
+from .trace import PhaseStats, RunStats, TraceEvent
+
+
+class MCBNetwork:
+    """A multi-channel broadcast network MCB(p, k).
+
+    Parameters
+    ----------
+    p:
+        Number of processors (1-based ids ``1..p``).
+    k:
+        Number of broadcast channels (1-based ids ``1..k``); ``k <= p``.
+    max_message_fields:
+        Upper bound on scalar fields per message, enforcing the model's
+        O(log beta)-bit messages.  The paper's algorithms need at most a
+        few fields (an element triple, a (median, count) pair, ...).
+    record_trace:
+        If true, every delivered message is recorded as a
+        :class:`~repro.mcb.trace.TraceEvent` in :attr:`events`.
+
+    Examples
+    --------
+    >>> from repro.mcb import MCBNetwork, CycleOp, Message, EMPTY
+    >>> net = MCBNetwork(p=2, k=1)
+    >>> def sender(ctx):
+    ...     yield CycleOp(write=1, payload=Message("hello", ctx.pid))
+    >>> def receiver(ctx):
+    ...     got = yield CycleOp(read=1)
+    ...     return got.fields[0]
+    >>> results = net.run({1: sender, 2: receiver}, phase="demo")
+    >>> results[2]
+    1
+    """
+
+    def __init__(
+        self,
+        p: int,
+        k: int,
+        *,
+        max_message_fields: int = 8,
+        record_trace: bool = False,
+    ):
+        if p < 1:
+            raise ConfigurationError(f"need at least one processor, got p={p}")
+        if k < 1:
+            raise ConfigurationError(f"need at least one channel, got k={k}")
+        if k > p:
+            raise ConfigurationError(
+                f"the model requires k <= p, got p={p}, k={k}"
+            )
+        self.p = p
+        self.k = k
+        self.max_message_fields = max_message_fields
+        self.record_trace = record_trace
+        self.stats = RunStats()
+        self.events: list[TraceEvent] = []
+
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Forget all accumulated phase statistics and trace events."""
+        self.stats = RunStats()
+        self.events = []
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        programs: dict[int, ProgramFn] | Sequence[ProgramFn],
+        *,
+        phase: str = "phase",
+        data: Optional[dict[int, Any]] = None,
+        max_cycles: int = 50_000_000,
+    ) -> dict[int, Any]:
+        """Execute one synchronized stage and return per-processor results.
+
+        Parameters
+        ----------
+        programs:
+            Either a dict ``pid -> program function`` (processors without an
+            entry idle for the whole stage) or a sequence of ``p`` program
+            functions for processors ``1..p``.
+        phase:
+            Label under which this stage's costs are accumulated.
+        data:
+            Optional per-processor local input, installed as ``ctx.data``.
+        max_cycles:
+            Safety valve against livelocked protocols.
+
+        Returns
+        -------
+        dict
+            ``pid -> value`` returned by each program (``None`` if the
+            generator returned nothing).
+        """
+        if not isinstance(programs, dict):
+            if len(programs) != self.p:
+                raise ConfigurationError(
+                    f"expected {self.p} programs, got {len(programs)}"
+                )
+            programs = {i + 1: fn for i, fn in enumerate(programs)}
+        for pid in programs:
+            if not 1 <= pid <= self.p:
+                raise ConfigurationError(
+                    f"program assigned to nonexistent processor P{pid}"
+                )
+
+        contexts: dict[int, ProcContext] = {}
+        gens: dict[int, Any] = {}
+        for pid, fn in programs.items():
+            ctx = ProcContext(
+                pid=pid,
+                p=self.p,
+                k=self.k,
+                data=None if data is None else data.get(pid),
+            )
+            contexts[pid] = ctx
+            gens[pid] = fn(ctx)
+
+        results: dict[int, Any] = {pid: None for pid in programs}
+        inbox: dict[int, Any] = {pid: None for pid in programs}
+        wake: dict[int, int] = {pid: 0 for pid in programs}
+
+        ph = PhaseStats(name=phase)
+        cycle = 0
+        while gens:
+            acting = [pid for pid in gens if wake[pid] <= cycle]
+            if not acting:
+                # Everyone is sleeping: fast-forward to the earliest waker.
+                # The skipped cycles still elapse (and are counted below).
+                cycle = min(wake[pid] for pid in gens)
+                continue
+            if cycle >= max_cycles:
+                raise ProtocolError(
+                    f"stage '{phase}' exceeded max_cycles={max_cycles}"
+                )
+
+            # --- collect this cycle's ops from every awake processor -----
+            writes: dict[int, tuple[int, Message]] = {}  # channel -> (pid, msg)
+            collided: dict[int, list[int]] = {}
+            reads: list[tuple[int, int]] = []  # (pid, channel)
+            any_op = False
+            for pid in acting:
+                try:
+                    op = gens[pid].send(inbox[pid])
+                except StopIteration as stop:
+                    results[pid] = stop.value
+                    del gens[pid]
+                    continue
+                finally:
+                    inbox[pid] = None
+                any_op = True
+                if isinstance(op, Sleep):
+                    if op.cycles < 0:
+                        raise ProtocolError(
+                            f"P{pid} requested a negative sleep ({op.cycles})"
+                        )
+                    wake[pid] = cycle + max(1, op.cycles)
+                    continue
+                if not isinstance(op, CycleOp):
+                    raise ProtocolError(
+                        f"P{pid} yielded {op!r}; expected CycleOp or Sleep"
+                    )
+                wake[pid] = cycle + 1
+                if op.write is not None:
+                    self._validate_write(pid, op, cycle)
+                    if op.write in writes or op.write in collided:
+                        collided.setdefault(
+                            op.write, [writes.pop(op.write)[0]] if op.write in writes else []
+                        ).append(pid)
+                    else:
+                        writes[op.write] = (pid, op.payload)
+                elif op.payload is not None:
+                    raise ProtocolError(
+                        f"P{pid} attached a payload without a write channel"
+                    )
+                if op.read is not None:
+                    if not 1 <= op.read <= self.k:
+                        raise ProtocolError(
+                            f"P{pid} read invalid channel C{op.read} (k={self.k})"
+                        )
+                    reads.append((pid, op.read))
+
+            if collided:
+                channel, writers = next(iter(collided.items()))
+                raise CollisionError(cycle, channel, writers)
+
+            # --- deliver reads -------------------------------------------
+            readers_by_channel: dict[int, list[int]] = {}
+            for pid, ch in reads:
+                if pid in gens:  # the generator may have just finished
+                    readers_by_channel.setdefault(ch, []).append(pid)
+                    inbox[pid] = EMPTY
+            for ch, (writer, msg) in writes.items():
+                ph.messages += 1
+                ph.bits += msg.bit_size()
+                ph.channel_writes[ch] = ph.channel_writes.get(ch, 0) + 1
+                receivers = readers_by_channel.get(ch, [])
+                for pid in receivers:
+                    inbox[pid] = msg
+                if self.record_trace:
+                    self.events.append(
+                        TraceEvent(
+                            cycle=cycle,
+                            channel=ch,
+                            writer=writer,
+                            readers=tuple(receivers),
+                            kind=msg.kind,
+                            fields=msg.fields,
+                        )
+                    )
+            if any_op:
+                # A cycle elapsed only if some processor participated in the
+                # round; generators that return without yielding never
+                # consumed network time.
+                cycle += 1
+
+        ph.cycles = cycle
+        for pid, ctx in contexts.items():
+            ph.aux_peak[pid] = ctx.aux_peak
+        self.stats.add(ph)
+        return results
+
+    # ------------------------------------------------------------------
+    def _validate_write(self, pid: int, op: CycleOp, cycle: int) -> None:
+        if not 1 <= op.write <= self.k:
+            raise ProtocolError(
+                f"P{pid} wrote invalid channel C{op.write} (k={self.k}) "
+                f"at cycle {cycle}"
+            )
+        if not isinstance(op.payload, Message):
+            raise ProtocolError(
+                f"P{pid} wrote channel C{op.write} without a Message payload"
+            )
+        if len(op.payload.fields) > self.max_message_fields:
+            raise MessageSizeError(
+                f"P{pid} sent a {len(op.payload.fields)}-field message; "
+                f"limit is {self.max_message_fields} (O(log beta) bits)"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MCBNetwork(p={self.p}, k={self.k})"

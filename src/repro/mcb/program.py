@@ -1,0 +1,139 @@
+"""The per-processor program protocol.
+
+A processor program is a Python *generator function* ``f(ctx)`` that yields
+one action per synchronous cycle.  This makes programs genuinely
+distributed: between yields a program may run arbitrary local computation
+(free in the MCB cost model) but can only observe its own state plus the
+values delivered by its channel reads.
+
+Per cycle a program yields either
+
+* :class:`CycleOp` — write at most one channel, read at most one channel
+  (exactly the access rule of Section 2: "a processor may access two
+  channels — one channel for the purpose of writing and the other for
+  reading"); the value sent back into the generator at the next step is the
+  read result (a :class:`~repro.mcb.message.Message`,
+  :data:`~repro.mcb.message.EMPTY` for a silent channel, or ``None`` if the
+  op did not read); or
+
+* :class:`Sleep` — idle for an exact number of cycles.  Used by the paper's
+  schedules in which a processor "awaits its turn to write by counting
+  cycles" (Sections 7.2 and 8.1).  Sleeping is semantically identical to
+  yielding that many empty ``CycleOp()`` but lets the engine fast-forward.
+
+The generator's return value (``return x``) becomes the processor's result
+in :meth:`MCBNetwork.run`'s output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+from .message import Message
+
+#: Type alias for what `yield` sends back: a Message, EMPTY, or None.
+ReadResult = Any
+
+#: A processor program: generator function from context to per-cycle ops.
+ProgramFn = Callable[["ProcContext"], Generator]
+
+
+@dataclass(frozen=True)
+class CycleOp:
+    """One processor's channel activity for one cycle.
+
+    Attributes
+    ----------
+    write:
+        1-based channel index to write, or ``None`` to stay silent.
+    payload:
+        The :class:`Message` to broadcast; required iff ``write`` is set.
+    read:
+        1-based channel index to read, or ``None`` to skip the read step.
+    """
+
+    write: Optional[int] = None
+    payload: Optional[Message] = None
+    read: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Idle for exactly ``cycles`` cycles (no reads, no writes)."""
+
+    cycles: int
+
+
+#: A no-op cycle (participate in the round, touch no channel).
+IDLE = CycleOp()
+
+
+@dataclass
+class ProcContext:
+    """Everything a processor program may legitimately know and account.
+
+    Attributes
+    ----------
+    pid:
+        1-based processor identifier :math:`P_{pid}` (paper notation).
+    p, k:
+        Network dimensions, globally known per the model.
+    data:
+        The processor's local input (e.g. its subset :math:`N_i`).
+    """
+
+    pid: int
+    p: int
+    k: int
+    data: Any = None
+    _aux_current: int = field(default=0, repr=False)
+    _aux_peak: int = field(default=0, repr=False)
+
+    # ---- auxiliary-memory accounting ------------------------------------
+    # The Section 6.1 discussion is all about auxiliary storage (Theta(n/k)
+    # for the collect variant vs O(n_col) for Rank-Sort vs O(1) for
+    # Merge-Sort).  Algorithms declare their buffer sizes here so the
+    # benchmark harness can report per-processor high-water marks.
+
+    def aux_acquire(self, slots: int) -> None:
+        """Record allocation of ``slots`` auxiliary storage slots."""
+        if slots < 0:
+            raise ValueError("aux_acquire expects a non-negative slot count")
+        self._aux_current += slots
+        if self._aux_current > self._aux_peak:
+            self._aux_peak = self._aux_current
+
+    def aux_release(self, slots: int) -> None:
+        """Record release of ``slots`` previously acquired slots."""
+        if slots < 0:
+            raise ValueError("aux_release expects a non-negative slot count")
+        self._aux_current = max(0, self._aux_current - slots)
+
+    def aux_set(self, slots: int) -> None:
+        """Set the current auxiliary usage to an absolute level."""
+        if slots < 0:
+            raise ValueError("aux_set expects a non-negative slot count")
+        self._aux_current = slots
+        if slots > self._aux_peak:
+            self._aux_peak = slots
+
+    @property
+    def aux_peak(self) -> int:
+        """High-water mark of auxiliary slots used by this processor."""
+        return self._aux_peak
+
+
+def write(channel: int, message: Message) -> CycleOp:
+    """Convenience: a cycle that only writes."""
+    return CycleOp(write=channel, payload=message)
+
+
+def read(channel: int) -> CycleOp:
+    """Convenience: a cycle that only reads."""
+    return CycleOp(read=channel)
+
+
+def write_read(wchannel: int, message: Message, rchannel: int) -> CycleOp:
+    """Convenience: write one channel and read another in the same cycle."""
+    return CycleOp(write=wchannel, payload=message, read=rchannel)

@@ -1,0 +1,189 @@
+"""Simulating a larger MCB on a smaller one (Section 2 of the paper).
+
+The paper notes that one cycle of an MCB(p', k') can be simulated on an
+MCB(p, k), ``p' >= p``, ``k' >= k``, in ``O((p'/p)(k'/k))`` cycles using
+``O(p'/p)`` messages per original message, by hosting ``p'/p`` virtual
+processors per real processor and ``k'/k`` virtual channels per real
+channel, repeating each message ``p'/p`` times.  This lemma is what lets
+the algorithms assume w.l.o.g. that ``p`` is a power of two, that ``k``
+divides ``p``, etc.
+
+The paper's one-line argument glosses over a scheduling detail: a real
+processor hosting several virtual writers (or readers) can touch only one
+channel per cycle, and a virtual reader does not know *which host* holds
+the writer of the channel it reads.  We therefore use a fully *oblivious*
+schedule of
+
+    R  =  v * v * S      real cycles per virtual cycle,
+
+where ``v = ceil(p'/p)`` and ``S = ceil(k'/k)``:
+
+* virtual channel ``c'`` is carried by real channel ``((c'-1) mod k)+1``
+  in sub-slot ``t(c') = (c'-1) div k``;
+* the block is indexed ``(rep, wrep, t)``: the writer of ``c'`` (a virtual
+  processor with within-host index ``h``) writes in every cycle with
+  ``wrep == h`` and ``t == t(c')`` — i.e. ``v`` repetitions, one per
+  reader round ``rep``;
+* a virtual reader with within-host index ``h`` collects its read during
+  reader round ``rep == h``, scanning all ``wrep`` sub-rounds at sub-slot
+  ``t(c')`` and keeping the unique non-empty result.
+
+For the constant-factor uses in the paper (``v <= 2``, ``S <= 2``) this is
+the same ``O((p'/p)(k'/k))`` overhead; in general it costs an extra factor
+``v``.  Tests verify the exact overhead ``R`` per virtual cycle and ``v``
+messages per original message.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+from .errors import ConfigurationError
+from .message import EMPTY
+from .network import MCBNetwork
+from .program import CycleOp, ProcContext, ProgramFn, Sleep
+
+
+def host_of(q: int, v: int) -> int:
+    """Real (1-based) host processor of virtual processor ``q``."""
+    return (q - 1) // v + 1
+
+def host_index(q: int, v: int) -> int:
+    """Within-host index (0-based) of virtual processor ``q``."""
+    return (q - 1) % v
+
+def real_channel(c: int, k: int) -> int:
+    """Real channel carrying virtual channel ``c``."""
+    return (c - 1) % k + 1
+
+def subslot(c: int, k: int) -> int:
+    """Sub-slot (0-based) within a round in which virtual channel ``c`` appears."""
+    return (c - 1) // k
+
+
+def simulation_overhead(p_virtual: int, k_virtual: int, p: int, k: int) -> tuple[int, int]:
+    """Return ``(cycles_per_virtual_cycle, messages_per_message)``."""
+    v = math.ceil(p_virtual / p)
+    s = math.ceil(k_virtual / k)
+    return v * v * s, v
+
+
+def run_simulated(
+    net: MCBNetwork,
+    p_virtual: int,
+    k_virtual: int,
+    programs: dict[int, ProgramFn],
+    *,
+    data: Optional[dict[int, Any]] = None,
+    phase: str = "simulated",
+) -> dict[int, Any]:
+    """Run programs written for MCB(p_virtual, k_virtual) on ``net``.
+
+    Parameters mirror :meth:`MCBNetwork.run`, except ``programs`` maps
+    *virtual* processor ids ``1..p_virtual``.  Returns virtual pid ->
+    program result.
+    """
+    p, k = net.p, net.k
+    if p_virtual < p or k_virtual < k:
+        raise ConfigurationError(
+            f"can only simulate a larger network: MCB({p_virtual},{k_virtual}) "
+            f"on MCB({p},{k})"
+        )
+    if k_virtual > p_virtual:
+        raise ConfigurationError("virtual network requires k' <= p'")
+    v = math.ceil(p_virtual / p)
+    s = math.ceil(k_virtual / k)
+
+    hosted: dict[int, list[int]] = {}
+    for q in programs:
+        if not 1 <= q <= p_virtual:
+            raise ConfigurationError(f"virtual pid {q} out of range 1..{p_virtual}")
+        hosted.setdefault(host_of(q, v), []).append(q)
+
+    results: dict[int, Any] = {}
+
+    def make_host(host_pid: int, vpids: list[int]):
+        def host_program(ctx: ProcContext):
+            gens: dict[int, Any] = {}
+            vctxs: dict[int, ProcContext] = {}
+            for q in sorted(vpids):
+                vctx = ProcContext(
+                    pid=q,
+                    p=p_virtual,
+                    k=k_virtual,
+                    data=None if data is None else data.get(q),
+                )
+                vctxs[q] = vctx
+                gens[q] = programs[q](vctx)
+            inbox: dict[int, Any] = {q: None for q in gens}
+            sleeping: dict[int, int] = {}  # q -> remaining idle virtual cycles
+
+            while gens:
+                # --- gather this virtual cycle's ops -------------------
+                writes: dict[int, tuple[int, Any]] = {}  # q -> (chan, msg)
+                reads: dict[int, int] = {}  # q -> chan
+                for q in list(gens):
+                    if sleeping.get(q, 0) > 0:
+                        sleeping[q] -= 1
+                        continue
+                    try:
+                        op = gens[q].send(inbox[q])
+                    except StopIteration as stop:
+                        results[q] = stop.value
+                        del gens[q]
+                        continue
+                    finally:
+                        inbox[q] = None
+                    if isinstance(op, Sleep):
+                        # This virtual cycle plus (cycles-1) further ones.
+                        sleeping[q] = max(1, op.cycles) - 1
+                        continue
+                    if op.write is not None:
+                        writes[q] = (op.write, op.payload)
+                    if op.read is not None:
+                        reads[q] = op.read
+                        inbox[q] = EMPTY
+
+                if not gens and not writes and not reads:
+                    return None
+
+                if not writes and not reads:
+                    # All hosted virtual processors idle this virtual
+                    # cycle; other hosts may still act, so the block's R
+                    # real cycles must elapse here too to stay aligned.
+                    yield Sleep(v * v * s)
+                    continue
+
+                # --- run the R-cycle oblivious block --------------------
+                for rep in range(v):
+                    for wrep in range(v):
+                        for t in range(s):
+                            op_write = None
+                            op_payload = None
+                            for q, (chan, msg) in writes.items():
+                                if host_index(q, v) == wrep and subslot(chan, k) == t:
+                                    op_write = real_channel(chan, k)
+                                    op_payload = msg
+                                    break
+                            op_read = None
+                            reader_q = None
+                            for q, chan in reads.items():
+                                if host_index(q, v) == rep and subslot(chan, k) == t:
+                                    op_read = real_channel(chan, k)
+                                    reader_q = q
+                                    break
+                            got = yield CycleOp(
+                                write=op_write, payload=op_payload, read=op_read
+                            )
+                            if reader_q is not None and got is not EMPTY and got is not None:
+                                inbox[reader_q] = got
+            return None
+
+        return host_program
+
+    host_programs = {
+        host_pid: make_host(host_pid, vpids) for host_pid, vpids in hosted.items()
+    }
+    net.run(host_programs, phase=phase)
+    return results

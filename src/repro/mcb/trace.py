@@ -1,0 +1,131 @@
+"""Cost accounting for MCB runs: cycles, messages, bits, memory, utilization.
+
+Complexity in the MCB model "is measured in terms of the total number of
+cycles and the total number of broadcast messages" (Section 2).  These are
+the two headline counters; we additionally track bits, per-channel write
+counts (utilization) and per-processor auxiliary-memory peaks because the
+Section 6 experiments compare implementations along those axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+@dataclass
+class PhaseStats:
+    """Costs of one :meth:`MCBNetwork.run` invocation (one stage/phase)."""
+
+    name: str
+    cycles: int = 0
+    messages: int = 0
+    bits: int = 0
+    #: writes per channel, 1-based index -> count
+    channel_writes: dict[int, int] = field(default_factory=dict)
+    #: per-processor auxiliary-memory peak, 1-based pid -> slots
+    aux_peak: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def max_aux_peak(self) -> int:
+        """Largest per-processor auxiliary memory used during the phase."""
+        return max(self.aux_peak.values(), default=0)
+
+    def channel_utilization(self) -> float:
+        """Fraction of channel-cycles actually carrying a message."""
+        if self.cycles == 0 or not self.channel_writes:
+            return 0.0
+        k = max(self.channel_writes)
+        return self.messages / (self.cycles * k)
+
+
+@dataclass
+class RunStats:
+    """Accumulated costs across all phases run on a network so far."""
+
+    phases: list[PhaseStats] = field(default_factory=list)
+
+    def add(self, phase: PhaseStats) -> None:
+        """Record one finished stage."""
+        self.phases.append(phase)
+
+    @property
+    def cycles(self) -> int:
+        return sum(ph.cycles for ph in self.phases)
+
+    @property
+    def messages(self) -> int:
+        return sum(ph.messages for ph in self.phases)
+
+    @property
+    def bits(self) -> int:
+        return sum(ph.bits for ph in self.phases)
+
+    @property
+    def max_aux_peak(self) -> int:
+        return max((ph.max_aux_peak for ph in self.phases), default=0)
+
+    def phase(self, name: str) -> PhaseStats:
+        """Return the merged stats of all phases with the given name."""
+        merged = PhaseStats(name=name)
+        for ph in self.phases:
+            if ph.name == name:
+                merged.cycles += ph.cycles
+                merged.messages += ph.messages
+                merged.bits += ph.bits
+                for c, w in ph.channel_writes.items():
+                    merged.channel_writes[c] = merged.channel_writes.get(c, 0) + w
+                for pid, peak in ph.aux_peak.items():
+                    merged.aux_peak[pid] = max(merged.aux_peak.get(pid, 0), peak)
+        return merged
+
+    def phase_names(self) -> list[str]:
+        """Distinct phase names in first-seen order."""
+        seen: list[str] = []
+        for ph in self.phases:
+            if ph.name not in seen:
+                seen.append(ph.name)
+        return seen
+
+    def breakdown(self) -> str:
+        """Human-readable per-phase table (used by examples and benches)."""
+        lines = [f"{'phase':<28}{'cycles':>10}{'messages':>10}{'bits':>12}"]
+        for name in self.phase_names():
+            ph = self.phase(name)
+            lines.append(
+                f"{name:<28}{ph.cycles:>10}{ph.messages:>10}{ph.bits:>12}"
+            )
+        lines.append(
+            f"{'TOTAL':<28}{self.cycles:>10}{self.messages:>10}{self.bits:>12}"
+        )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded channel event (optional fine-grained tracing)."""
+
+    cycle: int
+    channel: int
+    writer: int
+    readers: tuple[int, ...]
+    kind: str
+    fields: tuple
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        rd = ",".join(f"P{r}" for r in self.readers) or "-"
+        return (
+            f"t={self.cycle:<5} C{self.channel}: P{self.writer} -> [{rd}] "
+            f"{self.kind}{self.fields}"
+        )
+
+
+def format_events(events: Iterable[TraceEvent], limit: Optional[int] = None) -> str:
+    """Render a trace excerpt, optionally truncated to ``limit`` events."""
+    out = []
+    for i, ev in enumerate(events):
+        if limit is not None and i >= limit:
+            out.append(f"... ({i}+ events)")
+            break
+        out.append(str(ev))
+    return "\n".join(out)

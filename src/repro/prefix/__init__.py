@@ -1,0 +1,19 @@
+"""Partial-sums algorithms (paper Section 7.1)."""
+
+from .mcb_partial_sums import (
+    PartialSums,
+    mcb_partial_sums,
+    mcb_total_sum,
+    partial_sums_cycle_bound,
+)
+from .tree_machine import is_power_of_two, serial_partial_sums, tree_partial_sums
+
+__all__ = [
+    "PartialSums",
+    "is_power_of_two",
+    "mcb_partial_sums",
+    "mcb_total_sum",
+    "partial_sums_cycle_bound",
+    "serial_partial_sums",
+    "tree_partial_sums",
+]

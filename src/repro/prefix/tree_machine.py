@@ -1,0 +1,81 @@
+"""Vishkin-style tree machine for partial sums (paper §7.1, reference).
+
+A full binary tree with ``p`` leaves; leaf ``i`` holds ``a_i``.  A
+bottom-up sweep computes subtree sums; a top-down sweep pushes down
+prefix-of-left-siblings values; at the end leaf ``i`` knows the partial
+sum ``a_1 (+) ... (+) a_i``.
+
+This module is the *sequential reference*: it models the tree computation
+directly (no channels) and is used as the oracle for the MCB
+implementation in :mod:`repro.prefix.mcb_partial_sums`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def is_power_of_two(x: int) -> bool:
+    """True iff ``x`` is a positive power of two."""
+    return x >= 1 and (x & (x - 1)) == 0
+
+
+def tree_partial_sums(
+    values: Sequence[T],
+    op: Callable[[T, T], T],
+    identity: T,
+) -> list[T]:
+    """Inclusive partial sums via the two-sweep tree computation.
+
+    Parameters
+    ----------
+    values:
+        ``a_1 .. a_p`` with ``p`` a power of two (the paper assumes
+        ``p = 2^r`` w.l.o.g.; the MCB wrapper pads).
+    op:
+        A commutative, associative operator.
+    identity:
+        The identity element ``omega`` of ``op``.
+
+    Returns
+    -------
+    list
+        ``[a_1, a_1+a_2, ..., a_1+...+a_p]`` (inclusive prefix sums).
+    """
+    p = len(values)
+    if not is_power_of_two(p):
+        raise ValueError(f"tree machine needs p = 2^r leaves, got {p}")
+
+    # Bottom-up: level l holds p / 2^l node sums.
+    levels: list[list[T]] = [list(values)]
+    while len(levels[-1]) > 1:
+        prev = levels[-1]
+        levels.append(
+            [op(prev[2 * j], prev[2 * j + 1]) for j in range(len(prev) // 2)]
+        )
+
+    # Top-down: from_father[l][j] = sum of everything left of node (l, j).
+    down: list[T] = [identity]  # root receives omega
+    for l in range(len(levels) - 2, -1, -1):
+        nxt: list[T] = []
+        for j, f in enumerate(down):
+            left_val = levels[l][2 * j]
+            nxt.append(f)               # left son gets F
+            nxt.append(op(f, left_val)) # right son gets F (+) L
+        down = nxt
+
+    return [op(down[i], values[i]) for i in range(p)]
+
+
+def serial_partial_sums(
+    values: Sequence[T], op: Callable[[T, T], T]
+) -> list[T]:
+    """Plain left-to-right scan — the ground truth for tests."""
+    out: list[T] = []
+    acc: T | None = None
+    for v in values:
+        acc = v if acc is None else op(acc, v)
+        out.append(acc)
+    return out

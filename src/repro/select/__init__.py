@@ -1,0 +1,29 @@
+"""Selection by rank (paper Section 8)."""
+
+from .api import mcb_select, select_by_sorting
+from .filtering import SelectionResult, SelectionTrace, mcb_select_descending
+from .local_select import local_median, select_kth_largest
+from .multi import MultiSelectResult, mcb_multiselect, mcb_quantiles
+from .top import mcb_top_t
+from .weighted import (
+    WeightedSelectionResult,
+    local_weighted_median,
+    mcb_select_weighted,
+)
+
+__all__ = [
+    "SelectionResult",
+    "SelectionTrace",
+    "local_median",
+    "MultiSelectResult",
+    "mcb_multiselect",
+    "mcb_quantiles",
+    "mcb_select",
+    "mcb_top_t",
+    "WeightedSelectionResult",
+    "local_weighted_median",
+    "mcb_select_weighted",
+    "mcb_select_descending",
+    "select_by_sorting",
+    "select_kth_largest",
+]

@@ -1,0 +1,222 @@
+"""The selection algorithm of Section 8: repeated filtering + termination.
+
+Per filtering phase (everything below is a real network stage with
+measured cycles and messages):
+
+1. every processor computes the median ``med_i`` of its remaining
+   candidates (free local computation; empty sets contribute a dummy);
+2. the pairs ``(med_i, m_i)`` are sorted in descending median order with
+   the Section 5/7 sorting machinery (one pair per processor — an even
+   one-element-per-processor distribution);
+3. Partial-Sums over the sorted counts finds the *weighted median*
+   processor ``i*`` — the smallest partial sum reaching ``ceil(m/2)`` —
+   which broadcasts ``med* = med'_{i*}``;
+4. Partial-Sums counts ``m_>=``, the candidates ``>= med*``;
+5. cases: ``m_>= == d`` selects ``med*``; ``m_>= > d`` purges all
+   candidates ``<= med*``; ``m_>= < d`` purges all ``>= med*`` and
+   rebases ``d``.  Every phase purges at least a quarter of the
+   candidates (Figure 2), so ``O(log(n/m*))`` phases suffice.
+
+The termination phase collects the surviving ``m <= m* = p/k``
+candidates into ``P_1`` (paced by partial sums, single channel), which
+selects locally and broadcasts the answer.
+
+Total: ``O((p/k) log(kn/p))`` cycles and ``O(p log(kn/p))`` messages —
+tight by Theorem 2 / Corollary 2 (Corollary 7).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..mcb.message import EMPTY, Message
+from ..mcb.network import MCBNetwork
+from ..mcb.program import CycleOp, ProcContext, Sleep
+from ..prefix.mcb_partial_sums import mcb_partial_sums, mcb_total_sum
+from ..sort.common import pack_elem, unpack_elem
+from ..sort.ones import sort_ones
+from ..sort.uneven import sort_uneven
+from .local_select import local_median, select_kth_largest
+
+
+
+@dataclass
+class SelectionTrace:
+    """Per-phase telemetry of one selection run (Figure 2 / E10 data)."""
+
+    phases: list[dict] = field(default_factory=list)
+
+    def purge_fractions(self) -> list[float]:
+        """Fraction of candidates purged in each filtering phase."""
+        return [ph["purged"] / ph["m_before"] for ph in self.phases if ph["m_before"]]
+
+    @property
+    def num_phases(self) -> int:
+        return len(self.phases)
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of a distributed selection."""
+
+    value: Any
+    trace: SelectionTrace
+
+
+def mcb_select_descending(
+    net: MCBNetwork,
+    parts: dict[int, Sequence[Any]],
+    d: int,
+    *,
+    threshold: int | None = None,
+    pair_sorter: str = "ones",
+    phase: str = "select",
+) -> SelectionResult:
+    """Select the d-th largest element of a distributed set.
+
+    Elements must be globally distinct (use the §3 tagging otherwise —
+    :func:`repro.select.api.mcb_select` does this automatically).
+
+    Parameters
+    ----------
+    threshold:
+        The termination threshold ``m*``; defaults to the paper's
+        ``p/k`` choice.
+    pair_sorter:
+        How the per-phase ``(median, count)`` pairs are sorted:
+        ``"ones"`` (default) uses the fixed-schedule
+        one-element-per-processor specialization of the §5 machinery;
+        ``"uneven"`` uses the full §7.2 path verbatim (same asymptotics,
+        ~2x the control traffic per phase).
+    """
+    p, k = net.p, net.k
+    if sorted(parts) != list(range(1, p + 1)):
+        raise ValueError("parts must cover processors 1..p")
+    candidates: dict[int, list[Any]] = {i: list(parts[i]) for i in parts}
+    n = sum(len(v) for v in candidates.values())
+    if not 1 <= d <= n:
+        raise ValueError(f"rank d={d} out of range 1..{n}")
+    m_star = threshold if threshold is not None else max(1, p // k)
+
+    # Pairs travel as flat lexicographic tuples of uniform arity:
+    # (median fields..., tiebreak, count).  A processor whose candidates
+    # ran dry announces a *dummy pair* — all-(-inf) median fields with its
+    # pid as the tiebreak — which sorts below every real pair (real
+    # medians are finite) and carries count 0.
+    nonempty = next((v for v in parts.values() if len(v) > 0), None)
+    if nonempty is None:
+        raise ValueError("no candidates anywhere")
+    med_arity = len(pack_elem(nonempty[0]))
+
+    def flat_pair(i: int) -> tuple:
+        if candidates[i]:
+            med = local_median(candidates[i])
+            return tuple(pack_elem(med)) + (0, len(candidates[i]))
+        return (-math.inf,) * med_arity + (i, 0)
+
+    trace = SelectionTrace()
+    m = n
+    round_no = 0
+    while m > m_star:
+        round_no += 1
+        tag = f"{phase}/filter-{round_no}"
+        m_before = m
+
+        # -- step 1: local medians (free) + step 2: sort the pairs -------
+        flat_pairs = {i: [flat_pair(i)] for i in candidates}
+        pair_sort = sort_ones if pair_sorter == "ones" else sort_uneven
+        sorted_pairs = pair_sort(net, flat_pairs, phase=f"{tag}/sort-medians")
+        my_sorted = sorted_pairs.output  # pid -> ((med..., count),)
+        counts_sorted = {i: my_sorted[i][0][-1] for i in my_sorted}
+
+        # -- step 3: weighted median processor i* broadcasts med* --------
+        sums = mcb_partial_sums(
+            net, counts_sorted, phase=f"{tag}/count-prefix"
+        )
+        half = (m + 1) // 2
+
+        def announce(ctx: ProcContext):
+            pid = ctx.pid
+            s = sums[pid]
+            if s.prev < half <= s.incl:
+                med_fields = my_sorted[pid][0][:-2]
+                yield CycleOp(write=1, payload=Message("med", *med_fields))
+                return unpack_elem(med_fields)
+            got = yield CycleOp(read=1)
+            assert got is not EMPTY, "some processor must hold the median"
+            return unpack_elem(got.fields)
+
+        med_star = net.run(
+            {i: announce for i in range(1, p + 1)}, phase=f"{tag}/announce"
+        )[1]
+
+        # -- step 4: count candidates >= med* -----------------------------
+        ge_counts = {
+            i: sum(1 for e in candidates[i] if e >= med_star)
+            for i in candidates
+        }
+        m_ge = mcb_total_sum(net, ge_counts, phase=f"{tag}/count-ge")[1]
+
+        # -- step 5: the three cases (local, synchronized knowledge) ------
+        if m_ge == d:
+            trace.phases.append(
+                {"m_before": m_before, "purged": m_before, "case": 1}
+            )
+            return SelectionResult(value=med_star, trace=trace)
+        if m_ge > d:
+            for i in candidates:
+                candidates[i] = [e for e in candidates[i] if e > med_star]
+            m = m_ge - 1
+            case = 2
+        else:
+            for i in candidates:
+                candidates[i] = [e for e in candidates[i] if e < med_star]
+            m = m - m_ge
+            d = d - m_ge
+            case = 3
+        trace.phases.append(
+            {"m_before": m_before, "purged": m_before - m, "case": case}
+        )
+
+    # ---- termination phase ----------------------------------------------
+    tag = f"{phase}/termination"
+    counts_now = {i: len(candidates[i]) for i in candidates}
+    sums = mcb_partial_sums(net, counts_now, phase=f"{tag}/prefix")
+    total = m
+
+    def collect(ctx: ProcContext):
+        pid = ctx.pid
+        mine = candidates[pid]
+        if pid == 1:
+            # My own candidates (positions [0, n_1)) need no channel; the
+            # corresponding cycles pass in silence.
+            pool = list(mine)
+            ctx.aux_acquire(total)
+            start = sums[pid].incl
+            if start > 0:
+                yield Sleep(start)
+            for _ in range(total - start):
+                got = yield CycleOp(read=1)
+                pool.append(unpack_elem(got.fields))
+            answer = select_kth_largest(pool, d) if pool else None
+            ctx.aux_release(total)
+            yield CycleOp(write=1, payload=Message("ans", *pack_elem(answer)))
+            return answer
+        start = sums[pid].prev
+        if start > 0:
+            yield Sleep(start)
+        for e in mine:
+            yield CycleOp(write=1, payload=Message("cand", *pack_elem(e)))
+        rest = total - start - len(mine)
+        if rest > 0:
+            yield Sleep(rest)
+        got = yield CycleOp(read=1)
+        return unpack_elem(got.fields)
+
+    answers = net.run({i: collect for i in range(1, p + 1)}, phase=tag)
+    value = answers[1]
+    assert all(a == value for a in answers.values())
+    trace.phases.append({"m_before": m, "purged": m, "case": 0})
+    return SelectionResult(value=value, trace=trace)

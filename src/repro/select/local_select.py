@@ -1,0 +1,67 @@
+"""Sequential selection by rank — the paper's [Blum73] stand-in.
+
+Each filtering phase needs every processor to find the median of its
+local candidates "using an efficient sequential selection algorithm
+([Blum73], for example)".  Local computation is free in the MCB cost
+model, so any correct selection works; we nevertheless provide the
+classic deterministic median-of-medians algorithm (worst-case linear) as
+the library's faithful substrate, plus a thin convenience wrapper.
+
+Rank convention matches the paper: rank 1 selects the *largest* element.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def select_kth_largest(items: Sequence[Any], d: int) -> Any:
+    """The d-th largest element (1-based) by deterministic select.
+
+    Median-of-medians pivoting: worst-case ``O(len(items))`` comparisons,
+    matching the guarantee of [Blum73] the paper cites.
+    """
+    n = len(items)
+    if not 1 <= d <= n:
+        raise ValueError(f"rank d={d} out of range 1..{n}")
+    # Convert to "k-th smallest" for the recursion below.
+    return _select_smallest(list(items), n - d)
+
+
+def _median_of_five(chunk: list[Any]) -> Any:
+    s = sorted(chunk)
+    return s[(len(s) - 1) // 2]
+
+
+def _select_smallest(items: list[Any], k: int) -> Any:
+    """0-based k-th smallest via median-of-medians (iterative outer loop)."""
+    while True:
+        n = len(items)
+        if n <= 10:
+            return sorted(items)[k]
+        medians = [
+            _median_of_five(items[i: i + 5]) for i in range(0, n, 5)
+        ]
+        pivot = _select_smallest(medians, (len(medians) - 1) // 2)
+        lows = [x for x in items if x < pivot]
+        highs = [x for x in items if x > pivot]
+        pivots = n - len(lows) - len(highs)
+        if k < len(lows):
+            items = lows
+        elif k < len(lows) + pivots:
+            return pivot
+        else:
+            k -= len(lows) + pivots
+            items = highs
+
+
+def local_median(items: Sequence[Any]) -> Any:
+    """The paper's ``med_i``: the ``ceil(m_i/2)``-th largest local element.
+
+    With this convention at least half the local elements are >= the
+    median and at least half are <= it — the two facts the Figure 2
+    purge argument uses.
+    """
+    if not items:
+        raise ValueError("median of an empty candidate set")
+    return select_kth_largest(items, (len(items) + 1) // 2)

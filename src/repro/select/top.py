@@ -1,0 +1,99 @@
+"""Top-t queries: the t largest elements, known network-wide.
+
+Extrema finding was the flagship problem of the single-channel broadcast
+literature (§1); on the MCB model it generalizes cheaply by composing
+the paper's machinery:
+
+1. select rank ``t`` (§8 filtering) — its value ``v_t`` is broadcast
+   knowledge when the algorithm ends;
+2. every processor locally keeps its elements ``>= v_t`` (exactly ``t``
+   network-wide, by distinctness);
+3. Partial-Sums (§7.1) paces a ``t``-cycle broadcast round in which the
+   survivors are announced; everyone listens, so all processors finish
+   knowing the full top-``t`` in order.
+
+Cost: one selection (`Theta(p log(kn/p))` messages) plus ``O(t + p)``
+— far below sorting for small ``t``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..core.distribution import Distribution
+from ..core.element import has_duplicates, tag_elements
+from ..mcb.message import EMPTY, Message
+from ..mcb.network import MCBNetwork
+from ..mcb.program import CycleOp, ProcContext, Sleep
+from ..prefix.mcb_partial_sums import mcb_partial_sums
+from ..sort.common import descending, pack_elem, unpack_elem
+from .filtering import mcb_select_descending
+
+
+def mcb_top_t(
+    net: MCBNetwork,
+    dist: Distribution | dict[int, Sequence[Any]],
+    t: int,
+    *,
+    phase: str = "top-t",
+) -> list[Any]:
+    """The ``t`` largest elements, descending; every processor learns them.
+
+    Returns the list (as computed at ``P_1``; all processors hold the
+    same copy — asserted by the runner).
+    """
+    parts = dist.parts if isinstance(dist, Distribution) else {
+        pid: tuple(v) for pid, v in dist.items()
+    }
+    n = sum(len(v) for v in parts.values())
+    if not 1 <= t <= n:
+        raise ValueError(f"t={t} out of range 1..{n}")
+
+    tagged = has_duplicates(parts)
+    if tagged:
+        parts = {pid: tuple(v) for pid, v in tag_elements(parts).items()}
+
+    # Step 1: the threshold value v_t = the t-th largest, globally known.
+    v_t = mcb_select_descending(net, parts, t, phase=f"{phase}/select").value
+
+    # Step 2+3: survivors >= v_t are broadcast in pid order, paced by
+    # partial sums of the survivor counts; everyone listens.
+    survivors = {
+        pid: descending([e for e in v if e >= v_t])
+        for pid, v in parts.items()
+    }
+    counts = {pid: len(v) for pid, v in survivors.items()}
+    sums = mcb_partial_sums(net, counts, phase=f"{phase}/prefix")
+    total = sums[net.p].incl
+    assert total == t, "distinct elements: exactly t survivors"
+
+    def program(ctx: ProcContext):
+        pid = ctx.pid
+        mine = survivors[pid]
+        start = sums[pid].prev
+        heard: list[Any] = []
+        tcy = 0
+        while tcy < t:
+            if start <= tcy < start + len(mine):
+                e = mine[tcy - start]
+                yield CycleOp(
+                    write=1, payload=Message("top", *pack_elem(e)), read=1
+                )
+                heard.append(e)
+            else:
+                got = yield CycleOp(read=1)
+                assert got is not EMPTY
+                heard.append(unpack_elem(got.fields))
+            tcy += 1
+        # Announcement order is by pid, not by value: order locally (free).
+        return descending(heard)
+
+    results = net.run(
+        {i: program for i in range(1, net.p + 1)}, phase=f"{phase}/announce"
+    )
+    top = results[1]
+    assert all(r == top for r in results.values())
+    assert top == descending(top) and len(top) == t
+    if tagged:
+        top = [e[0] for e in top]
+    return top

@@ -1,0 +1,43 @@
+"""Distributed sorting algorithms (paper Sections 5-7)."""
+
+from .common import DUMMY, is_dummy, neg_elem, pack_elem, segment_owner, unpack_elem
+from .dispatch import Strategy, choose_strategy, mcb_sort
+from .even_collect import padded_column_length, sort_even_collect
+from .even_pk import SortResult, columnsort_program, sort_even_pk, transformation_phase
+from .merge_sort import merge_sort, merge_sort_group
+from .merging import mcb_merge, merge_streams
+from .rank_sort import rank_sort, rank_sort_group
+from .ones import sort_ones
+from .rebalance import even_targets, rebalance
+from .uneven import sort_uneven
+from .virtual import sort_virtual, virtual_transformation
+
+__all__ = [
+    "DUMMY",
+    "SortResult",
+    "Strategy",
+    "choose_strategy",
+    "columnsort_program",
+    "is_dummy",
+    "mcb_merge",
+    "mcb_sort",
+    "merge_streams",
+    "merge_sort",
+    "merge_sort_group",
+    "neg_elem",
+    "pack_elem",
+    "padded_column_length",
+    "rank_sort",
+    "rank_sort_group",
+    "rebalance",
+    "even_targets",
+    "segment_owner",
+    "sort_even_collect",
+    "sort_even_pk",
+    "sort_ones",
+    "sort_uneven",
+    "sort_virtual",
+    "transformation_phase",
+    "unpack_elem",
+    "virtual_transformation",
+]

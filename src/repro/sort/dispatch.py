@@ -1,0 +1,115 @@
+"""Top-level sorting entry point: picks the right paper algorithm.
+
+``mcb_sort`` is the library's main sorting API.  Given any distribution
+on any MCB(p, k) it dispatches:
+
+* even distribution, ``p == k``, valid Columnsort dimensions — the basic
+  §5.2 algorithm (:func:`~repro.sort.even_pk.sort_even_pk`);
+* even distribution, ``k | p``, valid dimensions — the §6.1
+  virtual-column algorithm by default (no auxiliary-memory blowup), or
+  the §5.2 collect variant / Merge-Sort flavour on request;
+* anything else — the §7.2 uneven algorithm, which also handles uneven
+  column counts, padding, and the ``n < k^2(k-1)`` column-count fallback.
+
+Duplicated inputs are lifted to distinct triples (§3) transparently.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Literal, Sequence
+
+from ..core.distribution import Distribution
+from ..core.element import has_duplicates, tag_elements
+from ..columnsort.matrix import dims_valid
+from ..mcb.network import MCBNetwork
+from .even_collect import sort_even_collect
+from .even_pk import SortResult, sort_even_pk
+from .merge_sort import merge_sort
+from .rank_sort import rank_sort
+from .uneven import sort_uneven
+from .virtual import sort_virtual
+
+Strategy = Literal[
+    "auto", "even-pk", "collect", "virtual", "virtual-merge",
+    "uneven", "rank", "merge",
+]
+
+
+def choose_strategy(
+    p: int, k: int, parts: dict[int, Sequence[Any]]
+) -> Strategy:
+    """The dispatch rule used by ``strategy="auto"``."""
+    lengths = {len(v) for v in parts.values()}
+    even = len(lengths) == 1
+    if even:
+        npp = lengths.pop()
+        n = p * npp
+        if p == k and dims_valid(npp, k):
+            return "even-pk"
+        if p % k == 0 and dims_valid(n // k, k):
+            return "virtual"
+    return "uneven"
+
+
+def mcb_sort(
+    net: MCBNetwork,
+    dist: Distribution | dict[int, Sequence[Any]],
+    *,
+    strategy: Strategy = "auto",
+    phase: str = "sort",
+) -> SortResult:
+    """Sort a distributed set on the network (paper's sorting spec §3).
+
+    Parameters
+    ----------
+    net:
+        The MCB network; costs accumulate in ``net.stats``.
+    dist:
+        A :class:`Distribution` or pid -> elements mapping.
+    strategy:
+        ``"auto"`` (default) picks per the paper; explicit values force a
+        particular algorithm (``"rank"`` / ``"merge"`` are the
+        single-channel §6.1 sorts on channel 1).
+
+    Returns
+    -------
+    SortResult
+        pid -> descending segment, cardinalities preserved.
+    """
+    parts = dist.parts if isinstance(dist, Distribution) else {
+        pid: tuple(v) for pid, v in dist.items()
+    }
+    tagged = has_duplicates(parts)
+    if tagged:
+        parts = {
+            pid: tuple(v) for pid, v in tag_elements(parts).items()
+        }
+
+    if strategy == "auto":
+        strategy = choose_strategy(net.p, net.k, parts)
+
+    if strategy == "even-pk":
+        result = sort_even_pk(net, {i: list(v) for i, v in parts.items()}, phase=phase)
+    elif strategy == "collect":
+        result = sort_even_collect(net, parts, phase=phase)
+    elif strategy == "virtual":
+        result = sort_virtual(net, parts, sorter="rank", phase=phase)
+    elif strategy == "virtual-merge":
+        result = sort_virtual(net, parts, sorter="merge", phase=phase)
+    elif strategy == "uneven":
+        result = sort_uneven(net, parts, phase=phase)
+    elif strategy == "rank":
+        result = rank_sort(net, parts, phase=phase)
+    elif strategy == "merge":
+        result = merge_sort(net, parts, phase=phase)
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}")
+
+    if tagged:
+        result = SortResult(
+            output={
+                pid: tuple(e[0] for e in seg)
+                for pid, seg in result.output.items()
+            }
+        )
+    return result

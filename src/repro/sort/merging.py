@@ -1,0 +1,317 @@
+"""Distributed merging of two sorted distributed lists.
+
+Merging is one of the problems the broadcast-algorithms literature the
+paper builds on studied (Dechter–Kleinrock's IPBAM work, §1); the MCB
+model solves it without concurrent write.  Inputs are two lists ``A``
+and ``B``, each already in the paper's *sorted layout* (§3): processor
+``P_i`` holds the i-th descending segment of its list.  Output: the
+merged list in sorted layout with combined per-processor counts
+``c_i = a_i + b_i``.
+
+Two algorithms:
+
+* :func:`merge_streams` — single channel, **one cycle per element**:
+  because both inputs are sorted, the network-wide maximum is always one
+  of the two current heads, and both head values are common knowledge
+  (each was announced when exposed).  Every processor therefore knows
+  the winner *without communication*; the only message per step is the
+  winner's owner exposing its next head.  ``n + 2`` cycles, ``n``
+  messages — half of Rank-Sort's ``2n``, the payoff of sortedness.
+
+* :func:`mcb_merge` — multichannel, ``O(n/k + n_max + p^2)`` cycles and
+  ``O(n + p^2)`` messages, built from the generic all-to-all router
+  (:mod:`repro.mcb.routing`):
+
+  1. every processor learns both layouts' segment boundaries (one
+     serialized broadcast round);
+  2. cross-ranking: each element is routed to the owner of the *other*
+     list's segment that contains it; the owner counts how many of its
+     elements are larger and routes the answer back;
+  3. each element's merged rank is now locally known (own-list rank +
+     other-list count); a final all-to-all delivers every element to the
+     owner of its merged position.
+
+Elements must be globally distinct across *both* lists (use
+:func:`repro.core.element.tag_elements` upstream otherwise).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..core.distribution import Distribution
+from ..mcb.message import EMPTY, Message
+from ..mcb.network import MCBNetwork
+from ..mcb.program import CycleOp, ProcContext
+from ..mcb.routing import alltoall, exchange_counts
+from .common import pack_elem, segment_owner, unpack_elem
+from .even_pk import SortResult
+
+
+def _layout_ok(dist: Distribution) -> bool:
+    """True iff the distribution is in the paper's sorted layout."""
+    prev = None
+    for i in range(1, dist.p + 1):
+        seg = dist.parts[i]
+        for a, b in zip(seg, seg[1:]):
+            if not a > b:
+                return False
+        if prev is not None and seg and not prev > seg[0]:
+            return False
+        if seg:
+            prev = seg[-1]
+    return True
+
+
+def _require_mergeable(a: Distribution, b: Distribution) -> None:
+    if a.p != b.p:
+        raise ValueError("both lists must live on the same processor set")
+    if not _layout_ok(a) or not _layout_ok(b):
+        raise ValueError("inputs must be in sorted layout (run mcb_sort first)")
+    union = a.all_elements() + b.all_elements()
+    if len(set(union)) != len(union):
+        raise ValueError(
+            "elements must be distinct across both lists (tag them first)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Single-channel streaming merge
+# ---------------------------------------------------------------------------
+
+def merge_streams(
+    net: MCBNetwork,
+    dist_a: Distribution,
+    dist_b: Distribution,
+    *,
+    channel: int = 1,
+    phase: str = "merge-streams",
+) -> SortResult:
+    """Merge two sorted distributed lists over a single channel."""
+    _require_mergeable(dist_a, dist_b)
+    p = net.p
+    if dist_a.p != p:
+        raise ValueError("lists must cover all processors of the network")
+
+    a_prefix = dist_a.partial_sums()
+    b_prefix = dist_b.partial_sums()
+    out_prefix = [x + y for x, y in zip(a_prefix, b_prefix)]
+    n_a, n_b = dist_a.n, dist_b.n
+    n = n_a + n_b
+
+    def owner_of_list_pos(pos: int, prefix: list[int]) -> int:
+        """1-based pid holding 0-based position ``pos`` of a list."""
+        return segment_owner(pos, prefix)
+
+    def program(ctx: ProcContext):
+        pid = ctx.pid
+        my_a = list(dist_a.parts[pid])
+        my_b = list(dist_b.parts[pid])
+        out: list[Any] = []
+        ctx.aux_acquire(out_prefix[pid] - out_prefix[pid - 1])
+        # Globally tracked state (identical at every processor).
+        pos_a = pos_b = 0  # next unexposed positions
+        head_a = head_b = None  # current exposed heads (None = exhausted)
+
+        def expose(list_id: str):
+            """One cycle: the owner of the next element announces it."""
+            nonlocal pos_a, pos_b, head_a, head_b
+            if list_id == "a":
+                pos, total, prefix = pos_a, n_a, a_prefix
+            else:
+                pos, total, prefix = pos_b, n_b, b_prefix
+            if pos >= total:
+                if list_id == "a":
+                    head_a = None
+                else:
+                    head_b = None
+                got = yield CycleOp(read=channel)  # silence cycle
+                assert got is EMPTY
+                return
+            owner = owner_of_list_pos(pos, prefix)
+            if owner == pid:
+                local = pos - prefix[owner - 1]
+                e = (my_a if list_id == "a" else my_b)[local]
+                yield CycleOp(
+                    write=channel, payload=Message("head", *pack_elem(e))
+                )
+            else:
+                got = yield CycleOp(read=channel)
+                assert got is not EMPTY
+                e = unpack_elem(got.fields)
+            if list_id == "a":
+                head_a, pos_a = e, pos + 1
+            else:
+                head_b, pos_b = e, pos + 1
+
+        yield from expose("a")
+        yield from expose("b")
+        for out_pos in range(n):
+            # Winner is common knowledge: the larger exposed head.
+            if head_a is not None and (head_b is None or head_a > head_b):
+                winner, adv = head_a, "a"
+            else:
+                winner, adv = head_b, "b"
+            if segment_owner(out_pos, out_prefix) == pid:
+                out.append(winner)
+            yield from expose(adv)
+        assert len(out) == out_prefix[pid] - out_prefix[pid - 1]
+        ctx.aux_release(len(out))
+        return out
+
+    results = net.run({i: program for i in range(1, p + 1)}, phase=phase)
+    return SortResult(output={pid: tuple(v) for pid, v in results.items()})
+
+
+# ---------------------------------------------------------------------------
+# Multichannel merge via cross-ranking + all-to-all routing
+# ---------------------------------------------------------------------------
+
+def _broadcast_layout(ctx: ProcContext, my_min: Any, my_count: int):
+    """Sub-generator: serialized broadcast of (segment minimum, count).
+
+    Returns ``(mins, counts)`` lists indexed by 0-based pid.  One
+    processor per cycle on channel 1 — ``p`` cycles, ``p`` messages.
+    """
+    p = ctx.p
+    mins: list[Any] = [None] * p
+    counts = [0] * p
+    for i in range(p):
+        if ctx.pid - 1 == i:
+            yield CycleOp(
+                write=1, payload=Message("seg", my_count, *pack_elem(my_min))
+            )
+            mins[i], counts[i] = my_min, my_count
+        else:
+            got = yield CycleOp(read=1)
+            counts[i] = got.fields[0]
+            mins[i] = unpack_elem(got.fields[1:])
+    return mins, counts
+
+
+def mcb_merge(
+    net: MCBNetwork,
+    dist_a: Distribution,
+    dist_b: Distribution,
+    *,
+    phase: str = "merge",
+) -> SortResult:
+    """Merge two sorted distributed lists using all ``k`` channels."""
+    _require_mergeable(dist_a, dist_b)
+    p = net.p
+    a_prefix = dist_a.partial_sums()
+    b_prefix = dist_b.partial_sums()
+    out_prefix = [x + y for x, y in zip(a_prefix, b_prefix)]
+
+    def cross_rank_counts(mine: Sequence[Any], other_mins):
+        """Locally split my elements by the other list's segments.
+
+        ``other_mins[j]`` is the smallest element of the other list's
+        (descending) segment ``j``.  Element ``e`` is routed to the
+        first segment whose minimum lies below ``e`` — every element of
+        the segments above it is then > e (counted via the prefix) and
+        every element below is < e; the owner only has to count within
+        its own segment.  Elements below every minimum go to the last
+        segment.  Returns dst pid -> elements.
+        """
+        buckets: dict[int, list[Any]] = {}
+        asc_mins = list(reversed(other_mins))
+        for e in mine:
+            idx = bisect_left(asc_mins, e)  # minima strictly below e
+            jstar = min(p - idx, p - 1)
+            buckets.setdefault(jstar + 1, []).append(e)
+        return buckets
+
+    def program(ctx: ProcContext):
+        pid = ctx.pid
+        my_a = list(dist_a.parts[pid])
+        my_b = list(dist_b.parts[pid])
+        a_min = my_a[-1]
+        b_min = my_b[-1]
+
+        a_mins, a_counts = yield from _broadcast_layout(ctx, a_min, len(my_a))
+        b_mins, b_counts = yield from _broadcast_layout(ctx, b_min, len(my_b))
+
+        # ---- step 2: route queries to the other list's segment owners --
+        # my A-elements query B-owners and vice versa; do both directions
+        # in one all-to-all (queries carry a list tag).
+        qa = cross_rank_counts(my_a, b_mins)
+        qb = cross_rank_counts(my_b, a_mins)
+        outgoing: dict[int, list[tuple]] = {}
+        counts = np.zeros((p, p), dtype=np.int64)
+        for d, elems in qa.items():
+            outgoing.setdefault(d, []).extend(("a",) + pack_elem(e) for e in elems)
+        for d, elems in qb.items():
+            outgoing.setdefault(d, []).extend(("b",) + pack_elem(e) for e in elems)
+        my_counts_row = [len(outgoing.get(d, [])) for d in range(1, p + 1)]
+        cm = yield from exchange_counts(ctx, my_counts_row)
+        queries = yield from alltoall(
+            ctx, outgoing, cm,
+            pack=lambda f: f, unpack=lambda fields: tuple(fields),
+        )
+
+        # ---- answer queries: count my own-list elements greater --------
+        my_a_desc = my_a  # already descending
+        my_b_desc = my_b
+        replies: dict[int, list[tuple]] = {}
+        reply_counts = np.zeros((p, p), dtype=np.int64)
+        for src, q in queries:
+            tag, fields = q[0], q[1:]
+            e = unpack_elem(fields)
+            own = my_b_desc if tag == "a" else my_a_desc  # query against other list
+            asc = list(reversed(own))
+            # e never occurs in the other list (distinctness required)
+            greater_here = len(own) - bisect_left(asc, e)
+            base = (b_prefix if tag == "a" else a_prefix)[pid - 1]
+            replies.setdefault(src, []).append(
+                (tag,) + fields + (base + greater_here,)
+            )
+        for d, rs in replies.items():
+            reply_counts[pid - 1, d - 1] = len(rs)
+        cm2 = yield from exchange_counts(
+            ctx, [len(replies.get(d, [])) for d in range(1, p + 1)]
+        )
+        answers = yield from alltoall(
+            ctx, replies, cm2,
+            pack=lambda f: f, unpack=lambda fields: tuple(fields),
+        )
+
+        # ---- compute merged ranks ---------------------------------------
+        other_greater: dict[Any, int] = {}
+        for _, ans in answers:
+            tag, fields, cnt = ans[0], ans[1:-1], ans[-1]
+            other_greater[(tag, unpack_elem(fields))] = cnt
+        ranked: dict[int, list[tuple]] = {}  # dst -> [(rank0, elem fields)]
+        final_counts_row = [0] * p
+        for local, e in enumerate(my_a):
+            own_rank0 = a_prefix[pid - 1] + local  # 0-based rank in A
+            rank0 = own_rank0 + other_greater[("a", e)]
+            dst = segment_owner(rank0, out_prefix)
+            ranked.setdefault(dst, []).append((rank0,) + pack_elem(e))
+            final_counts_row[dst - 1] += 1
+        for local, e in enumerate(my_b):
+            own_rank0 = b_prefix[pid - 1] + local
+            rank0 = own_rank0 + other_greater[("b", e)]
+            dst = segment_owner(rank0, out_prefix)
+            ranked.setdefault(dst, []).append((rank0,) + pack_elem(e))
+            final_counts_row[dst - 1] += 1
+
+        # ---- step 3: final all-to-all by merged rank --------------------
+        cm3 = yield from exchange_counts(ctx, final_counts_row)
+        delivered = yield from alltoall(
+            ctx, ranked, cm3,
+            pack=lambda f: f, unpack=lambda fields: tuple(fields),
+        )
+        seg_start = out_prefix[pid - 1]
+        out: list[Any] = [None] * (out_prefix[pid] - seg_start)
+        for _, item in delivered:
+            rank0, fields = item[0], item[1:]
+            out[rank0 - seg_start] = unpack_elem(fields)
+        assert all(e is not None for e in out)
+        return out
+
+    results = net.run({i: program for i in range(1, p + 1)}, phase=phase)
+    return SortResult(output={pid: tuple(v) for pid, v in results.items()})

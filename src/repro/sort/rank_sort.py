@@ -1,0 +1,207 @@
+"""Rank-Sort: the single-channel sorting algorithm of §6.1.
+
+A group of processors shares one broadcast channel.  Two passes:
+
+1. Elements are broadcast one at a time in processor order; every
+   processor maintains a rank counter per local element, incremented
+   whenever a larger element is heard.  At the end of the pass each
+   processor knows the global (descending) rank of each of its elements.
+2. Elements are broadcast in rank order — the owner of rank ``r`` writes
+   in cycle ``r`` — and the target processor (the owner of sorted
+   position ``r``) stores them.
+
+Linear cycles and messages on one channel, ``O(n_i)`` auxiliary storage
+per processor (the rank counters), and it works for arbitrary — even or
+uneven — distributions, which is why the §6.1 memory-efficient Columnsort
+uses it as the per-virtual-column sorter.
+
+The implementation keeps the counting incremental (a hit histogram
+bucketed by local insertion position, turned into suffix sums at the end
+of pass 1) so no pass-1 buffering of foreign elements is needed — the
+auxiliary footprint really is ``O(n_i)``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Optional, Sequence
+
+from ..mcb.message import EMPTY, Message
+from ..mcb.network import MCBNetwork
+from ..mcb.program import CycleOp, ProcContext, Sleep
+from .common import descending, pack_elem, unpack_elem
+from .even_pk import SortResult
+
+
+def rank_sort_group(
+    channel: int,
+    group_index: int,
+    counts: Sequence[int],
+    my_elems: Sequence[Any],
+    *,
+    out_counts: Optional[Sequence[int]] = None,
+    ascending: bool = False,
+    ctx: Optional[ProcContext] = None,
+):
+    """Sub-generator: Rank-Sort within one group sharing ``channel``.
+
+    Parameters
+    ----------
+    channel:
+        The 1-based channel this group owns for the duration.
+    group_index:
+        My 0-based position within the group.
+    counts:
+        Element counts of all group members, in group order (globally
+        known — compute them with Partial-Sums first if they are not).
+    my_elems:
+        My local elements.
+    out_counts:
+        Target segment sizes (defaults to ``counts`` — the paper's
+        sorting spec keeps cardinalities).
+    ascending:
+        Sort the group ascending instead of the paper's descending order
+        (rank 1 = smallest).  Used for column 1 in phase 7 of the
+        virtual-column Columnsort, where the wrapped elements must end up
+        in the top rows (see :mod:`repro.sort.virtual`).
+    ctx:
+        Optional context for auxiliary-memory accounting.
+
+    Returns
+    -------
+    list
+        My output segment, descending (or ascending if requested).
+        Takes exactly ``2 * sum(counts)`` cycles for every member.
+    """
+    counts = list(counts)
+    out_counts = list(out_counts) if out_counts is not None else counts
+    g = len(counts)
+    n_g = sum(counts)
+    if sum(out_counts) != n_g:
+        raise ValueError("output segment sizes must sum to the group total")
+    if len(my_elems) != counts[group_index]:
+        raise ValueError(
+            f"member {group_index} announced {counts[group_index]} elements "
+            f"but holds {len(my_elems)}"
+        )
+    prefix = [0]
+    for c in counts:
+        prefix.append(prefix[-1] + c)
+    out_prefix = [0]
+    for c in out_counts:
+        prefix_val = out_prefix[-1] + c
+        out_prefix.append(prefix_val)
+
+    own_asc = sorted(my_elems)  # ascending: bisect-friendly
+    n_i = len(own_asc)
+    # hits[j] = number of heard elements larger than own_asc[j-1 .. ]:
+    # a heard x with insertion point j outranks own_asc[0..j).
+    hits = [0] * (n_i + 1)
+    if ctx is not None:
+        ctx.aux_acquire(n_i + 1)
+
+    # ---- pass 1: broadcast everything, count ranks -----------------------
+    my_start, my_end = prefix[group_index], prefix[group_index + 1]
+    for t in range(n_g):
+        if my_start <= t < my_end:
+            e = my_elems[t - my_start]
+            yield CycleOp(write=channel, payload=Message("elem", *pack_elem(e)))
+        else:
+            got = yield CycleOp(read=channel)
+            x = unpack_elem(got.fields)
+            hits[bisect_left(own_asc, x)] += 1
+
+    # hits[j] counts heard elements whose insertion point into own_asc is
+    # j, i.e. elements larger than own_asc[0..j) and smaller than
+    # own_asc[j..).  Suffix sums give "# heard larger", prefix sums give
+    # "# heard smaller".
+    heard_larger = [0] * n_i
+    acc = 0
+    for i in range(n_i - 1, -1, -1):
+        acc += hits[i + 1]
+        heard_larger[i] = acc
+    # A heard x with insertion point j satisfies x < own_asc[i] iff j <= i
+    # (elements are distinct), so "# heard smaller" is an inclusive prefix.
+    heard_smaller = [0] * n_i
+    acc = 0
+    for i in range(n_i):
+        acc += hits[i]
+        heard_smaller[i] = acc
+    rank_of_own = {}  # global rank -> element
+    for i, e in enumerate(own_asc):
+        if ascending:
+            rank = 1 + i + heard_smaller[i]
+        else:
+            rank = 1 + (n_i - 1 - i) + heard_larger[i]
+        rank_of_own[rank] = e
+
+    # ---- pass 2: broadcast in rank order, targets collect ----------------
+    seg_start, seg_end = out_prefix[group_index], out_prefix[group_index + 1]
+    output: list[Any] = []
+    if ctx is not None:
+        ctx.aux_acquire(out_counts[group_index])
+    t = 0
+    while t < n_g:
+        rank = t + 1
+        i_own = rank in rank_of_own
+        i_target = seg_start <= t < seg_end
+        if not i_own and not i_target:
+            # Fast-forward to my next interesting cycle.
+            nxt = n_g
+            future_owned = [r - 1 for r in rank_of_own if r - 1 > t]
+            if future_owned:
+                nxt = min(nxt, min(future_owned))
+            if t < seg_start:
+                nxt = min(nxt, seg_start)
+            yield Sleep(nxt - t)
+            t = nxt
+            continue
+        if i_own:
+            e = rank_of_own[rank]
+            if i_target:
+                output.append(e)  # already in place; silence on the channel
+                yield Sleep(1)
+            else:
+                yield CycleOp(write=channel, payload=Message("elem", *pack_elem(e)))
+        else:
+            got = yield CycleOp(read=channel)
+            assert got is not EMPTY, "rank owner must broadcast to its target"
+            output.append(unpack_elem(got.fields))
+        t += 1
+    if ctx is not None:
+        # The counters die with the pass; the output buffer replaces the
+        # (same-sized) input list the caller is about to drop, so the
+        # steady-state footprint returns to the baseline.  The transient
+        # peak of ~2 n_i extra slots was recorded above.
+        ctx.aux_release(n_i + 1 + out_counts[group_index])
+    assert len(output) == out_counts[group_index]
+    return output
+
+
+def rank_sort(
+    net: MCBNetwork,
+    parts: dict[int, Sequence[Any]],
+    *,
+    channel: int = 1,
+    phase: str = "rank-sort",
+) -> SortResult:
+    """Standalone Rank-Sort of a whole network over a single channel.
+
+    All ``p`` processors form one group on ``channel``; costs
+    ``2n`` cycles and at most ``2n`` messages regardless of ``k`` —
+    the single-channel baseline of the benchmarks (and the IPBAM-style
+    comparison in §9).
+    """
+    pids = sorted(parts)
+    if pids != list(range(1, net.p + 1)):
+        raise ValueError("parts must cover processors 1..p")
+    counts = [len(parts[i]) for i in pids]
+
+    def program(ctx: ProcContext):
+        out = yield from rank_sort_group(
+            channel, ctx.pid - 1, counts, list(parts[ctx.pid]), ctx=ctx
+        )
+        return out
+
+    out = net.run({i: program for i in pids}, phase=phase)
+    return SortResult(output={pid: tuple(v) for pid, v in out.items()})

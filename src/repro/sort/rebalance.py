@@ -1,0 +1,109 @@
+"""Load rebalancing: turn an uneven distribution into an even one.
+
+Several of the paper's algorithms are cheapest on even distributions
+(§5 vs §7); a rebalancing pass is the natural preprocessing when the
+application can tolerate elements moving without a sorted order — e.g.
+to feed the `p = k` Columnsort or to even out storage.
+
+Plan (all stages costed on the network):
+
+1. Partial-Sums gives every processor ``n`` and its prefix ``n^+_i``;
+   the target layout is the canonical even split (``floor/ceil(n/p)``
+   by position).
+2. Each processor maps its elements — which occupy the global interval
+   ``[n^+_{i-1}, n^+_i)`` in the "concatenate by pid" order — onto the
+   target owners of those positions.  The full transfer-count matrix is
+   therefore *locally computable from the prefix alone* for one's own
+   row; rows are made global with
+   :func:`repro.mcb.routing.exchange_counts`.
+3. One all-to-all round moves the elements: ``O(E/k + n_max)`` cycles,
+   ``E ≤ n`` messages.
+
+Cost: ``O(n/k + n_max + p²/6)`` cycles, ``O(n + p²/6)`` messages — the
+same family as the §7.2 sort, without the ordering work.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..core.distribution import Distribution
+from ..mcb.network import MCBNetwork
+from ..mcb.program import ProcContext
+from ..mcb.routing import alltoall, exchange_counts
+from ..prefix.mcb_partial_sums import mcb_partial_sums, mcb_total_sum
+from .common import pack_elem, unpack_elem
+from .even_pk import SortResult
+
+
+def even_targets(n: int, p: int) -> list[int]:
+    """Target counts for the canonical even split (first ``n mod p``
+    processors get the extra element)."""
+    base, extra = divmod(n, p)
+    return [base + (1 if i < extra else 0) for i in range(p)]
+
+
+def rebalance(
+    net: MCBNetwork,
+    dist: Distribution | dict[int, Sequence[Any]],
+    *,
+    phase: str = "rebalance",
+) -> SortResult:
+    """Redistribute elements so every processor holds ``~n/p`` of them.
+
+    Order is *not* established — elements keep their identity and land
+    on the processor owning their position in the pid-concatenation
+    order (so the relative order of elements is preserved across the
+    network, making this a stable repartitioning).
+    """
+    parts = dist.parts if isinstance(dist, Distribution) else {
+        pid: tuple(v) for pid, v in dist.items()
+    }
+    p = net.p
+    if sorted(parts) != list(range(1, p + 1)):
+        raise ValueError("parts must cover processors 1..p")
+
+    counts = {i: len(parts[i]) for i in parts}
+    sums = mcb_partial_sums(net, counts, phase=f"{phase}/prefix")
+    n = mcb_total_sum(net, counts, phase=f"{phase}/total")[1]
+    targets = even_targets(n, p)
+    bounds = [0]
+    for t in targets:
+        bounds.append(bounds[-1] + t)
+
+    def owner(pos: int) -> int:
+        """1-based target owner of global position ``pos`` (0-based)."""
+        lo, hi = 1, p
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if pos < bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def program(ctx: ProcContext):
+        pid = ctx.pid
+        mine = list(parts[pid])
+        start = sums[pid].prev
+        outgoing: dict[int, list[Any]] = {}
+        for off, e in enumerate(mine):
+            outgoing.setdefault(owner(start + off), []).append(e)
+        row = [len(outgoing.get(d, [])) for d in range(1, p + 1)]
+        cm = yield from exchange_counts(ctx, row)
+        received = yield from alltoall(
+            ctx, outgoing, cm,
+            pack=pack_elem, unpack=unpack_elem,
+        )
+        # The router delivers in schedule order; restore the global
+        # concatenation order: sources arrive FIFO per (src, dst) pair,
+        # so a stable sort by source pid is exactly the right fix-up.
+        received.sort(key=lambda se: se[0])
+        out = [e for _, e in received]
+        assert len(out) == targets[pid - 1]
+        return out
+
+    results = net.run({i: program for i in range(1, p + 1)}, phase=phase)
+    return SortResult(output={pid: tuple(v) for pid, v in results.items()})

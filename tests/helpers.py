@@ -1,0 +1,24 @@
+"""Shared test helpers (kept out of conftest so mixed tests+benchmarks
+pytest invocations don't collide on the module name ``conftest``)."""
+
+from __future__ import annotations
+
+from repro.core import Distribution
+from repro.mcb import MCBNetwork
+
+
+def make_uneven(rng, p: int, n: int) -> Distribution:
+    """A random uneven distribution with every n_i >= 1."""
+    sizes = [1] * p
+    for _ in range(n - p):
+        sizes[int(rng.integers(0, p))] += 1
+    vals = rng.choice(max(10 * n, 64), size=n, replace=False).tolist()
+    parts, at = [], 0
+    for s in sizes:
+        parts.append(vals[at: at + s])
+        at += s
+    return Distribution.from_lists(parts)
+
+
+def fresh_net(p: int, k: int, **kw) -> MCBNetwork:
+    return MCBNetwork(p=p, k=k, **kw)

@@ -1,0 +1,76 @@
+"""Tests for the ratio/growth analysis helpers and table rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    RatioBand,
+    format_table,
+    growth_exponent,
+    markdown_table,
+    ratio_band,
+)
+
+
+class TestRatioBand:
+    def test_band_of_constant_ratio(self):
+        band = ratio_band([10, 20, 40], [5, 10, 20])
+        assert band.lo == band.hi == 2.0
+        assert band.spread == 1.0
+        assert band.is_bounded()
+
+    def test_band_of_diverging_ratio(self):
+        band = ratio_band([10, 100, 1000], [10, 10, 10])
+        assert band.spread == 100.0
+        assert not band.is_bounded()
+
+    def test_custom_spread_threshold(self):
+        band = ratio_band([10, 30], [10, 10])
+        assert band.is_bounded(max_spread=3.0)
+        assert not band.is_bounded(max_spread=2.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ratio_band([1, 2], [1])
+
+    def test_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            ratio_band([1], [0])
+
+
+class TestGrowthExponent:
+    def test_linear(self):
+        xs = [10, 20, 40, 80]
+        assert growth_exponent(xs, [3 * x for x in xs]) == pytest.approx(1.0)
+
+    def test_quadratic(self):
+        xs = [10, 20, 40]
+        assert growth_exponent(xs, [x * x for x in xs]) == pytest.approx(2.0)
+
+    def test_logarithmic_is_sublinear(self):
+        xs = [2 ** e for e in range(4, 12)]
+        ys = [math.log2(x) for x in xs]
+        assert growth_exponent(xs, ys) < 0.5
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            growth_exponent([1], [1])
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        out = format_table(["name", "n"], [["a", 1], ["bb", 22]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert all(len(l) == len(lines[1]) for l in lines[1:] if l.strip())
+
+    def test_format_table_floats_and_bools(self):
+        out = format_table(["x", "ok"], [[1.2345, True], [2.0, False]])
+        assert "1.23" in out and "yes" in out and "no" in out
+
+    def test_markdown_table(self):
+        out = markdown_table(["a", "b"], [[1, 2.5]])
+        assert out.splitlines()[0] == "| a | b |"
+        assert "| 1 | 2.50 |" in out

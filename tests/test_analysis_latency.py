@@ -1,0 +1,57 @@
+"""Tests for the bandwidth/latency trade-off analysis (§1 motivation)."""
+
+import pytest
+
+from repro.analysis import BandwidthModel, optimal_k, wall_time_curve
+
+
+class TestBandwidthModel:
+    def test_slot_time_scales_with_k(self):
+        m = BandwidthModel(total_bandwidth=1000, bits_per_slot=10)
+        assert m.slot_time(2) == pytest.approx(2 * m.slot_time(1))
+        assert m.slot_time(8) == pytest.approx(8 * m.slot_time(1))
+
+    def test_overhead_is_additive(self):
+        base = BandwidthModel(total_bandwidth=1000, bits_per_slot=10)
+        over = BandwidthModel(
+            total_bandwidth=1000, bits_per_slot=10, overhead_per_slot=0.5
+        )
+        assert over.slot_time(3) == pytest.approx(base.slot_time(3) + 0.5)
+
+    def test_wall_time(self):
+        m = BandwidthModel(total_bandwidth=100, bits_per_slot=10)
+        assert m.wall_time(cycles=50, k=2) == pytest.approx(50 * 0.2)
+
+
+class TestOptimalK:
+    def test_perfect_inverse_scaling_is_neutral_without_overhead(self):
+        # cycles ~ C/k -> wall time constant; any k is (tied) optimal.
+        m = BandwidthModel(total_bandwidth=1000, bits_per_slot=10)
+        counts = {1: 800, 2: 400, 4: 200, 8: 100}
+        curve = wall_time_curve(counts, m)
+        walls = [w for _, _, w in curve]
+        assert max(walls) == pytest.approx(min(walls))
+
+    def test_overhead_rewards_fewer_slots(self):
+        m = BandwidthModel(
+            total_bandwidth=1000, bits_per_slot=10, overhead_per_slot=1.0
+        )
+        counts = {1: 800, 2: 400, 4: 200, 8: 100}
+        best, _ = optimal_k(counts, m)
+        assert best == 8  # fewer slots dominate when overhead is large
+
+    def test_saturating_cycles_penalized_at_high_k(self):
+        # selection-like: cycles stop improving -> higher k only slows slots
+        m = BandwidthModel(total_bandwidth=1000, bits_per_slot=10)
+        counts = {1: 100, 2: 95, 4: 93, 8: 92}
+        best, _ = optimal_k(counts, m)
+        assert best == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_k({}, BandwidthModel())
+
+    def test_curve_sorted_by_k(self):
+        m = BandwidthModel()
+        curve = wall_time_curve({4: 10, 1: 40, 2: 20}, m)
+        assert [k for k, _, _ in curve] == [1, 2, 4]

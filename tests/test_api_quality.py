@@ -1,0 +1,82 @@
+"""Meta-tests on the public API surface: documentation and exports.
+
+Deliverable-level guards: every public module, class and function in the
+package carries a docstring, and the ``__all__`` lists match what the
+modules actually define.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue  # importing it runs the CLI
+        yield importlib.import_module(info.name)
+
+
+ALL_MODULES = list(_walk_modules())
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("mod", ALL_MODULES, ids=lambda m: m.__name__)
+    def test_module_docstring(self, mod):
+        assert mod.__doc__ and mod.__doc__.strip(), f"{mod.__name__} undocumented"
+
+    @pytest.mark.parametrize("mod", ALL_MODULES, ids=lambda m: m.__name__)
+    def test_public_callables_documented(self, mod):
+        undocumented = []
+        for name, obj in vars(mod).items():
+            if name.startswith("_"):
+                continue
+            if not (inspect.isfunction(obj) or inspect.isclass(obj)):
+                continue
+            if getattr(obj, "__module__", None) != mod.__name__:
+                continue  # re-export; documented at home
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+        assert not undocumented, (
+            f"{mod.__name__}: undocumented public items {undocumented}"
+        )
+
+    @pytest.mark.parametrize("mod", ALL_MODULES, ids=lambda m: m.__name__)
+    def test_public_methods_documented(self, mod):
+        undocumented = []
+        for cname, cls in vars(mod).items():
+            if cname.startswith("_") or not inspect.isclass(cls):
+                continue
+            if getattr(cls, "__module__", None) != mod.__name__:
+                continue
+            for mname, meth in vars(cls).items():
+                if mname.startswith("_") or not inspect.isfunction(meth):
+                    continue
+                if not (meth.__doc__ and meth.__doc__.strip()):
+                    undocumented.append(f"{cname}.{mname}")
+        assert not undocumented, (
+            f"{mod.__name__}: undocumented methods {undocumented}"
+        )
+
+
+class TestExports:
+    @pytest.mark.parametrize(
+        "mod",
+        [m for m in ALL_MODULES if hasattr(m, "__all__")],
+        ids=lambda m: m.__name__,
+    )
+    def test_all_entries_exist(self, mod):
+        missing = [name for name in mod.__all__ if not hasattr(mod, name)]
+        assert not missing, f"{mod.__name__}.__all__ lists missing {missing}"
+
+    def test_top_level_api(self):
+        for name in ("MCBNetwork", "Distribution", "mcb_sort", "mcb_select"):
+            assert hasattr(repro, name)
+
+    def test_version(self):
+        assert repro.__version__

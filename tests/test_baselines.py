@@ -1,0 +1,99 @@
+"""Tests for the baseline algorithms (centralized sort, Shout-Echo)."""
+
+import pytest
+
+from helpers import make_uneven
+from repro.baselines import gather_sort_scatter, shout_echo_select
+from repro.core import Distribution, kth_largest
+from repro.core.problem import sorting_violations
+from repro.mcb import MCBNetwork
+from repro.select import mcb_select
+from repro.sort import mcb_sort
+
+
+class TestGatherSortScatter:
+    @pytest.mark.parametrize("p,n", [(2, 8), (4, 40), (8, 64), (5, 33)])
+    def test_sorts_correctly(self, p, n, rng):
+        d = make_uneven(rng, p, n)
+        net = MCBNetwork(p=p, k=1)
+        res = gather_sort_scatter(net, d.parts)
+        assert sorting_violations(d, res.output) == []
+
+    def test_p1_holds_everything(self, rng):
+        d = Distribution.even(64, 4, seed=1)
+        net = MCBNetwork(p=4, k=2)
+        gather_sort_scatter(net, d.parts)
+        assert net.stats.max_aux_peak == 64  # Theta(n) at P_1
+
+    def test_no_channel_parallelism(self, rng):
+        # Cycles do not improve with more channels.
+        d = Distribution.even(64, 8, seed=2)
+        c1 = MCBNetwork(p=8, k=1)
+        gather_sort_scatter(c1, d.parts)
+        c4 = MCBNetwork(p=8, k=4)
+        gather_sort_scatter(c4, d.parts)
+        assert c1.stats.cycles == c4.stats.cycles
+
+    def test_columnsort_beats_it_on_cycles(self, rng):
+        # Columnsort's constant is ~14 cycles per n/k element-slot (10 for
+        # the rank-sorted phases + 4 transformations), so the k channels
+        # beat the single-channel 2n gather once k is large enough.
+        n, p, k = 3840, 16, 16  # p = k: the 4-cycles-per-slot §5.2 path
+        d = Distribution.even(n, p, seed=3)
+        net_b = MCBNetwork(p=p, k=k)
+        gather_sort_scatter(net_b, d.parts)
+        net_c = MCBNetwork(p=p, k=k)
+        mcb_sort(net_c, d)
+        assert net_c.stats.cycles < net_b.stats.cycles
+
+    def test_rejects_partial_coverage(self):
+        net = MCBNetwork(p=2, k=1)
+        with pytest.raises(ValueError):
+            gather_sort_scatter(net, {1: [1]})
+
+
+class TestShoutEcho:
+    @pytest.mark.parametrize("p,n", [(2, 10), (4, 60), (8, 120)])
+    def test_selects_correctly(self, p, n, rng):
+        d = make_uneven(rng, p, n)
+        rank = int(rng.integers(1, n + 1))
+        net = MCBNetwork(p=p, k=1)
+        res = shout_echo_select(net, d.parts, rank)
+        assert res.value == kth_largest(d.all_elements(), rank)
+
+    def test_every_activity_costs_p_messages(self, rng):
+        p, n = 8, 256
+        d = Distribution.even(n, p, seed=4)
+        net = MCBNetwork(p=p, k=1)
+        res = shout_echo_select(net, d.parts, n // 2)
+        assert net.stats.messages == res.activities * p
+
+    def test_mcb_selection_uses_fewer_messages(self, rng):
+        # The §9 comparison: per-message accounting beats shout-echo's
+        # p-messages-per-activity on the same problem.
+        p, n = 16, 1024
+        d = Distribution.even(n, p, seed=5)
+        net_se = MCBNetwork(p=p, k=1)
+        se = shout_echo_select(net_se, d.parts, n // 2)
+        net_mcb = MCBNetwork(p=p, k=1)
+        mcb = mcb_select(net_mcb, d, n // 2)
+        assert mcb.value == se.value
+
+    def test_invalid_rank(self):
+        net = MCBNetwork(p=2, k=1)
+        with pytest.raises(ValueError):
+            shout_echo_select(net, {1: [1], 2: [2]}, 3)
+
+    def test_rejects_partial_coverage(self):
+        net = MCBNetwork(p=3, k=1)
+        with pytest.raises(ValueError):
+            shout_echo_select(net, {1: [1], 2: [2]}, 1)
+
+    def test_rounds_logarithmic(self, rng):
+        import math
+
+        p, n = 8, 1024
+        d = Distribution.even(n, p, seed=6)
+        net = MCBNetwork(p=p, k=1)
+        res = shout_echo_select(net, d.parts, n // 2)
+        assert res.rounds <= 4 * math.log2(n)

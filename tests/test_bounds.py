@@ -1,0 +1,190 @@
+"""Tests for the lower-bound formulas, adversary, and worst-case inputs
+(paper Section 4)."""
+
+import math
+
+import pytest
+
+from repro.bounds import (
+    SelectionAdversary,
+    cor1_selection_cycles_lb,
+    cor3_sorting_cycles_lb,
+    filtering_phases_bound,
+    selection_cycles_theta,
+    selection_messages_theta,
+    sorting_cycles_lb,
+    sorting_cycles_theta,
+    theorem3_neighbors_separated,
+    theorem5_pmax_interleaved,
+    thm1_selection_messages_lb,
+    thm2_selection_messages_lb,
+    thm3_sorting_messages_lb,
+    thm5_sorting_cycles_lb,
+)
+from repro.core import Distribution
+
+
+class TestFormulas:
+    def test_thm1_drops_largest(self):
+        # bound = (1/2) sum over all but the largest of log(2 n_i)
+        got = thm1_selection_messages_lb([8, 8])
+        assert got == pytest.approx(0.5 * math.log2(16))
+
+    def test_thm1_grows_with_p(self):
+        assert thm1_selection_messages_lb([4] * 16) > thm1_selection_messages_lb([4] * 4)
+
+    def test_cor1_divides_by_k(self):
+        sizes = [8] * 8
+        assert cor1_selection_cycles_lb(sizes, 4) == pytest.approx(
+            thm1_selection_messages_lb(sizes) / 4
+        )
+
+    def test_thm2_validates_range(self):
+        with pytest.raises(ValueError):
+            thm2_selection_messages_lb([10, 10], 1)  # d < p
+
+    def test_thm2_monotone_in_d(self):
+        sizes = [100] * 10
+        assert thm2_selection_messages_lb(sizes, 500) >= thm2_selection_messages_lb(
+            sizes, 10
+        )
+
+    def test_thm3_even_case(self):
+        # even: n_max = n_max2, bound = n/2
+        assert thm3_sorting_messages_lb([10, 10, 10]) == 15
+
+    def test_thm3_skewed_case(self):
+        # the surplus of the single largest holder is excluded
+        assert thm3_sorting_messages_lb([20, 4, 4]) == (28 - 16) / 2
+
+    def test_thm5_balanced(self):
+        assert thm5_sorting_cycles_lb([10, 10]) == 10
+
+    def test_thm5_skewed(self):
+        assert thm5_sorting_cycles_lb([30, 1, 1]) == 2
+
+    def test_combined_sorting_cycles_lb(self):
+        sizes = [16, 16, 16, 16]
+        assert sorting_cycles_lb(sizes, 2) == max(
+            cor3_sorting_cycles_lb(sizes, 2), thm5_sorting_cycles_lb(sizes)
+        )
+
+    def test_theta_shapes(self):
+        assert sorting_cycles_theta(1000, 10, 100) == 100
+        assert sorting_cycles_theta(1000, 10, 500) == 500
+        assert selection_messages_theta(1 << 12, 16, 4) == pytest.approx(
+            16 * math.log2(4 * (1 << 12) / 16)
+        )
+        assert selection_cycles_theta(1 << 12, 16, 4) == pytest.approx(
+            4 * math.log2(4 * (1 << 12) / 16)
+        )
+
+    def test_filtering_phase_bound(self):
+        assert filtering_phases_bound(100, 100) == 0
+        assert filtering_phases_bound(1000, 10) == pytest.approx(
+            math.log(100) / math.log(4 / 3)
+        )
+
+
+class TestAdversary:
+    def test_pairs_by_descending_size(self):
+        adv = SelectionAdversary([2, 16, 8, 4])
+        pairs = {(pr.a, pr.b) for pr in adv.pairs}
+        assert (2, 3) in pairs  # 16 paired with 8
+        assert (4, 1) in pairs  # 4 paired with 2
+
+    def test_pair_candidates_equal_min(self):
+        adv = SelectionAdversary([16, 8])
+        assert adv.pairs[0].count == 8
+
+    def test_odd_processor_excluded(self):
+        adv = SelectionAdversary([8, 8, 4])
+        leftover = [pr for pr in adv.pairs if pr.b is None]
+        assert len(leftover) == 1 and leftover[0].count == 0
+
+    def test_elimination_cap(self):
+        adv = SelectionAdversary([16, 16])
+        c = adv.pairs[0].count
+        # exposing the median eliminates the most: 2*ceil(c/2) <= c+1
+        gone = adv.observe_message(1, (c + 1) // 2)
+        assert gone <= c + 1
+
+    def test_elimination_below_median(self):
+        adv = SelectionAdversary([16, 16])
+        gone = adv.observe_message(1, 1)  # bottom candidate
+        assert gone == 2
+        assert adv.pairs[0].count == 15
+
+    def test_elimination_above_median(self):
+        adv = SelectionAdversary([16, 16])
+        gone = adv.observe_message(1, 16)  # top candidate
+        assert gone == 2
+
+    def test_position_validated(self):
+        adv = SelectionAdversary([4, 4])
+        with pytest.raises(ValueError):
+            adv.observe_message(1, 9)
+
+    def test_messages_needed_at_least_formula(self):
+        for sizes in ([16, 16], [8, 8, 8, 8], [32, 16, 8, 4], [100, 1]):
+            adv = SelectionAdversary(sizes)
+            assert adv.messages_needed() >= adv.theoretical_bound()
+
+    def test_messages_needed_log_per_pair(self):
+        adv = SelectionAdversary([2 ** 10, 2 ** 10])
+        # halving 1024 candidates takes 11 exposures
+        assert adv.messages_needed() == 11
+
+    def test_any_strategy_needs_at_least_log_messages(self, rng):
+        # Whatever positions an algorithm exposes, the number of messages
+        # to empty a pair is at least log2(2m): each message removes at
+        # most half + 1.
+        for _ in range(20):
+            adv = SelectionAdversary([64, 64])
+            msgs = 0
+            while adv.pairs[0].count > 0:
+                c = adv.pairs[0].count
+                adv.observe_message(1, int(rng.integers(1, c + 1)))
+                msgs += 1
+            assert msgs >= math.ceil(math.log2(2 * 64)) / 2
+
+    def test_thm2_budget_respected(self):
+        sizes = [100, 80, 60, 40, 20, 10]
+        d = 60
+        adv = SelectionAdversary(sizes, d=d)
+        assert adv.candidates_remaining() <= 2 * d
+
+    def test_thm2_rank_range_validated(self):
+        with pytest.raises(ValueError):
+            SelectionAdversary([10, 10], d=1)
+
+    def test_rejects_empty_processor(self):
+        with pytest.raises(ValueError):
+            SelectionAdversary([4, 0])
+
+    def test_messages_to_dead_pair_ignored(self):
+        adv = SelectionAdversary([8, 8, 4])  # odd: P3 has no candidates
+        leftover_pid = [pr.a for pr in adv.pairs if pr.b is None][0]
+        assert adv.observe_message(leftover_pid, 1) == 0
+
+
+class TestWorstCaseInputs:
+    @pytest.mark.parametrize(
+        "sizes", [[4, 4, 4], [10, 3, 7, 5], [1, 1, 1, 1], [20, 2, 2]]
+    )
+    def test_theorem3_property_holds(self, sizes):
+        d = Distribution.theorem3_worst_case(sizes, seed=1)
+        assert theorem3_neighbors_separated(d)
+
+    def test_theorem3_property_fails_on_sorted_layout(self):
+        d = Distribution.from_lists([[9, 8, 7], [6, 5, 4]])
+        assert not theorem3_neighbors_separated(d)
+
+    @pytest.mark.parametrize("n,p", [(20, 3), (40, 4), (100, 5)])
+    def test_theorem5_property_holds(self, n, p):
+        d = Distribution.theorem5_worst_case(n, p, seed=2)
+        assert theorem5_pmax_interleaved(d)
+
+    def test_theorem5_property_fails_on_random_layout(self):
+        d = Distribution.even(40, 4, seed=3)
+        assert not theorem5_pmax_interleaved(d)

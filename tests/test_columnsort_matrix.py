@@ -1,0 +1,101 @@
+"""Tests for the four Columnsort matrix transformations (§5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.columnsort import (
+    PHASE_PERMS,
+    apply_perm,
+    dims_valid,
+    downshift_perm,
+    is_permutation,
+    max_columns_for,
+    require_valid_dims,
+    transfer_matrix,
+    transpose_perm,
+    undiagonalize_perm,
+    upshift_perm,
+)
+
+
+class TestDims:
+    def test_paper_condition(self):
+        assert dims_valid(6, 3)  # m = k(k-1)
+        assert not dims_valid(5, 3)  # too short
+        assert not dims_valid(7, 3)  # k does not divide m
+        assert dims_valid(12, 3)
+
+    def test_k1_always_valid(self):
+        assert dims_valid(1, 1)
+        assert dims_valid(100, 1)
+
+    def test_require_raises(self):
+        with pytest.raises(ValueError):
+            require_valid_dims(4, 3)
+
+    def test_max_columns_for(self):
+        # largest k' with k'^2(k'-1) <= n
+        assert max_columns_for(17, 10) == 2  # 3^2*2=18 > 17
+        assert max_columns_for(18, 10) == 3
+        assert max_columns_for(1000, 4) == 4  # capped at k
+        assert max_columns_for(1, 10) == 1
+
+    def test_max_columns_rejects_empty(self):
+        with pytest.raises(ValueError):
+            max_columns_for(0, 2)
+
+
+class TestPermutations:
+    @pytest.mark.parametrize("m,k", [(6, 3), (12, 4), (4, 2), (20, 5), (3, 1)])
+    def test_all_phase_perms_are_bijections(self, m, k):
+        for phase, fn in PHASE_PERMS.items():
+            assert is_permutation(fn(m, k)), f"phase {phase}"
+
+    def test_transpose_matches_paper_definition(self):
+        # 1-based example: column-major (1,1),(1,2),(2,1),(2,2) read order
+        # stored row-major.  For m=2, k=2 positions map 0->0, 1->2, 2->1, 3->3.
+        assert transpose_perm(2, 2).tolist() == [0, 2, 1, 3]
+
+    def test_undiagonalize_small_example(self):
+        # m=2, k=2; diagonal order of cells (1-based (col,row)):
+        # (1,1), (2,1), (1,2), (2,2) -> those cells map to col-major 0,1,2,3
+        # cells in col-major index: (1,1)=0, (1,2)=1, (2,1)=2, (2,2)=3
+        perm = undiagonalize_perm(2, 2)
+        assert perm.tolist() == [0, 2, 1, 3]
+
+    def test_upshift_is_circular(self):
+        m, k = 4, 2
+        perm = upshift_perm(m, k)
+        assert perm.tolist() == [(g + 2) % 8 for g in range(8)]
+
+    def test_shifts_are_inverses(self):
+        m, k = 12, 4
+        up, down = upshift_perm(m, k), downshift_perm(m, k)
+        flat = np.arange(m * k, dtype=float)
+        assert np.array_equal(apply_perm(apply_perm(flat, up), down), flat)
+
+    def test_apply_perm_moves_values(self):
+        flat = np.array([10.0, 20.0, 30.0, 40.0])
+        perm = np.array([1, 0, 3, 2])
+        assert apply_perm(flat, perm).tolist() == [20.0, 10.0, 40.0, 30.0]
+
+
+class TestTransferMatrix:
+    @pytest.mark.parametrize("m,k", [(6, 3), (12, 4), (20, 5)])
+    @pytest.mark.parametrize("phase", [2, 4, 6, 8])
+    def test_doubly_balanced(self, m, k, phase):
+        t = transfer_matrix(PHASE_PERMS[phase](m, k), m, k)
+        assert np.all(t.sum(axis=0) == m)
+        assert np.all(t.sum(axis=1) == m)
+
+    def test_transpose_is_uniform_when_k_divides_m(self):
+        m, k = 12, 4
+        t = transfer_matrix(transpose_perm(m, k), m, k)
+        assert np.all(t == m // k)
+
+    def test_upshift_spans_two_columns(self):
+        m, k = 12, 4
+        t = transfer_matrix(upshift_perm(m, k), m, k)
+        for c in range(k):
+            nonzero = np.nonzero(t[c])[0].tolist()
+            assert nonzero == sorted({c, (c + 1) % k})

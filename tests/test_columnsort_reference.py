@@ -1,0 +1,99 @@
+"""Tests for the sequential reference Columnsort and Figure 1 demo."""
+
+import numpy as np
+import pytest
+
+from repro.columnsort import (
+    columnsort,
+    figure1_example,
+    is_columnsorted,
+    transformations_demo,
+)
+
+
+class TestColumnsortCorrectness:
+    @pytest.mark.parametrize(
+        "m,k", [(2, 2), (6, 3), (12, 3), (12, 4), (20, 5), (30, 5), (30, 6)]
+    )
+    def test_sorts_random_permutations(self, m, k, rng):
+        for _ in range(5):
+            vals = rng.permutation(m * k)
+            out = columnsort(vals, m, k)
+            assert np.array_equal(out, np.sort(vals)[::-1])
+
+    def test_descending_column_major_order(self, rng):
+        out = columnsort(rng.permutation(18), 6, 3)
+        assert is_columnsorted(out)
+
+    def test_with_phase9(self, rng):
+        vals = rng.permutation(24)
+        out = columnsort(vals, 12, 2, with_phase9=True)
+        assert np.array_equal(out, np.sort(vals)[::-1])
+
+    def test_duplicates_tolerated(self):
+        vals = [3.0, 3.0, 1.0, 1.0, 2.0, 2.0] * 2
+        out = columnsort(vals, 6, 2)
+        assert out.tolist() == sorted(vals, reverse=True)
+
+    def test_already_sorted_input(self):
+        vals = list(range(18, 0, -1))
+        out = columnsort(vals, 6, 3)
+        assert out.tolist() == vals
+
+    def test_reverse_sorted_input(self):
+        vals = list(range(1, 19))
+        out = columnsort(vals, 6, 3)
+        assert out.tolist() == sorted(vals, reverse=True)
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            columnsort(list(range(12)), 4, 3)
+
+    def test_wrong_element_count_rejected(self):
+        with pytest.raises(ValueError):
+            columnsort(list(range(10)), 6, 3)
+
+    def test_k1_is_local_sort(self, rng):
+        vals = rng.permutation(7)
+        out = columnsort(vals, 7, 1)
+        assert np.array_equal(out, np.sort(vals)[::-1])
+
+
+class TestPhase7Skip:
+    def test_column1_left_unsorted_in_phase7_still_sorts(self, rng):
+        # The trace proves phase 7 really skipped column 1 (the paper's
+        # rule) and the final output is nevertheless sorted.
+        vals = rng.permutation(24)
+        out, tr = columnsort(vals, 12, 2, trace=True)
+        names = [name for name, _ in tr.snapshots]
+        assert "phase 7: sort columns except column 1" in names
+        assert np.array_equal(out, np.sort(vals)[::-1])
+
+
+class TestFigure1:
+    def test_trace_has_all_phases(self):
+        tr, flat = figure1_example()
+        names = [name for name, _ in tr.snapshots]
+        assert names[0] == "input"
+        assert any("transpose" in n for n in names)
+        assert any("un-diagonalize" in n for n in names)
+        assert any("up-shift" in n for n in names)
+        assert any("down-shift" in n for n in names)
+        assert is_columnsorted(flat)
+
+    def test_trace_renders(self):
+        tr, _ = figure1_example(m=6, k=3)
+        text = tr.render()
+        assert "phase 2: transpose" in text
+        assert len(text.splitlines()) > 30
+
+    def test_transformations_demo(self):
+        text = transformations_demo(6, 3)
+        for name in ("Transpose", "Un-Diagonalize", "Up-Shift", "Down-Shift"):
+            assert name in text
+
+    def test_snapshots_preserve_multiset(self):
+        tr, _ = figure1_example(m=6, k=3, seed=11)
+        base = sorted(tr.snapshots[0][1].tolist())
+        for name, snap in tr.snapshots:
+            assert sorted(snap.tolist()) == base, name

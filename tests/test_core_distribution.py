@@ -1,0 +1,128 @@
+"""Tests for distributed-input generation (paper Section 3 setup)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Distribution
+
+
+class TestBasics:
+    def test_quantities(self):
+        d = Distribution.from_lists([[3, 1], [2], [9, 8, 7]])
+        assert d.p == 3
+        assert d.n == 6
+        assert d.sizes() == [2, 1, 3]
+        assert d.n_max == 3
+        assert d.n_max2 == 2
+        assert d.partial_sums() == [0, 2, 3, 6]
+
+    def test_even_flag(self):
+        assert Distribution.from_lists([[1], [2]]).is_even
+        assert not Distribution.from_lists([[1, 2], [3]]).is_even
+
+    def test_n_max2_single_processor(self):
+        d = Distribution.from_lists([[1, 2, 3]])
+        assert d.n_max2 == d.n_max == 3
+
+    def test_sorted_descending(self):
+        d = Distribution.from_lists([[3, 1], [2]])
+        assert d.sorted_descending() == [3, 2, 1]
+
+    def test_target_layout_matches_spec(self):
+        d = Distribution.from_lists([[5, 1], [9], [3, 7, 2]])
+        target = d.target_layout()
+        # cardinalities preserved, P_1 gets the largest segment
+        assert [len(target[i]) for i in (1, 2, 3)] == [2, 1, 3]
+        assert target[1] == (9, 7)
+        assert target[2] == (5,)
+        assert target[3] == (3, 2, 1)
+
+    def test_distinctness_check(self):
+        assert Distribution.from_lists([[1], [2]]).has_distinct_elements()
+        assert not Distribution.from_lists([[1], [1]]).has_distinct_elements()
+
+    def test_empty_processor_rejected(self):
+        with pytest.raises(ValueError):
+            Distribution({1: (1,), 2: ()})
+
+    def test_non_contiguous_pids_rejected(self):
+        with pytest.raises(ValueError):
+            Distribution({1: (1,), 3: (2,)})
+
+    def test_no_processors_rejected(self):
+        with pytest.raises(ValueError):
+            Distribution({})
+
+    def test_replace_parts(self):
+        d = Distribution.from_lists([[1], [2]])
+        d2 = d.replace_parts({1: [9], 2: [8]})
+        assert d2.parts[1] == (9,)
+
+
+class TestGenerators:
+    def test_even(self):
+        d = Distribution.even(100, 10, seed=0)
+        assert d.is_even and d.n == 100 and d.p == 10
+        assert d.has_distinct_elements()
+
+    def test_even_requires_divisibility(self):
+        with pytest.raises(ValueError):
+            Distribution.even(10, 3)
+
+    def test_even_reproducible(self):
+        a = Distribution.even(40, 4, seed=5)
+        b = Distribution.even(40, 4, seed=5)
+        assert a.parts == b.parts
+
+    def test_uneven_sizes_sum(self):
+        d = Distribution.uneven(200, 7, seed=1, skew=3.0)
+        assert d.n == 200 and d.p == 7
+        assert all(s >= 1 for s in d.sizes())
+        assert d.has_distinct_elements()
+
+    def test_uneven_forced_max(self):
+        d = Distribution.uneven(300, 8, seed=2, n_max_fraction=0.5)
+        assert d.n_max == 150
+        assert d.n == 300
+
+    def test_uneven_forced_max_too_large(self):
+        with pytest.raises(ValueError):
+            Distribution.uneven(10, 8, n_max_fraction=0.99)
+
+    def test_uneven_needs_n_ge_p(self):
+        with pytest.raises(ValueError):
+            Distribution.uneven(3, 5)
+
+    def test_single_holder(self):
+        d = Distribution.single_holder(50, 5, seed=3)
+        assert d.sizes() == [46, 1, 1, 1, 1]
+
+    def test_skew_monotonicity(self):
+        lo = Distribution.uneven(1000, 10, seed=4, skew=0.2)
+        hi = Distribution.uneven(1000, 10, seed=4, skew=8.0)
+        assert hi.n_max >= lo.n_max
+
+
+class TestWorstCases:
+    def test_theorem3_sizes_respected(self):
+        sizes = [4, 2, 6, 3]
+        d = Distribution.theorem3_worst_case(sizes, seed=0)
+        assert d.sizes() == sizes
+
+    def test_theorem3_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Distribution.theorem3_worst_case([2, 0, 1])
+
+    def test_theorem5_structure(self):
+        d = Distribution.theorem5_worst_case(20, 4, seed=0)
+        assert d.n == 20
+        assert d.n_max == 10
+        assert d.sizes()[0] == 10
+
+    def test_theorem5_needs_two_processors(self):
+        with pytest.raises(ValueError):
+            Distribution.theorem5_worst_case(10, 1)
+
+    def test_theorem5_too_small(self):
+        with pytest.raises(ValueError):
+            Distribution.theorem5_worst_case(3, 8)

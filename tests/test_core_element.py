@@ -1,0 +1,51 @@
+"""Tests for element tagging (Section 3 distinctness device) and ranks."""
+
+import pytest
+
+from repro.core import has_duplicates, kth_largest, rank_of, tag_elements, untag
+
+
+class TestTagging:
+    def test_tags_are_distinct(self):
+        parts = {1: [5, 5, 5], 2: [5, 5]}
+        tagged = tag_elements(parts)
+        flat = [t for v in tagged.values() for t in v]
+        assert len(set(flat)) == len(flat)
+
+    def test_tag_refines_value_order(self):
+        parts = {1: [3, 7], 2: [5]}
+        tagged = tag_elements(parts)
+        flat = sorted(t for v in tagged.values() for t in v)
+        assert [t[0] for t in flat] == [3, 5, 7]
+
+    def test_untag_roundtrip(self):
+        parts = {1: [3, 7], 2: [5]}
+        tagged = tag_elements(parts)
+        assert untag(tagged[1]) == [3, 7]
+
+    def test_tag_records_owner_and_index(self):
+        tagged = tag_elements({2: [10, 20]})
+        assert tagged[2] == [(10, 2, 0), (20, 2, 1)]
+
+    def test_has_duplicates(self):
+        assert has_duplicates({1: [1, 2], 2: [2]})
+        assert not has_duplicates({1: [1, 2], 2: [3]})
+
+
+class TestRanks:
+    def test_rank_of_largest(self):
+        assert rank_of(9, [1, 9, 5]) == 1
+
+    def test_rank_of_smallest(self):
+        assert rank_of(1, [1, 9, 5]) == 3
+
+    def test_kth_largest(self):
+        assert kth_largest([4, 1, 3, 2], 1) == 4
+        assert kth_largest([4, 1, 3, 2], 4) == 1
+        assert kth_largest([4, 1, 3, 2], 2) == 3
+
+    def test_kth_largest_validates(self):
+        with pytest.raises(ValueError):
+            kth_largest([1, 2], 3)
+        with pytest.raises(ValueError):
+            kth_largest([1, 2], 0)

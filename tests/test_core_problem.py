@@ -1,0 +1,66 @@
+"""Tests for the sorting/selection specifications and verifiers."""
+
+import pytest
+
+from repro.core import (
+    Distribution,
+    is_selection_output,
+    is_sorted_output,
+    sorting_violations,
+    validate_rank,
+)
+
+
+def _dist():
+    return Distribution.from_lists([[5, 1], [9], [3, 7, 2]])
+
+
+class TestSortingSpec:
+    def test_correct_output_accepted(self):
+        d = _dist()
+        assert is_sorted_output(d, d.target_layout())
+        assert sorting_violations(d, d.target_layout()) == []
+
+    def test_wrong_order_within_processor(self):
+        d = _dist()
+        out = dict(d.target_layout())
+        out[3] = tuple(reversed(out[3]))
+        assert not is_sorted_output(d, out)
+        assert any("wrong order" in v for v in sorting_violations(d, out))
+
+    def test_wrong_element_set(self):
+        d = _dist()
+        out = dict(d.target_layout())
+        out[1] = (9, 999)
+        assert any("wrong element set" in v for v in sorting_violations(d, out))
+
+    def test_changed_cardinality(self):
+        d = _dist()
+        out = dict(d.target_layout())
+        out[2] = (5, 9)
+        out[1] = (7,)
+        msgs = sorting_violations(d, out)
+        assert any("cardinality" in v for v in msgs)
+
+    def test_missing_processor(self):
+        d = _dist()
+        out = dict(d.target_layout())
+        del out[2]
+        assert any("processor set" in v for v in sorting_violations(d, out))
+
+
+class TestSelectionSpec:
+    def test_selection_check(self):
+        d = _dist()
+        assert is_selection_output(d, 1, 9)
+        assert is_selection_output(d, 6, 1)
+        assert not is_selection_output(d, 1, 7)
+
+    def test_validate_rank(self):
+        d = _dist()
+        validate_rank(d, 1)
+        validate_rank(d, 6)
+        with pytest.raises(ValueError):
+            validate_rank(d, 0)
+        with pytest.raises(ValueError):
+            validate_rank(d, 7)

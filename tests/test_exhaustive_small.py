@@ -1,0 +1,90 @@
+"""Exhaustive small-case verification: every permutation, every rank.
+
+For tiny instances we can check the distributed algorithms against
+*every* input permutation and *every* rank — the strongest correctness
+evidence short of proof, complementing the randomized suites.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import Distribution, kth_largest
+from repro.core.problem import is_sorted_output
+from repro.mcb import MCBNetwork
+from repro.select import mcb_select
+from repro.sort import mcb_sort, merge_sort, rank_sort
+
+
+class TestExhaustiveSorting:
+    def test_all_permutations_n6_p3(self):
+        # 720 permutations of 6 elements over 3 processors, k = 2.
+        for perm in itertools.permutations(range(1, 7)):
+            d = Distribution.from_lists(
+                [list(perm[0:2]), list(perm[2:4]), list(perm[4:6])]
+            )
+            net = MCBNetwork(p=3, k=2)
+            res = mcb_sort(net, d)
+            assert is_sorted_output(d, res.output), perm
+
+    def test_all_permutations_rank_sort_n5(self):
+        for perm in itertools.permutations(range(1, 6)):
+            d = Distribution.from_lists([list(perm[0:2]), list(perm[2:5])])
+            net = MCBNetwork(p=2, k=1)
+            res = rank_sort(net, d.parts)
+            assert is_sorted_output(d, res.output), perm
+
+    def test_all_permutations_merge_sort_n5(self):
+        for perm in itertools.permutations(range(1, 6)):
+            d = Distribution.from_lists([list(perm[0:3]), list(perm[3:5])])
+            net = MCBNetwork(p=2, k=1)
+            res = merge_sort(net, d.parts)
+            assert is_sorted_output(d, res.output), perm
+
+    def test_all_shapes_n6(self):
+        # every composition of 6 into 3 positive parts, one fixed value set
+        vals = [13, 2, 29, 7, 23, 5]
+        for a in range(1, 5):
+            for b in range(1, 6 - a):
+                c = 6 - a - b
+                d = Distribution.from_lists(
+                    [vals[:a], vals[a: a + b], vals[a + b:]]
+                )
+                net = MCBNetwork(p=3, k=2)
+                res = mcb_sort(net, d)
+                assert is_sorted_output(d, res.output), (a, b, c)
+
+
+class TestExhaustiveSelection:
+    def test_every_rank_every_small_permutation(self):
+        # all 120 permutations of 5 elements x all 5 ranks
+        for perm in itertools.permutations(range(1, 6)):
+            d = Distribution.from_lists([list(perm[0:2]), list(perm[2:5])])
+            elems = d.all_elements()
+            for rank in range(1, 6):
+                net = MCBNetwork(p=2, k=1)
+                res = mcb_select(net, d, rank)
+                assert res.value == kth_largest(elems, rank), (perm, rank)
+
+    def test_every_rank_medium_instance(self):
+        d = Distribution.from_lists(
+            [[17, 3, 42], [8, 51], [29, 11, 36, 2], [45]]
+        )
+        elems = d.all_elements()
+        for rank in range(1, d.n + 1):
+            net = MCBNetwork(p=4, k=2)
+            res = mcb_select(net, d, rank)
+            assert res.value == kth_largest(elems, rank), rank
+
+
+class TestExhaustivePartialSums:
+    def test_all_small_value_vectors(self):
+        from operator import add
+
+        from repro.prefix import mcb_partial_sums, serial_partial_sums
+
+        for vals in itertools.product(range(3), repeat=4):
+            net = MCBNetwork(p=4, k=2)
+            res = mcb_partial_sums(net, {i + 1: v for i, v in enumerate(vals)})
+            want = serial_partial_sums(list(vals), add)
+            assert [res[i + 1].incl for i in range(4)] == want, vals

@@ -1,0 +1,196 @@
+"""Cross-module integration tests: the paper's headline claims end-to-end.
+
+Each test runs real algorithms on the real simulator and checks the
+measured costs against the Section 4 lower bounds and the Corollary
+5/6/7 upper-bound shapes — the empirical meaning of the Theta results.
+"""
+
+import pytest
+
+from repro.analysis import growth_exponent, ratio_band
+from repro.bounds import (
+    selection_cycles_theta,
+    selection_messages_theta,
+    sorting_cycles_lb,
+    sorting_cycles_theta,
+    thm1_selection_messages_lb,
+    thm3_sorting_messages_lb,
+)
+from repro.core import Distribution, kth_largest
+from repro.core.problem import is_sorted_output
+from repro.mcb import MCBNetwork
+from repro.select import mcb_select
+from repro.sort import mcb_sort
+
+
+class TestCorollary5EvenSorting:
+    """Theta(n) messages and Theta(n/k) cycles for even distributions."""
+
+    def test_messages_grow_linearly(self):
+        # npp >= k(k-1) = 56 keeps every sweep point on the §5.2 p = k
+        # path (below that the dispatcher falls back to §7.2).
+        ns, msgs = [], []
+        for npp in (64, 128, 256, 512):
+            p = k = 8
+            n = p * npp
+            d = Distribution.even(n, p, seed=npp)
+            net = MCBNetwork(p=p, k=k)
+            mcb_sort(net, d)
+            ns.append(n)
+            msgs.append(net.stats.messages)
+        assert 0.85 <= growth_exponent(ns, msgs) <= 1.15
+
+    def test_cycles_grow_like_n_over_k(self):
+        ns, cycles = [], []
+        for npp in (64, 128, 256, 512):
+            p = k = 8
+            n = p * npp
+            d = Distribution.even(n, p, seed=npp)
+            net = MCBNetwork(p=p, k=k)
+            mcb_sort(net, d)
+            ns.append(n)
+            cycles.append(net.stats.cycles)
+        assert 0.85 <= growth_exponent(ns, cycles) <= 1.15
+
+    def test_cycles_shrink_with_more_channels(self):
+        n = 768
+        results = {}
+        for p, k in [(8, 2), (8, 4), (8, 8)]:
+            d = Distribution.even(n, p, seed=1)
+            net = MCBNetwork(p=p, k=k)
+            mcb_sort(net, d)
+            results[k] = net.stats.cycles
+        assert results[2] > results[4] > results[8]
+
+    def test_ratio_to_bound_stays_banded(self):
+        measured, bound = [], []
+        for npp in (32, 64, 128, 256):
+            p, k = 8, 4
+            n = p * npp
+            d = Distribution.even(n, p, seed=npp)
+            net = MCBNetwork(p=p, k=k)
+            mcb_sort(net, d)
+            measured.append(net.stats.cycles)
+            bound.append(sorting_cycles_theta(n, k, d.n_max))
+        assert ratio_band(measured, bound).is_bounded(max_spread=2.0)
+
+    def test_measured_never_below_lower_bound(self):
+        for npp in (32, 128):
+            p, k = 8, 4
+            d = Distribution.even(p * npp, p, seed=npp)
+            net = MCBNetwork(p=p, k=k)
+            mcb_sort(net, d)
+            sizes = d.sizes()
+            assert net.stats.messages >= thm3_sorting_messages_lb(sizes)
+            assert net.stats.cycles >= sorting_cycles_lb(sizes, k)
+
+
+class TestCorollary6UnevenSorting:
+    """Theta(max(n/k, n_max)) cycles under skew."""
+
+    def test_nmax_term_dominates_under_skew(self):
+        n, p, k = 800, 8, 4
+        cycles = {}
+        for frac in (0.15, 0.45, 0.75):
+            d = Distribution.uneven(n, p, seed=2, n_max_fraction=frac)
+            net = MCBNetwork(p=p, k=k)
+            mcb_sort(net, d)
+            cycles[frac] = net.stats.cycles
+        assert cycles[0.75] > cycles[0.45] > cycles[0.15]
+
+    def test_ratio_banded_across_skew(self):
+        n, p, k = 800, 8, 4
+        measured, bound = [], []
+        for frac in (0.15, 0.3, 0.5, 0.7):
+            d = Distribution.uneven(n, p, seed=3, n_max_fraction=frac)
+            net = MCBNetwork(p=p, k=k)
+            mcb_sort(net, d)
+            measured.append(net.stats.cycles)
+            bound.append(sorting_cycles_theta(n, k, d.n_max))
+        assert ratio_band(measured, bound).is_bounded(max_spread=3.0)
+
+    def test_worst_case_inputs_sorted_correctly_and_above_bound(self):
+        d = Distribution.theorem3_worst_case([50] * 8, seed=4)
+        net = MCBNetwork(p=8, k=4)
+        res = mcb_sort(net, d)
+        assert is_sorted_output(d, res.output)
+        assert net.stats.messages >= thm3_sorting_messages_lb(d.sizes())
+
+
+class TestCorollary7Selection:
+    """Theta(p log(kn/p)) messages, Theta((p/k) log(kn/p)) cycles."""
+
+    def test_messages_grow_logarithmically_in_n(self):
+        p, k = 16, 4
+        ns, msgs = [], []
+        for n in (512, 2048, 8192):
+            d = Distribution.even(n, p, seed=n)
+            net = MCBNetwork(p=p, k=k)
+            mcb_select(net, d, n // 2)
+            ns.append(n)
+            msgs.append(net.stats.messages)
+        # messages ~ p log(kn/p): strongly sublinear in n
+        assert growth_exponent(ns, msgs) < 0.5
+
+    def test_ratio_to_theta_banded(self):
+        p, k = 16, 4
+        measured_m, bound_m, measured_c, bound_c = [], [], [], []
+        for n in (512, 2048, 8192):
+            d = Distribution.even(n, p, seed=n)
+            net = MCBNetwork(p=p, k=k)
+            mcb_select(net, d, n // 2)
+            measured_m.append(net.stats.messages)
+            bound_m.append(selection_messages_theta(n, p, k))
+            measured_c.append(net.stats.cycles)
+            bound_c.append(selection_cycles_theta(n, p, k))
+        assert ratio_band(measured_m, bound_m).is_bounded(max_spread=3.0)
+        assert ratio_band(measured_c, bound_c).is_bounded(max_spread=3.0)
+
+    def test_measured_above_theorem1_bound(self):
+        p, k = 8, 2
+        n = 1024
+        d = Distribution.even(n, p, seed=5)
+        net = MCBNetwork(p=p, k=k)
+        mcb_select(net, d, n // 2)
+        assert net.stats.messages >= thm1_selection_messages_lb(d.sizes())
+
+
+class TestFullPipeline:
+    def test_sort_then_select_consistency(self):
+        # The element mcb_select returns must be exactly the one sitting
+        # at rank d of the sorted output.
+        n, p, k = 512, 8, 4
+        d = Distribution.even(n, p, seed=6)
+        net = MCBNetwork(p=p, k=k)
+        sorted_out = mcb_sort(net, d)
+        flat = [e for i in range(1, p + 1) for e in sorted_out.output[i]]
+        for rank in (1, 100, 256, 512):
+            net2 = MCBNetwork(p=p, k=k)
+            assert mcb_select(net2, d, rank).value == flat[rank - 1]
+
+    def test_stats_breakdown_readable(self):
+        d = Distribution.even(256, 8, seed=7)
+        net = MCBNetwork(p=8, k=4)
+        mcb_sort(net, d, phase="sort")
+        mcb_select(net, d, 128, phase="select")
+        text = net.stats.breakdown()
+        assert "TOTAL" in text and "sort" in text
+
+    def test_simulation_lemma_composes_with_algorithms(self):
+        # Run the single-channel Rank-Sort for MCB(4, 1) on MCB(2, 1)
+        # via the Section 2 simulation and check the result.
+        from repro.mcb import run_simulated
+        from repro.sort.rank_sort import rank_sort_group
+
+        d = Distribution.even(16, 4, seed=8)
+        counts = [4, 4, 4, 4]
+
+        def program(ctx):
+            out = yield from rank_sort_group(
+                1, ctx.pid - 1, counts, list(d.parts[ctx.pid])
+            )
+            return out
+
+        real = MCBNetwork(p=2, k=1)
+        res = run_simulated(real, 4, 1, {q: program for q in range(1, 5)})
+        assert is_sorted_output(d, {q: tuple(v) for q, v in res.items()})

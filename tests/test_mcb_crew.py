@@ -1,0 +1,115 @@
+"""Tests for the CREW PRAM variant and the §9 p-cells Columnsort claim."""
+
+import pytest
+
+from repro.mcb import CollisionError, CycleOp, EMPTY, Message, Sleep
+from repro.mcb.crew import CREWMemory, crew_columnsort
+from repro.mcb.errors import ConfigurationError, ProtocolError
+
+
+def _writer(cell, value):
+    def prog(ctx):
+        yield CycleOp(write=cell, payload=Message("v", value))
+    return prog
+
+
+class TestCREWSemantics:
+    def test_cells_persist_across_steps(self):
+        def late_reader(ctx):
+            yield Sleep(5)
+            got = yield CycleOp(read=1)
+            return got
+
+        mem = CREWMemory(p=2, cells=1)
+        res = mem.run({1: _writer(1, 9), 2: late_reader})
+        assert res[2] == Message("v", 9)  # unlike an MCB channel
+
+    def test_unwritten_cell_reads_empty(self):
+        def reader(ctx):
+            got = yield CycleOp(read=1)
+            return got
+
+        mem = CREWMemory(p=1, cells=1)
+        assert mem.run({1: reader})[1] is EMPTY
+
+    def test_overwrite_visible(self):
+        def rewriter(ctx):
+            yield CycleOp(write=1, payload=Message("v", 1))
+            yield CycleOp(write=1, payload=Message("v", 2))
+
+        def reader(ctx):
+            yield Sleep(2)
+            got = yield CycleOp(read=1)
+            return got.fields[0]
+
+        mem = CREWMemory(p=2, cells=1)
+        assert mem.run({1: rewriter, 2: reader})[2] == 2
+
+    def test_concurrent_read_allowed(self):
+        def reader(ctx):
+            got = yield CycleOp(read=1)
+            return got.fields[0]
+
+        mem = CREWMemory(p=3, cells=1)
+        res = mem.run({1: _writer(1, 7), 2: reader, 3: reader})
+        assert res[2] == res[3] == 7
+
+    def test_exclusive_write_enforced(self):
+        mem = CREWMemory(p=2, cells=1)
+        with pytest.raises(CollisionError):
+            mem.run({1: _writer(1, 1), 2: _writer(1, 2)})
+
+    def test_cell_bounds_checked(self):
+        mem = CREWMemory(p=1, cells=2)
+        with pytest.raises(ProtocolError):
+            mem.run({1: _writer(5, 1)})
+
+    def test_invalid_shape(self):
+        with pytest.raises(ConfigurationError):
+            CREWMemory(p=0, cells=1)
+
+    def test_same_step_visibility_matches_mcb(self):
+        # a read in the same step as the write sees the value (end-of-step
+        # semantics) — the property the reused MCB schedules rely on.
+        def reader(ctx):
+            got = yield CycleOp(read=1)
+            return got
+
+        mem = CREWMemory(p=2, cells=1)
+        res = mem.run({1: _writer(1, 5), 2: reader})
+        assert res[2] == Message("v", 5)
+
+
+class TestSection9Claim:
+    @pytest.mark.parametrize("m,p", [(2, 2), (6, 3), (12, 4), (20, 5)])
+    def test_columnsort_on_p_cells(self, m, p, rng):
+        vals = rng.permutation(m * p).tolist()
+        cols = {i + 1: vals[i * m: (i + 1) * m] for i in range(p)}
+        mem = CREWMemory(p=p, cells=p)
+        res = crew_columnsort(mem, cols)
+        flat = [e for i in range(1, p + 1) for e in res.output[i]]
+        assert flat == sorted(vals, reverse=True)
+        assert len(mem.cells_used) <= p, "the §9 p-cell bound"
+
+    def test_same_step_count_as_mcb(self, rng):
+        from repro.mcb import MCBNetwork
+        from repro.sort import sort_even_pk
+
+        m, p = 12, 4
+        vals = rng.permutation(m * p).tolist()
+        cols = {i + 1: vals[i * m: (i + 1) * m] for i in range(p)}
+        mem = CREWMemory(p=p, cells=p)
+        crew_columnsort(mem, cols)
+        net = MCBNetwork(p=p, k=p)
+        sort_even_pk(net, {i: list(v) for i, v in cols.items()})
+        assert mem.stats.cycles == net.stats.cycles  # same time complexity
+
+    def test_needs_p_cells(self):
+        mem = CREWMemory(p=4, cells=2)
+        with pytest.raises(ConfigurationError):
+            crew_columnsort(mem, {i: [i, i + 4] for i in range(1, 5)})
+
+    def test_requires_even(self):
+        mem = CREWMemory(p=2, cells=2)
+        with pytest.raises(ValueError):
+            crew_columnsort(mem, {1: [1, 2], 2: [3]})

@@ -1,0 +1,173 @@
+"""Tests for the generic all-to-all routing substrate."""
+
+import numpy as np
+import pytest
+
+from repro.mcb import MCBNetwork
+from repro.mcb.routing import (
+    alltoall,
+    alltoall_schedule,
+    exchange_counts,
+    greedy_edge_coloring,
+)
+
+
+class TestEdgeColoring:
+    def test_classes_are_matchings(self, rng):
+        p = 6
+        edges = [
+            (int(rng.integers(0, p)), int(rng.integers(0, p)))
+            for _ in range(60)
+        ]
+        classes = greedy_edge_coloring(edges, p)
+        for cls in classes:
+            srcs = [s for s, _ in cls]
+            dsts = [d for _, d in cls]
+            assert len(srcs) == len(set(srcs))
+            assert len(dsts) == len(set(dsts))
+
+    def test_all_edges_colored(self, rng):
+        edges = [(0, 1)] * 5 + [(1, 0)] * 3
+        classes = greedy_edge_coloring(edges, 2)
+        assert sum(len(c) for c in classes) == 8
+
+    def test_color_count_bounded(self, rng):
+        # greedy uses at most 2*Delta - 1 classes
+        p = 5
+        edges = []
+        for s in range(p):
+            for d in range(p):
+                if s != d:
+                    edges.extend([(s, d)] * 3)
+        delta = 3 * (p - 1)
+        classes = greedy_edge_coloring(edges, p)
+        assert len(classes) <= 2 * delta - 1
+
+    def test_empty(self):
+        assert greedy_edge_coloring([], 4) == []
+
+
+class TestSchedule:
+    def test_plan_respects_constraints(self, rng):
+        p, k = 6, 3
+        counts = rng.integers(0, 4, (p, p))
+        plan = alltoall_schedule(counts, k)
+        for cycle in plan:
+            assert len(cycle) <= k
+            srcs = [s for s, _, _ in cycle]
+            dsts = [d for _, d, _ in cycle]
+            chans = [c for _, _, c in cycle]
+            assert len(set(srcs)) == len(srcs)
+            assert len(set(dsts)) == len(dsts)
+            assert len(set(chans)) == len(chans)
+            assert all(0 <= c < k for c in chans)
+
+    def test_plan_covers_all_offdiagonal_elements(self, rng):
+        p, k = 5, 2
+        counts = rng.integers(0, 4, (p, p))
+        plan = alltoall_schedule(counts, k)
+        moved = np.zeros((p, p), dtype=int)
+        for cycle in plan:
+            for s, d, _ in cycle:
+                moved[s, d] += 1
+        expect = counts.copy()
+        np.fill_diagonal(expect, 0)
+        assert np.array_equal(moved, expect)
+
+    def test_plan_length_near_optimal_uniform(self):
+        p, k = 8, 4
+        counts = np.full((p, p), 4)
+        np.fill_diagonal(counts, 0)
+        plan = alltoall_schedule(counts, k)
+        e = counts.sum()
+        delta = counts.sum(axis=1).max()
+        assert len(plan) <= 2 * max(e // k, delta)
+
+
+class TestAllToAllOnNetwork:
+    @pytest.mark.parametrize("p,k", [(2, 1), (4, 2), (6, 3), (5, 5)])
+    def test_delivery(self, p, k, rng):
+        counts = rng.integers(0, 4, (p, p))
+
+        def make_prog(pid):
+            def prog(ctx):
+                out = {
+                    d + 1: [pid * 100 + d * 10 + j for j in range(int(counts[pid - 1, d]))]
+                    for d in range(p)
+                }
+                cm = yield from exchange_counts(ctx, counts[pid - 1].tolist())
+                rec = yield from alltoall(ctx, out, cm)
+                return rec
+
+            return prog
+
+        net = MCBNetwork(p=p, k=k)
+        res = net.run({i: make_prog(i) for i in range(1, p + 1)})
+        for d in range(p):
+            got = sorted(e for _, e in res[d + 1])
+            want = sorted(
+                (s + 1) * 100 + d * 10 + j
+                for s in range(p)
+                for j in range(int(counts[s, d]))
+            )
+            assert got == want
+
+    def test_received_items_carry_source(self, rng):
+        p = 3
+        counts = np.array([[0, 2, 0], [0, 0, 1], [1, 0, 0]])
+
+        def make_prog(pid):
+            def prog(ctx):
+                out = {
+                    d + 1: ["x"] * int(counts[pid - 1, d]) for d in range(p)
+                }
+                rec = yield from alltoall(ctx, out, counts)
+                return rec
+
+            return prog
+
+        net = MCBNetwork(p=p, k=2)
+        res = net.run({i: make_prog(i) for i in range(1, p + 1)})
+        assert sorted(src for src, _ in res[2]) == [1, 1]
+        assert [src for src, _ in res[3]] == [2]
+        assert [src for src, _ in res[1]] == [3]
+
+    def test_self_entries_delivered_locally_for_free(self):
+        counts = np.array([[3, 0], [0, 0]])
+
+        def prog(ctx):
+            out = {1: [1, 2, 3], 2: []} if ctx.pid == 1 else {}
+            rec = yield from alltoall(ctx, out, counts)
+            return rec
+
+        net = MCBNetwork(p=2, k=1)
+        res = net.run({1: prog, 2: prog})
+        assert [e for _, e in res[1]] == [1, 2, 3]
+        assert net.stats.messages == 0
+
+    def test_count_mismatch_rejected(self):
+        counts = np.array([[0, 2], [0, 0]])
+
+        def prog(ctx):
+            rec = yield from alltoall(ctx, {2: [1]}, counts)
+            return rec
+
+        net = MCBNetwork(p=2, k=1)
+        with pytest.raises(ValueError):
+            net.run({1: prog, 2: prog})
+
+    def test_exchange_counts_all_learn_all(self, rng):
+        p = 7
+        counts = rng.integers(0, 9, (p, p))
+
+        def make_prog(pid):
+            def prog(ctx):
+                cm = yield from exchange_counts(ctx, counts[pid - 1].tolist())
+                return cm
+
+            return prog
+
+        net = MCBNetwork(p=p, k=3)
+        res = net.run({i: make_prog(i) for i in range(1, p + 1)})
+        for i in range(1, p + 1):
+            assert np.array_equal(res[i], counts)

@@ -1,0 +1,142 @@
+"""Tests for the Section 2 simulation lemma implementation."""
+
+import pytest
+
+from repro.mcb import (
+    ConfigurationError,
+    CycleOp,
+    MCBNetwork,
+    Message,
+    Sleep,
+    run_simulated,
+    simulation_overhead,
+)
+
+
+def broadcast_program(writer_pid, channel, value):
+    """Virtual program: writer broadcasts, everyone else reads."""
+
+    def prog(ctx):
+        if ctx.pid == writer_pid:
+            yield CycleOp(write=channel, payload=Message("v", value))
+            return value
+        got = yield CycleOp(read=channel)
+        return got.fields[0] if got else None
+
+    return prog
+
+
+class TestOverheadFormula:
+    def test_identity(self):
+        assert simulation_overhead(4, 2, 4, 2) == (1, 1)
+
+    def test_double_procs(self):
+        cycles, msgs = simulation_overhead(8, 2, 4, 2)
+        assert cycles == 4 and msgs == 2  # v^2 * s with v=2, s=1
+
+    def test_double_channels(self):
+        cycles, msgs = simulation_overhead(4, 4, 4, 2)
+        assert cycles == 2 and msgs == 1
+
+
+class TestValidation:
+    def test_cannot_simulate_smaller(self):
+        net = MCBNetwork(p=4, k=2)
+        with pytest.raises(ConfigurationError):
+            run_simulated(net, 2, 1, {1: broadcast_program(1, 1, 0)})
+
+    def test_virtual_k_le_p(self):
+        net = MCBNetwork(p=2, k=2)
+        with pytest.raises(ConfigurationError):
+            run_simulated(net, 4, 8, {})
+
+    def test_bad_virtual_pid(self):
+        net = MCBNetwork(p=2, k=2)
+        with pytest.raises(ConfigurationError):
+            run_simulated(net, 4, 2, {9: broadcast_program(1, 1, 0)})
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "p_virt,k_virt,p,k",
+        [(4, 2, 2, 1), (4, 2, 4, 2), (8, 4, 4, 2), (8, 2, 2, 2), (6, 3, 3, 3)],
+    )
+    def test_broadcast_reaches_all_virtual_readers(self, p_virt, k_virt, p, k):
+        net = MCBNetwork(p=p, k=k)
+        progs = {q: broadcast_program(1, k_virt, 123) for q in range(1, p_virt + 1)}
+        res = run_simulated(net, p_virt, k_virt, progs)
+        assert all(res[q] == 123 for q in range(2, p_virt + 1))
+
+    def test_multiple_channels_in_one_virtual_cycle(self):
+        def prog(ctx):
+            if ctx.pid <= 2:
+                yield CycleOp(write=ctx.pid, payload=Message("v", ctx.pid * 10))
+                return None
+            got = yield CycleOp(read=ctx.pid - 2)
+            return got.fields[0]
+
+        net = MCBNetwork(p=2, k=1)
+        res = run_simulated(net, 4, 2, {q: prog for q in range(1, 5)})
+        assert res[3] == 10 and res[4] == 20
+
+    def test_multi_cycle_virtual_protocol(self):
+        # Virtual ping-pong between processors hosted on one real processor.
+        def ping(ctx):
+            yield CycleOp(write=1, payload=Message("ping", 1))
+            got = yield CycleOp(read=2)
+            return got.fields[0]
+
+        def pong(ctx):
+            got = yield CycleOp(read=1)
+            yield CycleOp(write=2, payload=Message("pong", got.fields[0] + 1))
+            return None
+
+        net = MCBNetwork(p=1, k=1)
+        res = run_simulated(net, 2, 2, {1: ping, 2: pong})
+        assert res[1] == 2
+
+    def test_virtual_sleep(self):
+        def sleeper(ctx):
+            yield Sleep(3)
+            yield CycleOp(write=1, payload=Message("v", 5))
+            return None
+
+        def reader(ctx):
+            yield Sleep(3)
+            got = yield CycleOp(read=1)
+            return got.fields[0]
+
+        net = MCBNetwork(p=2, k=1)
+        res = run_simulated(net, 4, 2, {1: sleeper, 2: reader})
+        assert res[2] == 5
+
+    def test_empty_virtual_read(self):
+        def reader(ctx):
+            got = yield CycleOp(read=1)
+            return got
+
+        from repro.mcb import EMPTY
+
+        net = MCBNetwork(p=2, k=1)
+        res = run_simulated(net, 4, 2, {3: reader})
+        assert res[3] is EMPTY
+
+
+class TestOverheadMeasured:
+    def test_cycle_overhead_within_bound(self):
+        p_virt, k_virt, p, k = 8, 4, 4, 2
+        cycles_per, msgs_per = simulation_overhead(p_virt, k_virt, p, k)
+        net = MCBNetwork(p=p, k=k)
+        progs = {q: broadcast_program(1, 1, 7) for q in range(1, p_virt + 1)}
+        run_simulated(net, p_virt, k_virt, progs)
+        # one virtual cycle -> at most cycles_per real cycles
+        assert net.stats.cycles <= cycles_per
+
+    def test_message_repetition_factor(self):
+        p_virt, k_virt, p, k = 8, 4, 4, 2
+        _, msgs_per = simulation_overhead(p_virt, k_virt, p, k)
+        net = MCBNetwork(p=p, k=k)
+        progs = {q: broadcast_program(1, 1, 7) for q in range(1, p_virt + 1)}
+        run_simulated(net, p_virt, k_virt, progs)
+        # one virtual message -> exactly v repetitions
+        assert net.stats.messages == msgs_per

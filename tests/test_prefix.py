@@ -1,0 +1,124 @@
+"""Tests for Partial-Sums (paper §7.1): tree machine + MCB implementation."""
+
+from operator import add
+
+import numpy as np
+import pytest
+
+from repro.mcb import MCBNetwork
+from repro.prefix import (
+    is_power_of_two,
+    mcb_partial_sums,
+    mcb_total_sum,
+    partial_sums_cycle_bound,
+    serial_partial_sums,
+    tree_partial_sums,
+)
+
+
+class TestTreeMachine:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8, 16, 32])
+    def test_matches_serial_scan(self, p, rng):
+        vals = rng.integers(0, 100, p).tolist()
+        assert tree_partial_sums(vals, add, 0) == serial_partial_sums(vals, add)
+
+    def test_max_operator(self, rng):
+        vals = rng.integers(0, 100, 8).tolist()
+        got = tree_partial_sums(vals, max, 0)
+        assert got == serial_partial_sums(vals, max)
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            tree_partial_sums([1, 2, 3], add, 0)
+
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1) and is_power_of_two(64)
+        assert not is_power_of_two(0) and not is_power_of_two(6)
+
+
+class TestMcbPartialSums:
+    @pytest.mark.parametrize("p,k", [(1, 1), (2, 1), (4, 2), (7, 3), (8, 8), (16, 4), (13, 2)])
+    def test_all_processors_learn_their_prefixes(self, p, k, rng):
+        vals = {i: int(rng.integers(1, 50)) for i in range(1, p + 1)}
+        net = MCBNetwork(p=p, k=k)
+        res = mcb_partial_sums(net, vals)
+        seq = [vals[i] for i in range(1, p + 1)]
+        want = serial_partial_sums(seq, add)
+        for i in range(1, p + 1):
+            assert res[i].incl == want[i - 1]
+            assert res[i].prev == (want[i - 2] if i > 1 else 0)
+
+    def test_include_next(self, rng):
+        p, k = 9, 3
+        vals = {i: int(rng.integers(1, 20)) for i in range(1, p + 1)}
+        net = MCBNetwork(p=p, k=k)
+        res = mcb_partial_sums(net, vals, include_next=True)
+        want = serial_partial_sums([vals[i] for i in range(1, p + 1)], add)
+        for i in range(1, p):
+            assert res[i].next == want[i]
+        assert res[p].next == want[-1]  # no successor: total
+
+    def test_max_operator_on_network(self, rng):
+        p, k = 8, 2
+        vals = {i: int(rng.integers(0, 1000)) for i in range(1, p + 1)}
+        net = MCBNetwork(p=p, k=k)
+        res = mcb_partial_sums(net, vals, op=max, identity=0)
+        run = 0
+        for i in range(1, p + 1):
+            run = max(run, vals[i])
+            assert res[i].incl == run
+
+    def test_missing_values_rejected(self):
+        net = MCBNetwork(p=3, k=1)
+        with pytest.raises(ValueError):
+            mcb_partial_sums(net, {1: 1, 2: 2})
+
+    def test_message_count_linear_in_p(self):
+        for p in (8, 16, 32):
+            net = MCBNetwork(p=p, k=2)
+            mcb_partial_sums(net, {i: 1 for i in range(1, p + 1)})
+            assert net.stats.messages <= 2 * p
+
+    def test_cycle_count_obeys_closed_form(self):
+        for p, k in [(16, 2), (32, 4), (64, 8)]:
+            net = MCBNetwork(p=p, k=k)
+            mcb_partial_sums(net, {i: 1 for i in range(1, p + 1)})
+            assert net.stats.cycles <= partial_sums_cycle_bound(p, k)
+
+    def test_cycles_scale_inverse_with_k(self):
+        costs = {}
+        for k in (1, 4, 16):
+            net = MCBNetwork(p=64, k=k)
+            mcb_partial_sums(net, {i: 1 for i in range(1, 65)})
+            costs[k] = net.stats.cycles
+        assert costs[1] > costs[4] > costs[16]
+
+
+class TestTotalSum:
+    @pytest.mark.parametrize("p,k", [(2, 1), (5, 2), (8, 4), (16, 16)])
+    def test_everyone_learns_total(self, p, k, rng):
+        vals = {i: int(rng.integers(0, 30)) for i in range(1, p + 1)}
+        net = MCBNetwork(p=p, k=k)
+        res = mcb_total_sum(net, vals)
+        assert all(v == sum(vals.values()) for v in res.values())
+
+    def test_total_max(self, rng):
+        p = 7
+        vals = {i: int(rng.integers(0, 1000)) for i in range(1, p + 1)}
+        net = MCBNetwork(p=p, k=2)
+        res = mcb_total_sum(net, vals, op=max, identity=0)
+        assert all(v == max(vals.values()) for v in res.values())
+
+    def test_cheaper_than_full_partial_sums(self, rng):
+        p, k = 32, 4
+        vals = {i: 1 for i in range(1, p + 1)}
+        net1 = MCBNetwork(p=p, k=k)
+        mcb_total_sum(net1, vals)
+        net2 = MCBNetwork(p=p, k=k)
+        mcb_partial_sums(net2, vals)
+        assert net1.stats.messages < net2.stats.messages
+
+    def test_missing_values_rejected(self):
+        net = MCBNetwork(p=3, k=1)
+        with pytest.raises(ValueError):
+            mcb_total_sum(net, {1: 1})

@@ -1,0 +1,156 @@
+"""Tests for the distributed selection algorithm (paper Section 8)."""
+
+import pytest
+
+from helpers import make_uneven
+from repro.bounds import (
+    filtering_phases_bound,
+    selection_cycles_theta,
+    selection_messages_theta,
+)
+from repro.core import Distribution, kth_largest
+from repro.mcb import MCBNetwork
+from repro.select import mcb_select, select_by_sorting
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("p,k", [(2, 1), (4, 2), (8, 4), (9, 3), (6, 6)])
+    def test_random_ranks_uneven(self, p, k, rng):
+        for _ in range(3):
+            n = int(rng.integers(max(p, 10), 200))
+            d = make_uneven(rng, p, n)
+            rank = int(rng.integers(1, n + 1))
+            net = MCBNetwork(p=p, k=k)
+            res = mcb_select(net, d, rank)
+            assert res.value == kth_largest(d.all_elements(), rank)
+
+    def test_extreme_ranks(self, rng):
+        d = Distribution.even(100, 4, seed=1)
+        elems = d.all_elements()
+        for rank in (1, 2, 50, 99, 100):
+            net = MCBNetwork(p=4, k=2)
+            assert mcb_select(net, d, rank).value == kth_largest(elems, rank)
+
+    def test_rank_reflection_path(self, rng):
+        # d > n/2 goes through the negation reflection.
+        d = Distribution.even(64, 8, seed=2)
+        net = MCBNetwork(p=8, k=2)
+        res = mcb_select(net, d, 60)
+        assert res.value == kth_largest(d.all_elements(), 60)
+
+    def test_median(self, rng):
+        d = Distribution.uneven(333, 9, seed=3, skew=3.0)
+        net = MCBNetwork(p=9, k=3)
+        res = mcb_select(net, d, 167)
+        assert res.value == kth_largest(d.all_elements(), 167)
+
+    def test_duplicates(self):
+        parts = {1: (5, 5, 5, 1), 2: (5, 2, 2), 3: (9, 9, 2)}
+        flat = sorted((v for vs in parts.values() for v in vs), reverse=True)
+        for rank in (1, 4, 10):
+            net = MCBNetwork(p=3, k=2)
+            assert mcb_select(net, parts, rank).value == flat[rank - 1]
+
+    def test_single_holder(self, rng):
+        d = Distribution.single_holder(60, 6, seed=4)
+        net = MCBNetwork(p=6, k=2)
+        res = mcb_select(net, d, 30)
+        assert res.value == kth_largest(d.all_elements(), 30)
+
+    def test_one_element_per_processor(self, rng):
+        d = Distribution.from_lists([[v] for v in rng.permutation(16).tolist()])
+        net = MCBNetwork(p=16, k=4)
+        res = mcb_select(net, d, 8)
+        assert res.value == kth_largest(d.all_elements(), 8)
+
+    def test_invalid_rank(self):
+        d = Distribution.even(10, 2, seed=0)
+        net = MCBNetwork(p=2, k=1)
+        with pytest.raises(ValueError):
+            mcb_select(net, d, 0)
+        with pytest.raises(ValueError):
+            mcb_select(net, d, 11)
+
+    def test_custom_threshold(self, rng):
+        d = Distribution.even(128, 8, seed=5)
+        net = MCBNetwork(p=8, k=2)
+        res = mcb_select(net, d, 64, threshold=32)
+        assert res.value == kth_largest(d.all_elements(), 64)
+
+
+class TestFilteringBehaviour:
+    def test_each_phase_purges_at_least_quarter(self, rng):
+        d = Distribution.even(2048, 16, seed=6)
+        net = MCBNetwork(p=16, k=4)
+        res = mcb_select(net, d, 1024)
+        fractions = res.trace.purge_fractions()
+        assert fractions, "at least one filtering phase must run"
+        # Drop the final termination record (purges everything).
+        assert all(f >= 0.25 for f in fractions[:-1])
+
+    def test_phase_count_logarithmic(self, rng):
+        d = Distribution.even(4096, 16, seed=7)
+        net = MCBNetwork(p=16, k=4)
+        res = mcb_select(net, d, 2048)
+        bound = filtering_phases_bound(4096, 16 // 4) + 2
+        assert res.trace.num_phases <= bound
+
+    def test_case1_early_exit_possible(self, rng):
+        # With threshold 1 the loop must terminate via case 1 or a
+        # singleton termination; both must be correct.
+        d = Distribution.even(64, 4, seed=8)
+        net = MCBNetwork(p=4, k=2)
+        res = mcb_select(net, d, 32, threshold=1)
+        assert res.value == kth_largest(d.all_elements(), 32)
+
+
+class TestCosts:
+    def test_messages_within_theta_band(self, rng):
+        n, p, k = 4096, 16, 4
+        d = Distribution.even(n, p, seed=9)
+        net = MCBNetwork(p=p, k=k)
+        mcb_select(net, d, n // 2)
+        bound = selection_messages_theta(n, p, k)
+        assert net.stats.messages <= 20 * bound
+
+    def test_cycles_within_theta_band(self, rng):
+        n, p, k = 4096, 16, 4
+        d = Distribution.even(n, p, seed=10)
+        net = MCBNetwork(p=p, k=k)
+        mcb_select(net, d, n // 2)
+        bound = selection_cycles_theta(n, p, k)
+        assert net.stats.cycles <= 40 * bound
+
+    def test_beats_naive_sorting_on_messages(self, rng):
+        n, p, k = 2048, 16, 4
+        d = Distribution.even(n, p, seed=11)
+        net_f, net_n = MCBNetwork(p=p, k=k), MCBNetwork(p=p, k=k)
+        val = mcb_select(net_f, d, n // 2).value
+        val2 = select_by_sorting(net_n, d, n // 2)
+        assert val == val2
+        assert net_f.stats.messages < net_n.stats.messages / 4
+
+    def test_beats_naive_sorting_on_cycles(self, rng):
+        n, p, k = 2048, 16, 4
+        d = Distribution.even(n, p, seed=12)
+        net_f, net_n = MCBNetwork(p=p, k=k), MCBNetwork(p=p, k=k)
+        mcb_select(net_f, d, n // 2)
+        select_by_sorting(net_n, d, n // 2)
+        assert net_f.stats.cycles < net_n.stats.cycles / 4
+
+
+class TestNaiveBaseline:
+    def test_correctness(self, rng):
+        d = make_uneven(rng, 6, 80)
+        net = MCBNetwork(p=6, k=2)
+        for rank in (1, 40, 80):
+            net2 = MCBNetwork(p=6, k=2)
+            assert select_by_sorting(net2, d, rank) == kth_largest(
+                d.all_elements(), rank
+            )
+
+    def test_invalid_rank(self):
+        d = Distribution.even(10, 2, seed=0)
+        net = MCBNetwork(p=2, k=1)
+        with pytest.raises(ValueError):
+            select_by_sorting(net, d, 0)

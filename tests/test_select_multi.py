@@ -1,0 +1,121 @@
+"""Tests for multi-rank selection and quantiles."""
+
+import pytest
+
+from helpers import make_uneven
+from repro.core import Distribution, kth_largest
+from repro.mcb import MCBNetwork
+from repro.select import mcb_multiselect, mcb_quantiles, mcb_select
+
+
+class TestMultiselect:
+    @pytest.mark.parametrize("p,k,n", [(4, 2, 100), (8, 4, 300), (3, 1, 40)])
+    def test_all_ranks_correct(self, p, k, n, rng):
+        d = make_uneven(rng, p, n)
+        ranks = sorted(set(int(r) + 1 for r in rng.choice(n, size=4, replace=False)))
+        net = MCBNetwork(p=p, k=k)
+        res = mcb_multiselect(net, d, ranks)
+        elems = d.all_elements()
+        for r in ranks:
+            assert res.values[r] == kth_largest(elems, r)
+
+    def test_order_of_requested_ranks_irrelevant(self, rng):
+        d = Distribution.even(64, 4, seed=1)
+        net1 = MCBNetwork(p=4, k=2)
+        a = mcb_multiselect(net1, d, [48, 8, 32])
+        net2 = MCBNetwork(p=4, k=2)
+        b = mcb_multiselect(net2, d, [8, 32, 48])
+        assert a.values == b.values
+
+    def test_pools_shrink(self, rng):
+        # Binary splitting: the middle rank runs on the full pool, the
+        # side ranks on the two halves its value carves out.
+        d = Distribution.even(1024, 8, seed=2)
+        net = MCBNetwork(p=8, k=2)
+        res = mcb_multiselect(net, d, [256, 512, 768])
+        assert res.pool_sizes[512] == 1024
+        assert res.pool_sizes[256] < 1024 // 2 + 1
+        assert res.pool_sizes[768] < 1024 // 2 + 1
+
+    def test_single_rank_matches_mcb_select(self, rng):
+        d = Distribution.even(128, 8, seed=3)
+        net1 = MCBNetwork(p=8, k=2)
+        multi = mcb_multiselect(net1, d, [64])
+        net2 = MCBNetwork(p=8, k=2)
+        single = mcb_select(net2, d, 64)
+        assert multi.values[64] == single.value
+
+    def test_adjacent_ranks(self, rng):
+        d = Distribution.even(64, 4, seed=4)
+        net = MCBNetwork(p=4, k=2)
+        res = mcb_multiselect(net, d, [31, 32, 33])
+        ordered = sorted(d.all_elements(), reverse=True)
+        assert [res.values[r] for r in (31, 32, 33)] == ordered[30:33]
+
+    def test_extreme_ranks(self, rng):
+        d = Distribution.even(64, 4, seed=5)
+        net = MCBNetwork(p=4, k=2)
+        res = mcb_multiselect(net, d, [1, 64])
+        assert res.values[1] == max(d.all_elements())
+        assert res.values[64] == min(d.all_elements())
+
+    def test_duplicates_in_data(self):
+        parts = {1: (5, 5, 3), 2: (5, 2, 2), 3: (9, 3, 1)}
+        flat = sorted((v for vs in parts.values() for v in vs), reverse=True)
+        net = MCBNetwork(p=3, k=1)
+        res = mcb_multiselect(net, parts, [2, 5, 8])
+        for r in (2, 5, 8):
+            assert res.values[r] == flat[r - 1]
+
+    def test_duplicate_ranks_rejected(self):
+        net = MCBNetwork(p=2, k=1)
+        with pytest.raises(ValueError):
+            mcb_multiselect(net, {1: (1, 2), 2: (3, 4)}, [2, 2])
+
+    def test_out_of_range_rejected(self):
+        net = MCBNetwork(p=2, k=1)
+        with pytest.raises(ValueError):
+            mcb_multiselect(net, {1: (1,), 2: (2,)}, [3])
+
+    def test_cheaper_than_independent_selections(self, rng):
+        n, p, k = 4096, 16, 4
+        d = Distribution.even(n, p, seed=6)
+        ranks = [n // 4, n // 2, 3 * n // 4]
+        net_m = MCBNetwork(p=p, k=k)
+        res = mcb_multiselect(net_m, d, ranks)
+        indep = 0
+        for r in ranks:
+            net_i = MCBNetwork(p=p, k=k)
+            assert mcb_select(net_i, d, r).value == res.values[r]
+            indep += net_i.stats.messages
+        assert net_m.stats.messages < indep
+
+
+class TestQuantiles:
+    def test_quartiles(self, rng):
+        d = Distribution.even(400, 8, seed=7)
+        net = MCBNetwork(p=8, k=2)
+        res = mcb_quantiles(net, d, 4)
+        ordered = sorted(d.all_elements(), reverse=True)
+        assert res.values[100] == ordered[99]
+        assert res.values[200] == ordered[199]
+        assert res.values[300] == ordered[299]
+
+    def test_median_is_2_quantile(self, rng):
+        d = Distribution.even(64, 4, seed=8)
+        net = MCBNetwork(p=4, k=2)
+        res = mcb_quantiles(net, d, 2)
+        (rank,) = res.values
+        assert rank == 32
+
+    def test_values_monotone(self, rng):
+        d = make_uneven(rng, 6, 240)
+        net = MCBNetwork(p=6, k=3)
+        res = mcb_quantiles(net, d, 8)
+        vals = [res.values[r] for r in sorted(res.values)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_q_too_small(self):
+        net = MCBNetwork(p=2, k=1)
+        with pytest.raises(ValueError):
+            mcb_quantiles(net, {1: (1,), 2: (2,)}, 1)

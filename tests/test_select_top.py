@@ -1,0 +1,102 @@
+"""Tests for the top-t query built on selection + partial sums."""
+
+import pytest
+
+from helpers import make_uneven
+from repro.core import Distribution
+from repro.mcb import MCBNetwork
+from repro.select import mcb_top_t
+from repro.sort import mcb_sort
+
+
+class TestTopT:
+    @pytest.mark.parametrize("p,k,n,t", [(2, 1, 20, 3), (4, 2, 100, 10),
+                                          (8, 4, 200, 1), (6, 2, 150, 25)])
+    def test_correct(self, p, k, n, t, rng):
+        d = make_uneven(rng, p, n)
+        net = MCBNetwork(p=p, k=k)
+        top = mcb_top_t(net, d, t)
+        assert top == sorted(d.all_elements(), reverse=True)[:t]
+
+    def test_t_equals_n_is_full_order(self, rng):
+        d = Distribution.even(24, 4, seed=1)
+        net = MCBNetwork(p=4, k=2)
+        top = mcb_top_t(net, d, 24)
+        assert top == d.sorted_descending()
+
+    def test_t_one_is_maximum(self, rng):
+        d = make_uneven(rng, 5, 60)
+        net = MCBNetwork(p=5, k=2)
+        assert mcb_top_t(net, d, 1) == [max(d.all_elements())]
+
+    def test_duplicates(self):
+        net = MCBNetwork(p=2, k=1)
+        top = mcb_top_t(net, {1: (5, 5, 3), 2: (5, 1, 2)}, 4)
+        assert top == [5, 5, 5, 3]
+
+    def test_invalid_t(self):
+        net = MCBNetwork(p=2, k=1)
+        with pytest.raises(ValueError):
+            mcb_top_t(net, {1: (1,), 2: (2,)}, 0)
+        with pytest.raises(ValueError):
+            mcb_top_t(net, {1: (1,), 2: (2,)}, 3)
+
+    def test_cheaper_than_sorting_for_small_t(self, rng):
+        n, p, k = 2048, 16, 4
+        d = Distribution.even(n, p, seed=2)
+        net_t = MCBNetwork(p=p, k=k)
+        mcb_top_t(net_t, d, 10)
+        net_s = MCBNetwork(p=p, k=k)
+        mcb_sort(net_s, d)
+        assert net_t.stats.messages < net_s.stats.messages / 2
+
+
+class TestGoldenNumbers:
+    """Exact deterministic cost pins for canonical configurations.
+
+    These guard the protocols against accidental cycle/message
+    regressions: any change to a schedule or a phase structure shows up
+    here first.  The values are properties of the algorithms, not of the
+    machine.
+    """
+
+    def test_even_pk_costs(self):
+        d = Distribution.even(512, 8, seed=42)
+        net = MCBNetwork(p=8, k=8)
+        mcb_sort(net, d)
+        assert net.stats.cycles == 4 * 64  # 4 transformation phases of m
+        assert net.stats.messages <= 4 * 512
+
+    def test_rank_sort_costs(self):
+        from repro.sort import rank_sort
+
+        d = Distribution.even(256, 8, seed=42)
+        net = MCBNetwork(p=8, k=1)
+        rank_sort(net, d.parts)
+        assert net.stats.cycles == 512  # exactly 2n
+
+    def test_merge_sort_costs(self):
+        from repro.sort import merge_sort
+
+        d = Distribution.even(100, 5, seed=42)
+        net = MCBNetwork(p=5, k=1)
+        merge_sort(net, d.parts)
+        assert net.stats.cycles == 3 * 5 + 5 * 100  # 3g + 5n exactly
+
+    def test_partial_sums_costs(self):
+        from repro.prefix import mcb_partial_sums, partial_sums_cycle_bound
+
+        net = MCBNetwork(p=64, k=8)
+        mcb_partial_sums(net, {i: 1 for i in range(1, 65)})
+        assert net.stats.cycles == partial_sums_cycle_bound(64, 8)
+        assert net.stats.messages == 2 * (64 - 1)  # one per tree edge, both sweeps
+
+    def test_streaming_merge_costs(self):
+        from repro.sort import merge_streams
+
+        a = Distribution.from_lists([[9, 7], [5, 3]])
+        b = Distribution.from_lists([[8, 6], [4, 2]])
+        net = MCBNetwork(p=2, k=1)
+        merge_streams(net, a, b)
+        assert net.stats.cycles == 8 + 2  # n + 2 exposures
+        assert net.stats.messages == 8

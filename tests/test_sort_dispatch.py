@@ -1,0 +1,87 @@
+"""Tests for the top-level mcb_sort dispatcher."""
+
+import pytest
+
+from helpers import make_uneven
+from repro.core import Distribution
+from repro.core.problem import is_sorted_output, sorting_violations
+from repro.mcb import MCBNetwork
+from repro.sort import choose_strategy, mcb_sort
+
+
+class TestAutoDispatch:
+    def test_even_pk_selected(self):
+        d = Distribution.even(18, 3, seed=0)
+        assert choose_strategy(3, 3, d.parts) == "even-pk"
+
+    def test_virtual_selected_for_p_gt_k(self):
+        d = Distribution.even(256, 16, seed=0)
+        assert choose_strategy(16, 4, d.parts) == "virtual"
+
+    def test_uneven_selected_for_skew(self, rng):
+        d = make_uneven(rng, 4, 30)
+        if d.is_even:  # pragma: no cover - extremely unlikely
+            pytest.skip("random draw happened to be even")
+        assert choose_strategy(4, 2, d.parts) == "uneven"
+
+    def test_uneven_selected_when_dims_invalid(self):
+        # even but n too small for k columns
+        d = Distribution.even(8, 8, seed=0)
+        assert choose_strategy(8, 8, d.parts) == "uneven"
+
+    def test_uneven_selected_when_k_does_not_divide_p(self):
+        d = Distribution.even(50, 5, seed=0)
+        assert choose_strategy(5, 2, d.parts) == "uneven"
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize(
+        "p,k,n",
+        [(3, 3, 18), (8, 2, 64), (16, 4, 256), (5, 2, 40), (8, 8, 16), (4, 1, 20)],
+    )
+    def test_auto_sorts_anything(self, p, k, n, rng):
+        if n % p == 0:
+            d = Distribution.even(n, p, seed=int(rng.integers(1 << 30)))
+        else:
+            d = make_uneven(rng, p, n)
+        net = MCBNetwork(p=p, k=k)
+        res = mcb_sort(net, d)
+        assert is_sorted_output(d, res.output)
+
+    @pytest.mark.parametrize(
+        "strategy", ["collect", "virtual", "virtual-merge", "uneven", "rank", "merge"]
+    )
+    def test_forced_strategies_agree(self, strategy, rng):
+        d = Distribution.even(64, 8, seed=7)
+        net = MCBNetwork(p=8, k=2)
+        res = mcb_sort(net, d, strategy=strategy)
+        assert is_sorted_output(d, res.output)
+
+    def test_unknown_strategy(self):
+        net = MCBNetwork(p=2, k=1)
+        with pytest.raises(ValueError):
+            mcb_sort(net, Distribution.even(4, 2, seed=0), strategy="bogus")
+
+    def test_accepts_plain_dict(self, rng):
+        net = MCBNetwork(p=2, k=1)
+        res = mcb_sort(net, {1: (4, 9), 2: (1, 7)})
+        assert res.output == {1: (9, 7), 2: (4, 1)}
+
+    def test_duplicates_handled_via_tagging(self):
+        net = MCBNetwork(p=3, k=1)
+        parts = {1: (5, 5), 2: (5, 2), 3: (2, 9)}
+        res = mcb_sort(net, parts)
+        flat = [e for i in (1, 2, 3) for e in res.output[i]]
+        assert flat == sorted([5, 5, 5, 2, 2, 9], reverse=True)
+
+    def test_sort_result_as_lists(self):
+        net = MCBNetwork(p=2, k=1)
+        res = mcb_sort(net, {1: (2,), 2: (1,)})
+        assert res.as_lists() == {1: [2], 2: [1]}
+
+    def test_stats_accumulate_per_phase(self, rng):
+        d = Distribution.even(64, 8, seed=8)
+        net = MCBNetwork(p=8, k=2)
+        mcb_sort(net, d, phase="mysort")
+        assert net.stats.phase("mysort").messages > 0
+        assert "mysort" in net.stats.breakdown()

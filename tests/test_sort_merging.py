@@ -1,0 +1,146 @@
+"""Tests for distributed merging of two sorted distributed lists."""
+
+import numpy as np
+import pytest
+
+from repro.core import Distribution
+from repro.mcb import MCBNetwork
+from repro.sort import mcb_merge, mcb_sort, merge_streams
+
+
+def sorted_pair(rng, p, na, nb):
+    """Two sorted-layout distributions over the same p processors."""
+    vals = rng.choice(20 * (na + nb), size=na + nb, replace=False).tolist()
+
+    def layout(v):
+        v = sorted(v, reverse=True)
+        sizes = [1] * p
+        for _ in range(len(v) - p):
+            sizes[int(rng.integers(0, p))] += 1
+        parts, at = [], 0
+        for s in sizes:
+            parts.append(v[at: at + s])
+            at += s
+        return Distribution.from_lists(parts)
+
+    return layout(vals[:na]), layout(vals[na:])
+
+
+def check_merged(res, da, db):
+    merged = sorted(da.all_elements() + db.all_elements(), reverse=True)
+    flat = [e for i in sorted(res.output) for e in res.output[i]]
+    assert flat == merged
+    for i in sorted(res.output):
+        assert len(res.output[i]) == len(da.parts[i]) + len(db.parts[i])
+
+
+class TestMergeStreams:
+    @pytest.mark.parametrize("p,na,nb", [(2, 5, 7), (4, 20, 12), (6, 30, 30)])
+    def test_merges_correctly(self, p, na, nb, rng):
+        da, db = sorted_pair(rng, p, na, nb)
+        net = MCBNetwork(p=p, k=1)
+        res = merge_streams(net, da, db)
+        check_merged(res, da, db)
+
+    def test_one_cycle_per_element(self, rng):
+        da, db = sorted_pair(rng, 4, 50, 30)
+        net = MCBNetwork(p=4, k=1)
+        merge_streams(net, da, db)
+        n = da.n + db.n
+        assert net.stats.cycles <= n + 2
+        assert net.stats.messages <= n
+
+    def test_beats_rank_sort_message_count(self, rng):
+        from repro.sort import rank_sort
+
+        da, db = sorted_pair(rng, 4, 40, 40)
+        net_m = MCBNetwork(p=4, k=1)
+        merge_streams(net_m, da, db)
+        combined = {
+            i: list(da.parts[i]) + list(db.parts[i]) for i in range(1, 5)
+        }
+        net_r = MCBNetwork(p=4, k=1)
+        rank_sort(net_r, combined)
+        assert net_m.stats.messages < net_r.stats.messages
+        assert net_m.stats.cycles < net_r.stats.cycles
+
+    def test_disjoint_value_ranges(self, rng):
+        # A entirely above B: the degenerate interleaving.
+        a = Distribution.from_lists([[100, 99], [98, 97]])
+        b = Distribution.from_lists([[10, 9], [8, 7]])
+        net = MCBNetwork(p=2, k=1)
+        res = merge_streams(net, a, b)
+        check_merged(res, a, b)
+
+    def test_perfect_interleave(self):
+        a = Distribution.from_lists([[9, 7], [5, 3]])
+        b = Distribution.from_lists([[8, 6], [4, 2]])
+        net = MCBNetwork(p=2, k=1)
+        res = merge_streams(net, a, b)
+        check_merged(res, a, b)
+
+    def test_rejects_unsorted_layout(self):
+        a = Distribution.from_lists([[1, 2], [3, 4]])  # ascending: wrong
+        b = Distribution.from_lists([[9], [8]])
+        net = MCBNetwork(p=2, k=1)
+        with pytest.raises(ValueError):
+            merge_streams(net, a, b)
+
+    def test_rejects_duplicates_across_lists(self):
+        a = Distribution.from_lists([[5], [3]])
+        b = Distribution.from_lists([[5], [1]])
+        net = MCBNetwork(p=2, k=1)
+        with pytest.raises(ValueError):
+            merge_streams(net, a, b)
+
+    def test_rejects_mismatched_processor_sets(self):
+        a = Distribution.from_lists([[5], [3]])
+        b = Distribution.from_lists([[4], [2], [1]])
+        net = MCBNetwork(p=2, k=1)
+        with pytest.raises(ValueError):
+            merge_streams(net, a, b)
+
+
+class TestMcbMerge:
+    @pytest.mark.parametrize(
+        "p,k,na,nb", [(2, 1, 8, 6), (4, 2, 30, 20), (6, 3, 40, 40), (4, 4, 25, 35)]
+    )
+    def test_merges_correctly(self, p, k, na, nb, rng):
+        da, db = sorted_pair(rng, p, na, nb)
+        net = MCBNetwork(p=p, k=k)
+        res = mcb_merge(net, da, db)
+        check_merged(res, da, db)
+
+    def test_channels_reduce_cycles(self, rng):
+        da, db = sorted_pair(rng, 8, 300, 300)
+        net1 = MCBNetwork(p=8, k=1)
+        mcb_merge(net1, da, db)
+        net4 = MCBNetwork(p=8, k=4)
+        mcb_merge(net4, da, db)
+        assert net4.stats.cycles < net1.stats.cycles
+
+    def test_faster_than_streaming_with_channels(self, rng):
+        da, db = sorted_pair(rng, 8, 400, 400)
+        net_s = MCBNetwork(p=8, k=4)
+        merge_streams(net_s, da, db)
+        net_m = MCBNetwork(p=8, k=4)
+        mcb_merge(net_m, da, db)
+        assert net_m.stats.cycles < net_s.stats.cycles
+
+    def test_output_matches_full_sort(self, rng):
+        da, db = sorted_pair(rng, 4, 25, 30)
+        combined = Distribution(
+            {i: tuple(da.parts[i]) + tuple(db.parts[i]) for i in range(1, 5)}
+        )
+        net_m = MCBNetwork(p=4, k=2)
+        res_m = mcb_merge(net_m, da, db)
+        net_s = MCBNetwork(p=4, k=2)
+        res_s = mcb_sort(net_s, combined)
+        assert res_m.output == res_s.output
+
+    def test_extreme_skew_segments(self, rng):
+        a = Distribution.from_lists([[50, 49, 48, 47, 46, 45], [2]])
+        b = Distribution.from_lists([[44], [43, 1]])
+        net = MCBNetwork(p=2, k=2)
+        res = mcb_merge(net, a, b)
+        check_merged(res, a, b)

@@ -1,0 +1,100 @@
+"""Tests for the one-element-per-processor fast sorter (selection's
+median-pair step)."""
+
+import pytest
+
+from repro.core import Distribution, kth_largest
+from repro.core.problem import sorting_violations
+from repro.mcb import MCBNetwork
+from repro.select import mcb_select
+from repro.select.filtering import mcb_select_descending
+from repro.sort import sort_ones, sort_uneven
+
+
+def one_each(rng, p):
+    vals = rng.choice(10 * p + 16, size=p, replace=False).tolist()
+    return {i + 1: (vals[i],) for i in range(p)}
+
+
+class TestSortOnes:
+    @pytest.mark.parametrize("p,k", [(1, 1), (2, 1), (5, 2), (16, 4), (17, 3),
+                                     (32, 8), (7, 7)])
+    def test_sorts_correctly(self, p, k, rng):
+        parts = one_each(rng, p)
+        d = Distribution(parts)
+        net = MCBNetwork(p=p, k=k)
+        res = sort_ones(net, parts)
+        assert sorting_violations(d, res.output) == []
+
+    def test_many_random_shapes(self, rng):
+        for _ in range(20):
+            p = int(rng.integers(1, 40))
+            k = int(rng.integers(1, p + 1))
+            parts = one_each(rng, p)
+            d = Distribution(parts)
+            net = MCBNetwork(p=p, k=k)
+            res = sort_ones(net, parts)
+            assert sorting_violations(d, res.output) == []
+
+    def test_tuple_elements(self, rng):
+        parts = {1: ((3, 1, 0),), 2: ((9, 2, 0),), 3: ((1, 3, 0),)}
+        net = MCBNetwork(p=3, k=2)
+        res = sort_ones(net, parts)
+        assert res.output[1] == ((9, 2, 0),)
+        assert res.output[3] == ((1, 3, 0),)
+
+    def test_matches_general_sorter(self, rng):
+        parts = one_each(rng, 12)
+        net_o = MCBNetwork(p=12, k=3)
+        a = sort_ones(net_o, parts)
+        net_u = MCBNetwork(p=12, k=3)
+        b = sort_uneven(net_u, parts)
+        assert a.output == b.output
+
+    def test_cheaper_than_general_sorter(self, rng):
+        parts = one_each(rng, 16)
+        net_o = MCBNetwork(p=16, k=4)
+        sort_ones(net_o, parts)
+        net_u = MCBNetwork(p=16, k=4)
+        sort_uneven(net_u, parts)
+        assert net_o.stats.cycles < net_u.stats.cycles
+        assert net_o.stats.messages < net_u.stats.messages
+
+    def test_rejects_multi_element_processors(self):
+        net = MCBNetwork(p=2, k=1)
+        with pytest.raises(ValueError):
+            sort_ones(net, {1: (1, 2), 2: (3,)})
+
+    def test_rejects_partial_coverage(self):
+        net = MCBNetwork(p=3, k=1)
+        with pytest.raises(ValueError):
+            sort_ones(net, {1: (1,), 2: (2,)})
+
+
+class TestPairSorterOptions:
+    def test_uneven_pair_sorter_still_correct(self, rng):
+        d = Distribution.even(256, 8, seed=1)
+        for sorter in ("ones", "uneven"):
+            net = MCBNetwork(p=8, k=2)
+            res = mcb_select_descending(
+                net, {i: list(v) for i, v in d.parts.items()}, 128,
+                pair_sorter=sorter,
+            )
+            assert res.value == kth_largest(d.all_elements(), 128)
+
+    def test_ones_is_cheaper_end_to_end(self, rng):
+        d = Distribution.even(2048, 16, seed=2)
+        parts = {i: list(v) for i, v in d.parts.items()}
+        net_o = MCBNetwork(p=16, k=4)
+        mcb_select_descending(net_o, parts, 1024, pair_sorter="ones")
+        net_u = MCBNetwork(p=16, k=4)
+        mcb_select_descending(net_u, parts, 1024, pair_sorter="uneven")
+        assert net_o.stats.messages < net_u.stats.messages
+        assert net_o.stats.cycles < net_u.stats.cycles
+
+    def test_default_selection_unchanged_value(self, rng):
+        d = Distribution.even(512, 8, seed=3)
+        net = MCBNetwork(p=8, k=2)
+        assert mcb_select(net, d, 100).value == kth_largest(
+            d.all_elements(), 100
+        )

@@ -1,0 +1,96 @@
+"""Tests for the 0-1 Columnsort verifier and the rebalance primitive."""
+
+import pytest
+
+from helpers import make_uneven
+from repro.columnsort import (
+    columnsort_zero_one_counterexample,
+    columnsort_zero_one_exhaustive,
+    columnsort_zero_one_sampled,
+    dims_valid,
+)
+from repro.core import Distribution
+from repro.mcb import MCBNetwork
+from repro.sort import even_targets, mcb_sort, rebalance
+
+
+class TestZeroOnePrinciple:
+    @pytest.mark.parametrize("m,k", [(2, 2), (4, 2), (6, 3), (9, 3), (12, 3)])
+    def test_valid_dims_proved_correct(self, m, k):
+        assert dims_valid(m, k)
+        assert columnsort_zero_one_exhaustive(m, k)
+        assert columnsort_zero_one_counterexample(m, k) is None
+
+    def test_invalid_dims_have_counterexamples(self):
+        # m = 4 < k(k-1) = 12 at k = 4: the paper's condition is really
+        # needed here and the verifier exhibits a failing 0-1 profile.
+        cx = columnsort_zero_one_counterexample(4, 4)
+        assert cx is not None
+        assert len(cx) == 4 and all(0 <= c <= 4 for c in cx)
+
+    def test_paper_condition_is_sufficient_not_tight_everywhere(self):
+        # (3, 3) violates m >= k(k-1) yet has no 0-1 counterexample —
+        # the condition is sufficient, not necessary, for every (m, k).
+        assert columnsort_zero_one_exhaustive(3, 3)
+
+    def test_sampled_checker_on_larger_dims(self):
+        assert columnsort_zero_one_sampled(20, 4, samples=200)
+
+    def test_sampled_checker_catches_bad_dims(self):
+        assert not columnsort_zero_one_sampled(4, 4, samples=500)
+
+
+class TestEvenTargets:
+    def test_divisible(self):
+        assert even_targets(12, 4) == [3, 3, 3, 3]
+
+    def test_remainder_to_front(self):
+        assert even_targets(14, 4) == [4, 4, 3, 3]
+
+    def test_fewer_elements_than_processors_is_invalid_downstream(self):
+        assert even_targets(2, 4) == [1, 1, 0, 0]
+
+
+class TestRebalance:
+    @pytest.mark.parametrize("p,k,n", [(4, 2, 40), (8, 4, 100), (6, 1, 66)])
+    def test_even_and_stable(self, p, k, n, rng):
+        d = make_uneven(rng, p, n)
+        net = MCBNetwork(p=p, k=k)
+        res = rebalance(net, d)
+        sizes = [len(res.output[i]) for i in range(1, p + 1)]
+        assert max(sizes) - min(sizes) <= 1
+        flat_in = [e for i in range(1, p + 1) for e in d.parts[i]]
+        flat_out = [e for i in range(1, p + 1) for e in res.output[i]]
+        assert flat_in == flat_out
+
+    def test_already_even_moves_nothing(self, rng):
+        d = Distribution.even(64, 8, seed=1)
+        net = MCBNetwork(p=8, k=2)
+        res = rebalance(net, d)
+        assert {i: tuple(v) for i, v in d.parts.items()} == res.output
+        # only control traffic (prefix sums + count exchange), no elements
+        element_msgs = net.stats.phase("rebalance").messages
+        assert element_msgs <= 8 * 8 // 6 + 20
+
+    def test_single_holder_spreads_out(self, rng):
+        d = Distribution.single_holder(80, 8, seed=2)
+        net = MCBNetwork(p=8, k=4)
+        res = rebalance(net, d)
+        assert all(len(res.output[i]) == 10 for i in range(1, 9))
+
+    def test_feeds_even_sorter(self, rng):
+        # The intended composition: rebalance, then the cheap even-case
+        # Columnsort.
+        d = make_uneven(rng, 8, 512)
+        net = MCBNetwork(p=8, k=8)
+        balanced = rebalance(net, d)
+        balanced_dist = Distribution(balanced.output)
+        assert balanced_dist.is_even
+        res = mcb_sort(net, balanced_dist)
+        flat = [e for i in range(1, 9) for e in res.output[i]]
+        assert flat == sorted(d.all_elements(), reverse=True)
+
+    def test_rejects_partial_coverage(self):
+        net = MCBNetwork(p=3, k=1)
+        with pytest.raises(ValueError):
+            rebalance(net, {1: (1,), 2: (2,)})
