@@ -1,0 +1,129 @@
+"""E-OBS — observability must be free when nobody is listening.
+
+The obs hooks put one ``_dispatch is not None`` test on each engine hot
+path.  This benchmark guards the acceptance criterion that an
+unobserved ``MCBNetwork.run`` shows no measurable slowdown versus the
+pre-obs seed engine:
+
+* structurally — a freshly constructed network has ``_dispatch is
+  None``, so the per-message site reduces to a single pointer test and
+  constructs no event objects (the exact seed-code fast path);
+* empirically — best-of-N timing of an unobserved run must not exceed
+  the same run with a no-op observer attached (which *does* construct
+  every event) — if the unobserved path were doing event work, the two
+  would converge and the margin assertion would trip.
+
+Also records the measured costs machine-readably via the session
+recorder, so the obs overhead trajectory is tracked like every other
+perf number.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import Distribution
+from repro.mcb import MCBNetwork
+from repro.obs import MetricsObserver, Observer, Profiler
+from repro.sort import mcb_sort
+
+
+def _workload(net: MCBNetwork) -> None:
+    dist = Distribution.even(256, net.p, seed=3)
+    mcb_sort(net, dist)
+
+
+def _best_of(fn, rounds: int = 5) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_obs_zero_overhead_when_unobserved(benchmark, emit, record):
+    # Structural guard: no observers => no dispatcher => the hot loop's
+    # only added work is one `is not None` test per site.
+    net = MCBNetwork(p=8, k=2)
+    assert net._dispatch is None
+    assert net.observers == ()
+    _workload(net)
+    assert net._dispatch is None  # running attaches nothing
+
+    # Empirical guard: unobserved must be at least as fast as observed
+    # (the observed run builds one event object per message), modulo a
+    # 25% noise margin.
+    t_plain = _best_of(lambda: _workload(MCBNetwork(p=8, k=2)))
+
+    def observed():
+        onet = MCBNetwork(p=8, k=2)
+        onet.attach_observer(Observer())  # no-op hooks, full event build
+        _workload(onet)
+
+    t_observed = _best_of(observed)
+    assert t_plain <= t_observed * 1.25, (
+        f"unobserved run ({t_plain:.4f}s) slower than observed "
+        f"({t_observed:.4f}s): the no-observer fast path regressed"
+    )
+
+    net = MCBNetwork(p=8, k=2)
+    _workload(net)
+    emit(
+        "E-OBS  Observability overhead: sort n=256 on MCB(8,2)",
+        ["variant", "best wall s", "cycles", "messages"],
+        [
+            ["no observers", round(t_plain, 5), net.stats.cycles,
+             net.stats.messages],
+            ["no-op observer", round(t_observed, 5), net.stats.cycles,
+             net.stats.messages],
+        ],
+        notes=f"unobserved/observed = {t_plain / t_observed:.2f} "
+        "(must stay <= 1.25)",
+    )
+    record(
+        config={"p": 8, "k": 2, "n": 256},
+        cycles=net.stats.cycles,
+        messages=net.stats.messages,
+        t_plain=t_plain,
+        t_observed=t_observed,
+    )
+    benchmark.pedantic(
+        lambda: _workload(MCBNetwork(p=8, k=2)), rounds=3, iterations=1
+    )
+
+
+def test_obs_full_instrumentation_cost(benchmark, emit, record):
+    # Informational: what the *full* stack (metrics + pipeline + memory
+    # sink) costs relative to unobserved — useful for deciding whether
+    # always-on metrics are affordable in a service deployment.
+    t_plain = _best_of(lambda: _workload(MCBNetwork(p=8, k=2)), rounds=3)
+
+    def full():
+        net = MCBNetwork(p=8, k=2)
+        with Profiler(net):
+            _workload(net)
+
+    t_full = _best_of(full, rounds=3)
+
+    def metrics_only():
+        net = MCBNetwork(p=8, k=2)
+        net.attach_observer(MetricsObserver())
+        _workload(net)
+
+    t_metrics = _best_of(metrics_only, rounds=3)
+    emit(
+        "E-OBS2  Full instrumentation cost: sort n=256 on MCB(8,2)",
+        ["variant", "best wall s", "x unobserved"],
+        [
+            ["no observers", round(t_plain, 5), 1.0],
+            ["metrics only", round(t_metrics, 5),
+             round(t_metrics / t_plain, 2)],
+            ["profiler (metrics+events)", round(t_full, 5),
+             round(t_full / t_plain, 2)],
+        ],
+    )
+    record(t_plain=t_plain, t_metrics=t_metrics, t_full=t_full)
+    # Sanity ceiling only — instrumentation may cost, but not 20x.
+    assert t_full < t_plain * 20
+    benchmark.pedantic(full, rounds=3, iterations=1)

@@ -5,18 +5,95 @@ simulator, prints the table the corresponding paper claim predicts
 (visible live thanks to ``capsys.disabled``), asserts the reproduction
 holds (who wins / how costs scale), and times one representative
 configuration through pytest-benchmark.
+
+Machine-readable trajectory: a session-scoped recorder mirrors every
+table emitted through :func:`emit` (plus any explicit :func:`record`
+calls) into ``benchmarks/results/BENCH_<name>.json`` — one JSON object
+per line, written through the :class:`repro.obs.sinks.JsonlSink` — so
+the perf history of the repo is diffable run over run instead of living
+only in terminal scrollback.
 """
 
 from __future__ import annotations
 
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.analysis import format_table
+from repro.obs.sinks import JsonlSink
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+class BenchRecorder:
+    """Collect per-benchmark records; flush one JSONL-in-.json file each.
+
+    Records are grouped by benchmark name (the originating test, with
+    its parametrization stripped to keep one file per benchmark).  Files
+    are (re)written at session end via the obs JSONL sink.
+    """
+
+    def __init__(self) -> None:
+        self._records: dict[str, list[dict]] = {}
+
+    @staticmethod
+    def _bench_name(nodeid: str) -> str:
+        # "bench_sort_even.py::test_e1_scaling[4]" -> "sort_even__test_e1_scaling"
+        path, _, rest = nodeid.partition("::")
+        stem = Path(path).stem.removeprefix("bench_")
+        test = rest.partition("[")[0] or "session"
+        return f"{stem}__{test}"
+
+    def record(self, nodeid: str, payload: dict) -> None:
+        name = self._bench_name(nodeid)
+        self._records.setdefault(name, []).append(
+            {"bench": name, "nodeid": nodeid, **payload}
+        )
+
+    def flush(self) -> list[Path]:
+        written = []
+        for name, rows in sorted(self._records.items()):
+            path = RESULTS_DIR / f"BENCH_{name}.json"
+            with JsonlSink(path) as sink:
+                for row in rows:
+                    sink.emit(row)
+            written.append(path)
+        return written
+
+
+@pytest.fixture(scope="session")
+def _bench_recorder():
+    recorder = BenchRecorder()
+    yield recorder
+    files = recorder.flush()
+    if files:
+        print(f"\n[bench] wrote {len(files)} result file(s) under {RESULTS_DIR}")
 
 
 @pytest.fixture
-def emit(capsys):
-    """Print an experiment table to the real terminal (uncaptured)."""
+def record(request, _bench_recorder):
+    """Record one machine-readable result row for this benchmark.
+
+    Usage: ``record(config={...}, cycles=..., messages=...)`` — any
+    keyword becomes a JSON field; wall-clock seconds since test start
+    are stamped automatically as ``wall_s``.
+    """
+    start = time.perf_counter()
+
+    def _record(**payload):
+        payload.setdefault("wall_s", round(time.perf_counter() - start, 6))
+        _bench_recorder.record(request.node.nodeid, payload)
+
+    return _record
+
+
+@pytest.fixture
+def emit(capsys, request, _bench_recorder):
+    """Print an experiment table to the real terminal (uncaptured) and
+    mirror it into the session's machine-readable results."""
+    start = time.perf_counter()
 
     def _emit(title, headers, rows, notes=None):
         with capsys.disabled():
@@ -25,5 +102,15 @@ def emit(capsys):
             if notes:
                 print(notes)
             print()
+        _bench_recorder.record(
+            request.node.nodeid,
+            {
+                "title": title,
+                "headers": list(headers),
+                "rows": [list(r) for r in rows],
+                "notes": notes,
+                "wall_s": round(time.perf_counter() - start, 6),
+            },
+        )
 
     return _emit

@@ -17,7 +17,9 @@ The package provides:
 * :mod:`repro.bounds` — lower-bound formulas, the executable adversary,
   and worst-case input constructions (Section 4);
 * :mod:`repro.baselines` — naive/centralized/related-model baselines;
-* :mod:`repro.analysis` — bound-ratio analysis used by the benchmarks.
+* :mod:`repro.analysis` — bound-ratio analysis used by the benchmarks;
+* :mod:`repro.obs` — structured observability: typed events, metric
+  registries, pluggable sinks, and the ``repro profile`` CLI.
 
 Quickstart::
 
@@ -30,8 +32,10 @@ Quickstart::
     print(net.stats.breakdown())       # cycles / messages per phase
 """
 
+from . import obs
 from .core import Distribution
 from .mcb import EMPTY, CycleOp, MCBNetwork, Message, RunStats, Sleep
+from .obs import MetricsObserver, Observer, Profiler
 from .select import mcb_select, select_by_sorting
 from .sort import SortResult, mcb_sort
 
@@ -43,11 +47,15 @@ __all__ = [
     "EMPTY",
     "MCBNetwork",
     "Message",
+    "MetricsObserver",
+    "Observer",
+    "Profiler",
     "RunStats",
     "Sleep",
     "SortResult",
     "mcb_select",
     "mcb_sort",
+    "obs",
     "select_by_sorting",
     "__version__",
 ]

@@ -5,6 +5,7 @@
     python -m repro quantiles --n 1024 --p 16 --k 4 --q 4
     python -m repro figure1   [--m 6 --k 3]
     python -m repro max       --p 64 --k 4 [--model detect]
+    python -m repro profile   sort --n 1024 --p 16 --k 4 [--json]
 
 Every command prints the result summary plus the cycle/message
 accounting, so the CLI doubles as a quick cost explorer for the model.
@@ -20,6 +21,7 @@ from .analysis import format_table
 from .core import Distribution
 from .core.problem import is_sorted_output
 from .mcb import MCBNetwork
+from .obs.cli import add_profile_parser
 from .select import mcb_select
 from .select.multi import mcb_quantiles
 from .sort import mcb_sort
@@ -203,6 +205,8 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--model", default="exclusive",
                     choices=["exclusive", "detect", "priority"])
     sp.set_defaults(fn=cmd_max)
+
+    add_profile_parser(sub)
 
     return parser
 

@@ -42,6 +42,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Literal, Optional, Sequence, Union
 
+from ..obs.events import (
+    CollisionDetected,
+    FastForward,
+    MessageBroadcast,
+    PhaseEnded,
+    PhaseStarted,
+)
+from ..obs.hooks import ObservableMixin
 from .errors import CollisionError, ConfigurationError, ProtocolError
 from .message import EMPTY, Message
 from .program import ProcContext, Sleep
@@ -87,8 +95,15 @@ class ExtOp:
     read: Union[int, tuple, str, None] = None
 
 
-class ExtendedNetwork:
-    """An MCB(p, k) engine with §9's strengthened access rules."""
+class ExtendedNetwork(ObservableMixin):
+    """An MCB(p, k) engine with §9's strengthened access rules.
+
+    Shares the observability hooks of :class:`~repro.mcb.MCBNetwork`
+    (:meth:`attach_observer` / :meth:`detach_observer`); under the
+    ``detect``/``priority`` policies, surviving concurrent-write
+    incidents are emitted as ``collision`` events and tallied in
+    ``PhaseStats.collisions``.
+    """
 
     def __init__(
         self,
@@ -97,6 +112,7 @@ class ExtendedNetwork:
         *,
         write_policy: WritePolicy = "exclusive",
         read_policy: ReadPolicy = "single",
+        record_trace: bool = False,
     ):
         if p < 1 or k < 1 or k > p:
             raise ConfigurationError(f"invalid network shape p={p}, k={k}")
@@ -109,6 +125,12 @@ class ExtendedNetwork:
         self.write_policy = write_policy
         self.read_policy = read_policy
         self.stats = RunStats()
+        self._init_observability(record_trace=record_trace)
+
+    def reset_stats(self) -> None:
+        """Forget accumulated statistics and detach every observer."""
+        self.stats = RunStats()
+        self._reset_observability()
 
     # ------------------------------------------------------------------
     def run(self, programs, *, phase: str = "phase", max_cycles: int = 10_000_000):
@@ -124,12 +146,23 @@ class ExtendedNetwork:
         inbox: dict[int, Any] = {pid: None for pid in gens}
         wake = {pid: 0 for pid in gens}
         results: dict[int, Any] = {pid: None for pid in gens}
-        ph = PhaseStats(name=phase)
+        ph = PhaseStats(name=phase, k=self.k)
+        dispatch = self._dispatch
+        if dispatch is not None:
+            dispatch.dispatch(PhaseStarted(phase=phase, p=self.p, k=self.k))
         cycle = 0
         while gens:
             acting = [pid for pid in gens if wake[pid] <= cycle]
             if not acting:
-                cycle = min(wake[pid] for pid in gens)
+                target = min(wake[pid] for pid in gens)
+                ph.fast_forward_cycles += target - cycle
+                if dispatch is not None:
+                    dispatch.dispatch(
+                        FastForward(
+                            phase=phase, from_cycle=cycle, to_cycle=target
+                        )
+                    )
+                cycle = target
                 continue
             if cycle >= max_cycles:
                 raise ProtocolError(f"exceeded max_cycles={max_cycles}")
@@ -165,6 +198,7 @@ class ExtendedNetwork:
 
             # --- resolve channel contents per policy ---------------------
             content: dict[int, Any] = {}
+            delivered: dict[int, int] = {}  # channel -> winning writer pid
             for ch, writers in writes.items():
                 ph.messages += len(writers)
                 ph.bits += sum(m.bit_size() for _, m in writers)
@@ -173,14 +207,42 @@ class ExtendedNetwork:
                 )
                 if len(writers) == 1:
                     content[ch] = writers[0][1]
+                    delivered[ch] = writers[0][0]
                 elif self.write_policy == "exclusive":
+                    if dispatch is not None:
+                        dispatch.dispatch(
+                            CollisionDetected(
+                                phase=phase,
+                                cycle=cycle,
+                                channel=ch,
+                                writers=tuple(w for w, _ in writers),
+                                resolution="abort",
+                            )
+                        )
                     raise CollisionError(cycle, ch, [w for w, _ in writers])
-                elif self.write_policy == "detect":
-                    content[ch] = COLLISION
-                else:  # priority: lowest pid wins
-                    content[ch] = min(writers)[1]
+                else:
+                    ph.collisions += 1
+                    if self.write_policy == "detect":
+                        content[ch] = COLLISION
+                        resolution = "garbled"
+                    else:  # priority: lowest pid wins
+                        winner = min(writers)
+                        content[ch] = winner[1]
+                        delivered[ch] = winner[0]
+                        resolution = "priority"
+                    if dispatch is not None:
+                        dispatch.dispatch(
+                            CollisionDetected(
+                                phase=phase,
+                                cycle=cycle,
+                                channel=ch,
+                                writers=tuple(w for w, _ in writers),
+                                resolution=resolution,
+                            )
+                        )
 
             # --- deliver reads -------------------------------------------
+            readers_by_channel: dict[int, list[int]] = {}
             for pid, want in reads:
                 if pid not in gens:
                     continue
@@ -188,6 +250,8 @@ class ExtendedNetwork:
                     if not 1 <= want <= self.k:
                         raise ProtocolError(f"P{pid}: bad read channel {want}")
                     inbox[pid] = content.get(want, EMPTY)
+                    if dispatch is not None:
+                        readers_by_channel.setdefault(want, []).append(pid)
                 else:
                     if self.read_policy != "all":
                         raise ProtocolError(
@@ -200,12 +264,46 @@ class ExtendedNetwork:
                     inbox[pid] = {
                         ch: content.get(ch, EMPTY) for ch in chans
                     }
+                    if dispatch is not None:
+                        for ch in chans:
+                            readers_by_channel.setdefault(ch, []).append(pid)
+            if dispatch is not None:
+                for ch, writer in delivered.items():
+                    msg = content[ch]
+                    dispatch.dispatch(
+                        MessageBroadcast(
+                            phase=phase,
+                            cycle=cycle,
+                            channel=ch,
+                            writer=writer,
+                            readers=tuple(readers_by_channel.get(ch, ())),
+                            msg_kind=msg.kind,
+                            fields=msg.fields,
+                            bits=msg.bit_size(),
+                        )
+                    )
             if any_op:
                 cycle += 1
         ph.cycles = cycle
         for pid, ctx in contexts.items():
             ph.aux_peak[pid] = ctx.aux_peak
         self.stats.add(ph)
+        if dispatch is not None:
+            dispatch.dispatch(
+                PhaseEnded(
+                    phase=phase,
+                    p=self.p,
+                    k=self.k,
+                    cycles=ph.cycles,
+                    messages=ph.messages,
+                    bits=ph.bits,
+                    channel_writes=dict(ph.channel_writes),
+                    max_aux_peak=ph.max_aux_peak,
+                    fast_forward_cycles=ph.fast_forward_cycles,
+                    collisions=ph.collisions,
+                    utilization=ph.channel_utilization(),
+                )
+            )
         return results
 
 

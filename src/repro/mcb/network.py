@@ -22,6 +22,14 @@ from __future__ import annotations
 
 from typing import Any, Optional, Sequence
 
+from ..obs.events import (
+    CollisionDetected,
+    FastForward,
+    MessageBroadcast,
+    PhaseEnded,
+    PhaseStarted,
+)
+from ..obs.hooks import ObservableMixin
 from .errors import (
     CollisionError,
     ConfigurationError,
@@ -30,10 +38,10 @@ from .errors import (
 )
 from .message import EMPTY, Message
 from .program import CycleOp, ProcContext, ProgramFn, Sleep
-from .trace import PhaseStats, RunStats, TraceEvent
+from .trace import PhaseStats, RunStats
 
 
-class MCBNetwork:
+class MCBNetwork(ObservableMixin):
     """A multi-channel broadcast network MCB(p, k).
 
     Parameters
@@ -48,7 +56,11 @@ class MCBNetwork:
         few fields (an element triple, a (median, count) pair, ...).
     record_trace:
         If true, every delivered message is recorded as a
-        :class:`~repro.mcb.trace.TraceEvent` in :attr:`events`.
+        :class:`~repro.mcb.trace.TraceEvent` in :attr:`events` (this is
+        implemented as a built-in :class:`~repro.obs.hooks.TraceObserver`
+        on the observability hooks; attach your own observers with
+        :meth:`attach_observer` for structured events, metrics, or
+        persistent sinks — see :mod:`repro.obs`).
 
     Examples
     --------
@@ -83,15 +95,20 @@ class MCBNetwork:
         self.p = p
         self.k = k
         self.max_message_fields = max_message_fields
-        self.record_trace = record_trace
         self.stats = RunStats()
-        self.events: list[TraceEvent] = []
+        self._init_observability(record_trace=record_trace)
 
     # ------------------------------------------------------------------
     def reset_stats(self) -> None:
-        """Forget all accumulated phase statistics and trace events."""
+        """Forget all accumulated statistics and detach every observer.
+
+        Trace events are cleared and externally attached observers are
+        dropped (the built-in trace observer survives iff the network
+        was constructed with ``record_trace=True``), so a reused network
+        starts observationally fresh.
+        """
         self.stats = RunStats()
-        self.events = []
+        self._reset_observability()
 
     # ------------------------------------------------------------------
     def run(
@@ -151,14 +168,25 @@ class MCBNetwork:
         inbox: dict[int, Any] = {pid: None for pid in programs}
         wake: dict[int, int] = {pid: 0 for pid in programs}
 
-        ph = PhaseStats(name=phase)
+        ph = PhaseStats(name=phase, k=self.k)
+        dispatch = self._dispatch
+        if dispatch is not None:
+            dispatch.dispatch(PhaseStarted(phase=phase, p=self.p, k=self.k))
         cycle = 0
         while gens:
             acting = [pid for pid in gens if wake[pid] <= cycle]
             if not acting:
                 # Everyone is sleeping: fast-forward to the earliest waker.
                 # The skipped cycles still elapse (and are counted below).
-                cycle = min(wake[pid] for pid in gens)
+                target = min(wake[pid] for pid in gens)
+                ph.fast_forward_cycles += target - cycle
+                if dispatch is not None:
+                    dispatch.dispatch(
+                        FastForward(
+                            phase=phase, from_cycle=cycle, to_cycle=target
+                        )
+                    )
+                cycle = target
                 continue
             if cycle >= max_cycles:
                 raise ProtocolError(
@@ -185,6 +213,9 @@ class MCBNetwork:
                         raise ProtocolError(
                             f"P{pid} requested a negative sleep ({op.cycles})"
                         )
+                    # Minimum-one-cycle rule (see the Sleep docstring):
+                    # the yield itself consumed this cycle, so Sleep(0)
+                    # === Sleep(1) === one empty CycleOp.
                     wake[pid] = cycle + max(1, op.cycles)
                     continue
                 if not isinstance(op, CycleOp):
@@ -213,6 +244,16 @@ class MCBNetwork:
 
             if collided:
                 channel, writers = next(iter(collided.items()))
+                if dispatch is not None:
+                    dispatch.dispatch(
+                        CollisionDetected(
+                            phase=phase,
+                            cycle=cycle,
+                            channel=channel,
+                            writers=tuple(writers),
+                            resolution="abort",
+                        )
+                    )
                 raise CollisionError(cycle, channel, writers)
 
             # --- deliver reads -------------------------------------------
@@ -222,21 +263,24 @@ class MCBNetwork:
                     readers_by_channel.setdefault(ch, []).append(pid)
                     inbox[pid] = EMPTY
             for ch, (writer, msg) in writes.items():
+                bits = msg.bit_size()
                 ph.messages += 1
-                ph.bits += msg.bit_size()
+                ph.bits += bits
                 ph.channel_writes[ch] = ph.channel_writes.get(ch, 0) + 1
                 receivers = readers_by_channel.get(ch, [])
                 for pid in receivers:
                     inbox[pid] = msg
-                if self.record_trace:
-                    self.events.append(
-                        TraceEvent(
+                if dispatch is not None:
+                    dispatch.dispatch(
+                        MessageBroadcast(
+                            phase=phase,
                             cycle=cycle,
                             channel=ch,
                             writer=writer,
                             readers=tuple(receivers),
-                            kind=msg.kind,
+                            msg_kind=msg.kind,
                             fields=msg.fields,
+                            bits=bits,
                         )
                     )
             if any_op:
@@ -249,6 +293,22 @@ class MCBNetwork:
         for pid, ctx in contexts.items():
             ph.aux_peak[pid] = ctx.aux_peak
         self.stats.add(ph)
+        if dispatch is not None:
+            dispatch.dispatch(
+                PhaseEnded(
+                    phase=phase,
+                    p=self.p,
+                    k=self.k,
+                    cycles=ph.cycles,
+                    messages=ph.messages,
+                    bits=ph.bits,
+                    channel_writes=dict(ph.channel_writes),
+                    max_aux_peak=ph.max_aux_peak,
+                    fast_forward_cycles=ph.fast_forward_cycles,
+                    collisions=ph.collisions,
+                    utilization=ph.channel_utilization(),
+                )
+            )
         return results
 
     # ------------------------------------------------------------------

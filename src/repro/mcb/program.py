@@ -60,7 +60,16 @@ class CycleOp:
 
 @dataclass(frozen=True)
 class Sleep:
-    """Idle for exactly ``cycles`` cycles (no reads, no writes)."""
+    """Idle for exactly ``cycles`` cycles (no reads, no writes).
+
+    **Minimum-one-cycle rule:** yielding is itself a cycle of
+    participation, so a sleep always consumes at least one cycle —
+    ``Sleep(0)`` behaves exactly like ``Sleep(1)`` (and like yielding a
+    single empty ``CycleOp()``).  There is no way to act twice in one
+    cycle, so a zero-cycle sleep cannot be a no-op; the engines enforce
+    ``wake = cycle + max(1, cycles)``.  Negative values are a
+    :class:`~repro.mcb.errors.ProtocolError`.
+    """
 
     cycles: int
 

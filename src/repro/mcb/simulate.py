@@ -186,4 +186,17 @@ def run_simulated(
         host_pid: make_host(host_pid, vpids) for host_pid, vpids in hosted.items()
     }
     net.run(host_programs, phase=phase)
+    # Annotate the just-finished phase with the simulation geometry so
+    # profiles/exports can normalize real costs back to virtual ones
+    # (R = v*v*S real cycles per virtual cycle, v messages per message).
+    if net.stats.phases:
+        net.stats.phases[-1].extra["simulated"] = {
+            "p_virtual": p_virtual,
+            "k_virtual": k_virtual,
+            "hosts": len(hosted),
+            "v": v,
+            "s": s,
+            "cycles_per_virtual_cycle": v * v * s,
+            "messages_per_message": v,
+        }
     return results

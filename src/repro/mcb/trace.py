@@ -25,6 +25,17 @@ class PhaseStats:
     channel_writes: dict[int, int] = field(default_factory=dict)
     #: per-processor auxiliary-memory peak, 1-based pid -> slots
     aux_peak: dict[int, int] = field(default_factory=dict)
+    #: the network's true channel count, stamped by ``run()`` (0 for
+    #: legacy hand-built stats, where it is inferred from the writes)
+    k: int = 0
+    #: cycles that elapsed while every live processor slept (included in
+    #: ``cycles``; the engine fast-forwarded over them)
+    fast_forward_cycles: int = 0
+    #: concurrent-write incidents survived under the §9 extended
+    #: policies (always 0 on the exclusive model, which aborts instead)
+    collisions: int = 0
+    #: free-form annotations (e.g. ``run_simulated`` overhead factors)
+    extra: dict = field(default_factory=dict)
 
     @property
     def max_aux_peak(self) -> int:
@@ -32,11 +43,33 @@ class PhaseStats:
         return max(self.aux_peak.values(), default=0)
 
     def channel_utilization(self) -> float:
-        """Fraction of channel-cycles actually carrying a message."""
+        """Fraction of channel-cycles actually carrying a message.
+
+        Divides by the network's true ``k`` (stamped at ``run()`` time).
+        Stats predating the stamp fall back to the highest channel index
+        seen — which overstates utilization when high channels are idle,
+        the historical behaviour.
+        """
         if self.cycles == 0 or not self.channel_writes:
             return 0.0
-        k = max(self.channel_writes)
+        k = self.k if self.k > 0 else max(self.channel_writes)
         return self.messages / (self.cycles * k)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly projection used by the obs exporters."""
+        return {
+            "name": self.name,
+            "cycles": self.cycles,
+            "messages": self.messages,
+            "bits": self.bits,
+            "k": self.k,
+            "channel_writes": dict(sorted(self.channel_writes.items())),
+            "max_aux_peak": self.max_aux_peak,
+            "fast_forward_cycles": self.fast_forward_cycles,
+            "collisions": self.collisions,
+            "utilization": self.channel_utilization(),
+            **({"extra": self.extra} if self.extra else {}),
+        }
 
 
 @dataclass
@@ -73,6 +106,10 @@ class RunStats:
                 merged.cycles += ph.cycles
                 merged.messages += ph.messages
                 merged.bits += ph.bits
+                merged.fast_forward_cycles += ph.fast_forward_cycles
+                merged.collisions += ph.collisions
+                merged.k = max(merged.k, ph.k)
+                merged.extra.update(ph.extra)
                 for c, w in ph.channel_writes.items():
                     merged.channel_writes[c] = merged.channel_writes.get(c, 0) + w
                 for pid, peak in ph.aux_peak.items():
@@ -86,6 +123,20 @@ class RunStats:
             if ph.name not in seen:
                 seen.append(ph.name)
         return seen
+
+    def to_dict(self) -> dict:
+        """JSON-friendly projection: totals + per-phase dicts in order."""
+        return {
+            "totals": {
+                "cycles": self.cycles,
+                "messages": self.messages,
+                "bits": self.bits,
+                "max_aux_peak": self.max_aux_peak,
+            },
+            "phases": [
+                self.phase(name).to_dict() for name in self.phase_names()
+            ],
+        }
 
     def breakdown(self) -> str:
         """Human-readable per-phase table (used by examples and benches)."""

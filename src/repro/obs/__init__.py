@@ -1,0 +1,85 @@
+"""repro.obs — structured observability for MCB runs.
+
+The paper's whole empirical argument is cost accounting ("complexity is
+measured in terms of the total number of cycles and the total number of
+broadcast messages", Section 2).  This subsystem turns that accounting
+into an operable pipeline instead of process-local state:
+
+* :mod:`repro.obs.events` — typed run/phase/message/collision events;
+* :mod:`repro.obs.ring` — bounded buffering with overflow accounting;
+* :mod:`repro.obs.sinks` — memory / JSONL / CSV / null sinks + fan-out;
+* :mod:`repro.obs.pipeline` — events -> ring -> sinks plumbing;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms + snapshots;
+* :mod:`repro.obs.hooks` — the observer API the engines dispatch into;
+* :mod:`repro.obs.profile` — the profiler report used by
+  ``python -m repro profile`` (:mod:`repro.obs.cli`).
+
+Quickstart::
+
+    from repro import MCBNetwork, Distribution, mcb_sort
+    from repro.obs import Profiler
+
+    net = MCBNetwork(p=16, k=4)
+    with Profiler(net) as prof:
+        mcb_sort(net, Distribution.even(1024, 16, seed=7))
+    print(prof.report().render())
+
+See ``docs/OBSERVABILITY.md`` for the event schema and sink contracts.
+"""
+
+from .events import (
+    EVENT_TYPES,
+    CollisionDetected,
+    FastForward,
+    MessageBroadcast,
+    ObsEvent,
+    PhaseEnded,
+    PhaseStarted,
+    from_dict,
+)
+from .hooks import (
+    Dispatcher,
+    MetricsObserver,
+    ObservableMixin,
+    Observer,
+    PipelineObserver,
+    TraceObserver,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .pipeline import DEFAULT_CAPACITY, EventPipeline
+from .profile import PhaseProfile, Profiler, ProfileReport
+from .ring import RingBuffer
+from .sinks import CsvSink, FanOutSink, JsonlSink, MemorySink, NullSink, Sink
+
+__all__ = [
+    "CollisionDetected",
+    "Counter",
+    "CsvSink",
+    "DEFAULT_CAPACITY",
+    "Dispatcher",
+    "EVENT_TYPES",
+    "EventPipeline",
+    "FanOutSink",
+    "FastForward",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MemorySink",
+    "MessageBroadcast",
+    "MetricsObserver",
+    "MetricsRegistry",
+    "NullSink",
+    "ObsEvent",
+    "ObservableMixin",
+    "Observer",
+    "PhaseEnded",
+    "PhaseProfile",
+    "PhaseStarted",
+    "PipelineObserver",
+    "Profiler",
+    "ProfileReport",
+    "RingBuffer",
+    "Sink",
+    "TraceObserver",
+    "from_dict",
+]

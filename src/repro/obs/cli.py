@@ -1,0 +1,118 @@
+"""``python -m repro profile`` — run an algorithm fully instrumented.
+
+Examples::
+
+    python -m repro profile sort   --n 1024 --p 16 --k 4
+    python -m repro profile sort   --n 1024 --p 16 --k 4 --json
+    python -m repro profile select --n 1024 --p 16 --k 4 --rank 512
+    python -m repro profile sort   --n 256 --p 8 --k 2 \
+        --events events.jsonl --csv events.csv
+
+Prints the per-phase cost breakdown (cycles, messages, bits,
+channel utilization, hottest channel, aux-memory peak) plus a run-wide
+utilization timeline; ``--json`` emits the same report as one JSON
+document whose ``totals`` match the network's ``RunStats`` exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from typing import Any
+
+from .profile import Profiler
+from .sinks import CsvSink, JsonlSink
+
+
+def add_profile_parser(sub) -> None:
+    """Register the ``profile`` subcommand on the main CLI subparsers."""
+    sp = sub.add_parser(
+        "profile",
+        help="run sort/select under full obs instrumentation",
+        description="Run an algorithm with the repro.obs pipeline attached "
+        "and print/export a per-phase cost profile.",
+    )
+    sp.add_argument("algorithm", choices=["sort", "select"],
+                    help="which paper algorithm to profile")
+    sp.add_argument("--n", type=int, default=1024, help="total elements")
+    sp.add_argument("--p", type=int, default=16, help="processors")
+    sp.add_argument("--k", type=int, default=4, help="broadcast channels")
+    sp.add_argument("--seed", type=int, default=0, help="input seed")
+    sp.add_argument("--skew", type=float, default=None,
+                    help="uneven distribution skew (omit for even)")
+    sp.add_argument("--strategy", default="auto",
+                    help="sort strategy (see `repro sort --help`)")
+    sp.add_argument("--rank", type=int, default=None,
+                    help="selection rank (default: median)")
+    sp.add_argument("--json", action="store_true",
+                    help="emit the report as JSON on stdout")
+    sp.add_argument("--events", default=None, metavar="PATH",
+                    help="also export the raw event stream as JSONL")
+    sp.add_argument("--csv", default=None, metavar="PATH",
+                    help="also export the raw event stream as CSV")
+    sp.add_argument("--timeline-buckets", type=int, default=60,
+                    help="resolution of the utilization timeline")
+    sp.set_defaults(fn=cmd_profile)
+
+
+def cmd_profile(args) -> int:
+    """Execute the profile subcommand; returns the process exit code."""
+    # Imported lazily: repro.cli imports this module at startup and these
+    # pull in numpy + the full algorithm stack.
+    from ..cli import _make_distribution
+    from ..core.problem import is_sorted_output
+    from ..mcb import MCBNetwork
+    from ..select import mcb_select
+    from ..sort import mcb_sort
+
+    dist = _make_distribution(args)
+    net = MCBNetwork(p=args.p, k=args.k)
+
+    config: dict[str, Any] = {
+        "algorithm": args.algorithm,
+        "n": dist.n,
+        "p": args.p,
+        "k": args.k,
+        "seed": args.seed,
+    }
+    if args.skew is not None:
+        config["skew"] = args.skew
+
+    ok = True
+    prof = Profiler(net, config=config, timeline_buckets=args.timeline_buckets)
+    with prof:
+        if args.algorithm == "sort":
+            prof.config["strategy"] = args.strategy
+            result = mcb_sort(net, dist, strategy=args.strategy)
+            ok = is_sorted_output(dist, result.output)
+            prof.config["verified"] = bool(ok)
+        else:
+            rank = args.rank if args.rank is not None else math.ceil(dist.n / 2)
+            if not 1 <= rank <= dist.n:
+                raise SystemExit(f"--rank must lie in 1..{dist.n}")
+            prof.config["rank"] = rank
+            res = mcb_select(net, dist, rank)
+            prof.config["selected"] = res.value
+
+    report = prof.report()
+
+    if args.events:
+        with JsonlSink(args.events) as sink:
+            for ev in prof.sink.events:
+                sink.emit(ev)
+    if args.csv:
+        with CsvSink(args.csv) as sink:
+            for ev in prof.sink.events:
+                sink.emit(ev)
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+        exported = [p for p in (args.events, args.csv) if p]
+        if exported:
+            print(f"\nevent stream written to: {', '.join(exported)}")
+    if not ok:
+        print("WARNING: sorted output failed verification", file=sys.stderr)
+    return 0 if ok else 1

@@ -1,0 +1,170 @@
+"""Typed observability events emitted by the MCB engines.
+
+The paper measures every algorithm "in terms of the total number of
+cycles and the total number of broadcast messages" (Section 2).  The
+event stream makes that accounting *observable while it happens* instead
+of only as post-hoc :class:`~repro.mcb.trace.RunStats`: each
+:meth:`MCBNetwork.run` stage emits one :class:`PhaseStarted`, zero or
+more :class:`MessageBroadcast` / :class:`CollisionDetected` /
+:class:`FastForward` events, and one :class:`PhaseEnded` carrying the
+final phase totals.
+
+Events are frozen dataclasses with a stable ``kind`` discriminator and a
+``to_dict()`` projection, so any sink (JSONL, CSV, in-memory) can
+serialize them without knowing the concrete type.  The schema is
+documented in ``docs/OBSERVABILITY.md``; adding a field is
+backward-compatible, renaming or removing one is not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Mapping
+
+
+@dataclass(frozen=True)
+class ObsEvent:
+    """Base class for all observability events.
+
+    Subclasses set the class attribute ``kind`` — the stable
+    discriminator used by sinks and by :meth:`from_dict`.
+    """
+
+    kind = "event"
+
+    def to_dict(self) -> dict[str, Any]:
+        """Flat, JSON-serializable projection (``kind`` + all fields)."""
+        out: dict[str, Any] = {"kind": self.kind}
+        out.update(asdict(self))
+        return out
+
+
+@dataclass(frozen=True)
+class PhaseStarted(ObsEvent):
+    """A ``run()`` stage began on a network of shape ``(p, k)``."""
+
+    kind = "phase_start"
+
+    phase: str
+    p: int
+    k: int
+
+
+@dataclass(frozen=True)
+class PhaseEnded(ObsEvent):
+    """A ``run()`` stage finished; carries the phase's final totals.
+
+    ``channel_writes`` maps 1-based channel id to write count;
+    ``utilization`` is ``messages / (cycles * k)`` (0.0 for an empty
+    phase); ``fast_forward_cycles`` counts cycles skipped while every
+    processor slept (they still elapse and are included in ``cycles``).
+    """
+
+    kind = "phase_end"
+
+    phase: str
+    p: int
+    k: int
+    cycles: int
+    messages: int
+    bits: int
+    channel_writes: dict[int, int]
+    max_aux_peak: int
+    fast_forward_cycles: int
+    collisions: int
+    utilization: float
+
+
+@dataclass(frozen=True)
+class MessageBroadcast(ObsEvent):
+    """One message delivered on one channel in one cycle.
+
+    ``readers`` is the (possibly empty) tuple of processors that read the
+    channel that cycle — a write with zero readers is still a broadcast
+    and still costs a message.
+    """
+
+    kind = "message"
+
+    phase: str
+    cycle: int
+    channel: int
+    writer: int
+    readers: tuple[int, ...]
+    msg_kind: str
+    fields: tuple
+    bits: int
+
+
+@dataclass(frozen=True)
+class CollisionDetected(ObsEvent):
+    """Concurrent writers hit one channel in one cycle.
+
+    Under the paper's exclusive-write model this aborts the run (the
+    event fires just before :class:`~repro.mcb.errors.CollisionError` is
+    raised); under the ``detect``/``priority`` extended policies the run
+    continues and ``resolution`` records what the channel carried.
+    """
+
+    kind = "collision"
+
+    phase: str
+    cycle: int
+    channel: int
+    writers: tuple[int, ...]
+    resolution: str  # "abort" | "garbled" | "priority"
+
+
+@dataclass(frozen=True)
+class FastForward(ObsEvent):
+    """The engine skipped ``to_cycle - from_cycle`` cycles because every
+    live processor was sleeping.  The skipped cycles still elapse in the
+    cost model; this event exists so utilization timelines can tell
+    silence apart from activity."""
+
+    kind = "fast_forward"
+
+    phase: str
+    from_cycle: int
+    to_cycle: int
+
+    @property
+    def skipped(self) -> int:
+        return self.to_cycle - self.from_cycle
+
+
+#: kind -> event class, for deserialization and schema introspection.
+EVENT_TYPES: dict[str, type[ObsEvent]] = {
+    cls.kind: cls
+    for cls in (
+        PhaseStarted,
+        PhaseEnded,
+        MessageBroadcast,
+        CollisionDetected,
+        FastForward,
+    )
+}
+
+
+def from_dict(payload: Mapping[str, Any]) -> ObsEvent:
+    """Rebuild an event from its :meth:`ObsEvent.to_dict` projection.
+
+    Tuples survive a JSON round-trip as lists; they are coerced back so
+    ``from_dict(json.loads(json.dumps(ev.to_dict())))`` compares equal
+    field-by-field for scalar payloads.
+    """
+    kind = payload.get("kind")
+    cls = EVENT_TYPES.get(kind)  # type: ignore[arg-type]
+    if cls is None:
+        raise ValueError(f"unknown event kind {kind!r}")
+    kwargs: dict[str, Any] = {}
+    for f in fields(cls):
+        if f.name not in payload:
+            raise ValueError(f"event {kind!r} is missing field {f.name!r}")
+        value = payload[f.name]
+        if f.type in ("tuple[int, ...]", "tuple") and isinstance(value, list):
+            value = tuple(value)
+        if f.name == "channel_writes" and isinstance(value, dict):
+            value = {int(c): int(w) for c, w in value.items()}
+        kwargs[f.name] = value
+    return cls(**kwargs)

@@ -1,0 +1,276 @@
+"""The observer hooks API: how engines talk to the obs subsystem.
+
+An :class:`Observer` receives typed events at four (plus one) points of
+an engine's lifecycle::
+
+    on_phase_start(PhaseStarted)    one per run() stage
+    on_message(MessageBroadcast)    one per delivered broadcast
+    on_collision(CollisionDetected) concurrent writers on one channel
+    on_fast_forward(FastForward)    all-asleep cycle skips
+    on_phase_end(PhaseEnded)        one per run() stage
+
+Design constraints, in order:
+
+1. **Zero overhead when nobody listens.**  Engines keep a single
+   ``_dispatch`` slot that is ``None`` until the first observer is
+   attached; the hot loop pays one ``is not None`` test per message and
+   constructs no event objects.
+2. **Observers cannot corrupt a run.**  The dispatcher isolates every
+   callback: an observer that raises is counted (``Dispatcher.errors``)
+   and skipped for the rest of the phase, and the network's own cycle
+   accounting proceeds untouched.
+3. **`record_trace` is just an observer.**  The engine flag now attaches
+   a :class:`TraceObserver` that appends the familiar
+   :class:`~repro.mcb.trace.TraceEvent` rows to ``net.events``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .events import (
+    CollisionDetected,
+    FastForward,
+    MessageBroadcast,
+    ObsEvent,
+    PhaseEnded,
+    PhaseStarted,
+)
+from .metrics import MetricsRegistry
+from .pipeline import EventPipeline
+
+
+class Observer:
+    """Base observer; override any subset of the hook methods."""
+
+    def on_phase_start(self, event: PhaseStarted) -> None:
+        """Called once when a ``run()`` stage begins."""
+
+    def on_phase_end(self, event: PhaseEnded) -> None:
+        """Called once when a ``run()`` stage finishes, with its totals."""
+
+    def on_message(self, event: MessageBroadcast) -> None:
+        """Called for every successfully delivered broadcast."""
+
+    def on_collision(self, event: CollisionDetected) -> None:
+        """Called when several processors write one channel in one cycle."""
+
+    def on_fast_forward(self, event: FastForward) -> None:
+        """Called when the engine skips cycles with all processors asleep."""
+
+
+_HOOK_BY_KIND = {
+    "phase_start": "on_phase_start",
+    "phase_end": "on_phase_end",
+    "message": "on_message",
+    "collision": "on_collision",
+    "fast_forward": "on_fast_forward",
+}
+
+
+class Dispatcher:
+    """Fan an event out to every observer, isolating their failures.
+
+    A raising observer is disabled until the next ``phase_start`` (one
+    bad plugin must not turn every message of a long phase into an
+    exception handler) and the failure is tallied in ``errors``.
+    """
+
+    def __init__(self, observers: list[Observer]):
+        self.observers = observers
+        self.errors: dict[str, int] = {}
+        self._disabled: set[int] = set()
+
+    def dispatch(self, event: ObsEvent) -> None:
+        """Route ``event`` to the matching hook of each healthy observer."""
+        hook_name = _HOOK_BY_KIND[event.kind]
+        if event.kind == "phase_start":
+            self._disabled.clear()
+        for i, obs in enumerate(self.observers):
+            if i in self._disabled:
+                continue
+            try:
+                getattr(obs, hook_name)(event)
+            except Exception:
+                name = type(obs).__name__
+                self.errors[name] = self.errors.get(name, 0) + 1
+                self._disabled.add(i)
+
+
+class ObservableMixin:
+    """Observer management shared by the MCB engines.
+
+    Engines call :meth:`_init_observability` from ``__init__`` and test
+    ``self._dispatch is not None`` in their hot loops — the slot stays
+    ``None`` until the first observer is attached, so an unobserved run
+    constructs no event objects and pays one pointer test per site.
+    """
+
+    def _init_observability(self, record_trace: bool = False) -> None:
+        self._observers: list[Observer] = []
+        self._dispatch: Optional[Dispatcher] = None
+        self.record_trace = record_trace
+        #: Recorded :class:`~repro.mcb.trace.TraceEvent` rows (filled by
+        #: the built-in :class:`TraceObserver` when ``record_trace``).
+        self.events: list = []
+        if record_trace:
+            self.attach_observer(TraceObserver(self))
+
+    def attach_observer(self, observer: Observer) -> None:
+        """Subscribe an observer to this engine's lifecycle events."""
+        self._observers.append(observer)
+        self._dispatch = Dispatcher(self._observers)
+
+    def detach_observer(self, observer: Observer) -> None:
+        """Unsubscribe; unknown observers are ignored."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            return
+        self._dispatch = Dispatcher(self._observers) if self._observers else None
+
+    @property
+    def observers(self) -> tuple:
+        """The currently attached observers (read-only view)."""
+        return tuple(self._observers)
+
+    def _reset_observability(self) -> None:
+        """Detach every observer and clear recorded trace events.
+
+        ``reset_stats()`` calls this so a reused network starts from a
+        clean slate; the built-in trace observer is re-attached when the
+        engine was constructed with ``record_trace=True``.
+        """
+        self._observers = []
+        self._dispatch = None
+        self.events = []
+        if self.record_trace:
+            self.attach_observer(TraceObserver(self))
+
+
+class TraceObserver(Observer):
+    """The legacy ``record_trace=True`` behaviour as an observer.
+
+    Appends a :class:`~repro.mcb.trace.TraceEvent` per delivered message
+    to the owning network's ``events`` list (resolved at call time, so
+    ``reset_stats()`` swapping the list is honoured).
+    """
+
+    def __init__(self, net: Any):
+        self._net = net
+
+    def on_message(self, event: MessageBroadcast) -> None:
+        """Append a TraceEvent row for the delivered broadcast."""
+        from ..mcb.trace import TraceEvent
+
+        self._net.events.append(
+            TraceEvent(
+                cycle=event.cycle,
+                channel=event.channel,
+                writer=event.writer,
+                readers=event.readers,
+                kind=event.msg_kind,
+                fields=event.fields,
+            )
+        )
+
+
+class MetricsObserver(Observer):
+    """Maintain the standard MCB metric set in a registry.
+
+    Metrics kept (all prefixed ``mcb_``):
+
+    * ``mcb_phases_total`` — counter of finished stages;
+    * ``mcb_cycles_total`` / ``mcb_messages_total`` / ``mcb_bits_total``
+      — the Section 2 cost counters, labelled by phase;
+    * ``mcb_channel_writes_total`` — counter labelled by channel;
+    * ``mcb_channel_utilization`` — gauge per phase (messages over
+      cycles*k);
+    * ``mcb_collisions_total`` — counter labelled by resolution policy;
+    * ``mcb_fast_forward_cycles_total`` — cycles skipped while all
+      processors slept;
+    * ``mcb_aux_peak_slots`` — gauge, running max per run;
+    * ``mcb_phase_cycles`` — histogram of per-stage lengths.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self._phases = r.counter("mcb_phases_total", "finished run() stages")
+        self._cycles = r.counter("mcb_cycles_total", "cycles per phase")
+        self._messages = r.counter("mcb_messages_total", "broadcasts per phase")
+        self._bits = r.counter("mcb_bits_total", "broadcast bits per phase")
+        self._chan_writes = r.counter(
+            "mcb_channel_writes_total", "writes per channel"
+        )
+        self._utilization = r.gauge(
+            "mcb_channel_utilization", "messages / (cycles * k), last phase value"
+        )
+        self._collisions = r.counter(
+            "mcb_collisions_total", "concurrent-write incidents by resolution"
+        )
+        self._ff = r.counter(
+            "mcb_fast_forward_cycles_total", "cycles skipped with all asleep"
+        )
+        self._aux = r.gauge("mcb_aux_peak_slots", "max aux slots of any processor")
+        self._phase_hist = r.histogram("mcb_phase_cycles", "stage length in cycles")
+
+    def on_message(self, event: MessageBroadcast) -> None:
+        """Count the write against its channel."""
+        self._chan_writes.inc(channel=event.channel)
+
+    def on_collision(self, event: CollisionDetected) -> None:
+        """Count the collision under its resolution policy."""
+        self._collisions.inc(resolution=event.resolution)
+
+    def on_fast_forward(self, event: FastForward) -> None:
+        """Accumulate the number of skipped all-asleep cycles."""
+        self._ff.inc(event.to_cycle - event.from_cycle)
+
+    def on_phase_end(self, event: PhaseEnded) -> None:
+        """Fold the finished stage's totals into every metric family."""
+        self._phases.inc()
+        self._cycles.inc(event.cycles, phase=event.phase)
+        self._messages.inc(event.messages, phase=event.phase)
+        self._bits.inc(event.bits, phase=event.phase)
+        self._utilization.set(round(event.utilization, 6), phase=event.phase)
+        self._aux.set_max(event.max_aux_peak)
+        self._phase_hist.observe(event.cycles)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Shorthand for ``self.registry.snapshot()``."""
+        return self.registry.snapshot()
+
+
+class PipelineObserver(Observer):
+    """Publish every event into an :class:`EventPipeline`.
+
+    Publishing is an O(1) ring append; the pipeline is flushed to its
+    sinks at phase boundaries (and on ``close()``), keeping sink I/O out
+    of the cycle loop.
+    """
+
+    def __init__(self, pipeline: EventPipeline):
+        self.pipeline = pipeline
+
+    def on_phase_start(self, event: PhaseStarted) -> None:
+        """Publish the event into the pipeline's ring buffer."""
+        self.pipeline.publish(event)
+
+    def on_message(self, event: MessageBroadcast) -> None:
+        """Publish the event into the pipeline's ring buffer."""
+        self.pipeline.publish(event)
+
+    def on_collision(self, event: CollisionDetected) -> None:
+        """Publish the event into the pipeline's ring buffer."""
+        self.pipeline.publish(event)
+
+    def on_fast_forward(self, event: FastForward) -> None:
+        """Publish the event into the pipeline's ring buffer."""
+        self.pipeline.publish(event)
+
+    def on_phase_end(self, event: PhaseEnded) -> None:
+        """Publish the event, then flush to sinks at the phase boundary."""
+        self.pipeline.publish(event)
+        if self.pipeline.auto_flush:
+            self.pipeline.flush()

@@ -1,0 +1,225 @@
+"""A small metrics registry: counters, gauges, histograms, snapshots.
+
+The MCB cost model has a closed set of headline quantities — cycles,
+messages, bits (Section 2), per-channel utilization, collisions (under
+the Section 9 extended policies), sleep/fast-forward skips, and
+per-processor auxiliary-memory peaks (Section 6.1).  The registry gives
+each a named, labelled metric and one ``snapshot()`` that projects the
+whole registry to a plain nested dict — the contract every exporter
+(JSON profile, bench recorder, future Prometheus bridge) builds on.
+
+No external dependencies, no global state: a registry is an object you
+attach to a network via :class:`~repro.obs.hooks.MetricsObserver`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Optional, Sequence, Tuple
+
+LabelKey = Tuple[Tuple[str, Any], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+class _Metric:
+    """Shared naming/labelling plumbing for all metric families."""
+
+    metric_type = "metric"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._samples: dict[LabelKey, Any] = {}
+
+    def labels_seen(self) -> list[dict[str, Any]]:
+        return [dict(key) for key in self._samples]
+
+    def _project(self, value: Any) -> Any:
+        return value
+
+    def snapshot(self) -> Any:
+        """Unlabelled metric -> scalar; labelled -> {label-repr: value}."""
+        if list(self._samples.keys()) == [()]:
+            return self._project(self._samples[()])
+        return {
+            ",".join(f"{k}={v}" for k, v in key) or "": self._project(value)
+            for key, value in sorted(self._samples.items(), key=repr)
+        }
+
+
+class Counter(_Metric):
+    """Monotonically increasing count (messages, collisions, skips)."""
+
+    metric_type = "counter"
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        """Add ``amount`` (>= 0) to the sample selected by ``labels``."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        key = _label_key(labels)
+        self._samples[key] = self._samples.get(key, 0) + amount
+
+    def get(self, **labels: Any) -> float:
+        """Current value for ``labels`` (0 if never incremented)."""
+        return self._samples.get(_label_key(labels), 0)
+
+
+class Gauge(_Metric):
+    """A value that can move both ways (utilization, buffer depth)."""
+
+    metric_type = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        """Replace the sample selected by ``labels`` with ``value``."""
+        self._samples[_label_key(labels)] = value
+
+    def set_max(self, value: float, **labels: Any) -> None:
+        """Keep the running maximum (aux-memory high-water marks)."""
+        key = _label_key(labels)
+        if key not in self._samples or value > self._samples[key]:
+            self._samples[key] = value
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        """Move the sample by ``amount`` (may be negative)."""
+        key = _label_key(labels)
+        self._samples[key] = self._samples.get(key, 0) + amount
+
+    def get(self, **labels: Any) -> float:
+        """Current value for ``labels`` (0 if never set)."""
+        return self._samples.get(_label_key(labels), 0)
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (message sizes, phase lengths).
+
+    ``buckets`` are upper bounds; an implicit ``+Inf`` bucket catches the
+    rest.  The snapshot carries cumulative counts per bound plus
+    ``sum``/``count``, mirroring the Prometheus exposition semantics so
+    downstream tooling needs no new conventions.
+    """
+
+    metric_type = "histogram"
+
+    DEFAULT_BUCKETS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000)
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ):
+        super().__init__(name, help)
+        bounds = (
+            self.DEFAULT_BUCKETS if buckets is None else tuple(sorted(buckets))
+        )
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """Record one observation into the matching bucket."""
+        key = _label_key(labels)
+        state = self._samples.get(key)
+        if state is None:
+            state = {"counts": [0] * (len(self.bounds) + 1), "sum": 0.0, "count": 0}
+            self._samples[key] = state
+        idx = bisect.bisect_left(self.bounds, value)
+        state["counts"][idx] += 1
+        state["sum"] += value
+        state["count"] += 1
+
+    def get(self, **labels: Any) -> dict[str, Any]:
+        """Cumulative ``{buckets, sum, count}`` view for ``labels``."""
+        return self._project(
+            self._samples.get(
+                _label_key(labels),
+                {"counts": [0] * (len(self.bounds) + 1), "sum": 0.0, "count": 0},
+            )
+        )
+
+    def _project(self, state: dict[str, Any]) -> dict[str, Any]:
+        cumulative: dict[str, int] = {}
+        running = 0
+        for bound, n in zip(self.bounds, state["counts"]):
+            running += n
+            cumulative[f"le_{bound:g}"] = running
+        cumulative["le_inf"] = running + state["counts"][-1]
+        return {
+            "buckets": cumulative,
+            "sum": state["sum"],
+            "count": state["count"],
+        }
+
+
+class MetricsRegistry:
+    """Create-or-get metric families; snapshot the lot as a plain dict."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Any:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.metric_type}, not {cls.metric_type}"
+                )
+            return existing
+        metric = cls(name, help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Create (or fetch the existing) :class:`Counter` ``name``."""
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Create (or fetch the existing) :class:`Gauge` ``name``."""
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Iterable[float]] = None,
+    ) -> Histogram:
+        """Create (or fetch the existing) :class:`Histogram` ``name``.
+
+        ``buckets`` only applies on first creation; a later call returns
+        the existing family with its original bounds.
+        """
+        if name in self._metrics:
+            return self._get_or_create(Histogram, name, help)
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    # ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        """Sorted names of every registered metric family."""
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> _Metric:
+        """Look up a registered family; raises ``KeyError`` if absent."""
+        return self._metrics[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def reset(self) -> None:
+        """Drop every registered family (a fresh registry, same object)."""
+        self._metrics.clear()
+
+    def snapshot(self) -> dict[str, Any]:
+        """Project the registry to ``{name: {type, help, value}}``."""
+        return {
+            name: {
+                "type": metric.metric_type,
+                "help": metric.help,
+                "value": metric.snapshot(),
+            }
+            for name, metric in sorted(self._metrics.items())
+        }

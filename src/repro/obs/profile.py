@@ -1,0 +1,263 @@
+"""Profiler: run an algorithm under full instrumentation, report costs.
+
+:class:`Profiler` wraps a network with the whole obs stack — a
+:class:`~repro.obs.hooks.MetricsObserver` plus a
+:class:`~repro.obs.hooks.PipelineObserver` feeding an in-memory sink —
+runs whatever the caller executes on that network, and distills a
+:class:`ProfileReport`:
+
+* per-phase cycles / messages / bits / utilization / hottest channel /
+  aux-memory peak (totals match ``net.stats`` *exactly* — the report is
+  derived from the same :class:`~repro.mcb.trace.RunStats`, the event
+  stream only adds the timeline);
+* a run-wide channel-utilization timeline (phases laid end to end on a
+  global cycle axis, bucketed);
+* the metrics-registry snapshot and pipeline health counters.
+
+Used by ``python -m repro profile`` (see :mod:`repro.obs.cli`) and by
+the benchmark recorder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .events import MessageBroadcast, PhaseEnded, PhaseStarted
+from .hooks import MetricsObserver, PipelineObserver
+from .metrics import MetricsRegistry
+from .pipeline import EventPipeline
+from .sinks import MemorySink
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+@dataclass
+class PhaseProfile:
+    """One (name-merged) phase's cost summary."""
+
+    name: str
+    cycles: int
+    messages: int
+    bits: int
+    utilization: float
+    hottest_channel: Optional[int]
+    hottest_channel_writes: int
+    channel_writes: dict[int, int]
+    max_aux_peak: int
+    fast_forward_cycles: int
+    collisions: int
+
+    def to_dict(self) -> dict[str, Any]:
+        """Project to a JSON-serializable dict (utilization rounded)."""
+        return {
+            "name": self.name,
+            "cycles": self.cycles,
+            "messages": self.messages,
+            "bits": self.bits,
+            "utilization": round(self.utilization, 6),
+            "hottest_channel": self.hottest_channel,
+            "hottest_channel_writes": self.hottest_channel_writes,
+            "channel_writes": dict(sorted(self.channel_writes.items())),
+            "max_aux_peak": self.max_aux_peak,
+            "fast_forward_cycles": self.fast_forward_cycles,
+            "collisions": self.collisions,
+        }
+
+
+@dataclass
+class ProfileReport:
+    """Everything ``repro profile`` prints, as data."""
+
+    config: dict[str, Any]
+    phases: list[PhaseProfile]
+    totals: dict[str, Any]
+    timeline: dict[str, Any]
+    metrics: dict[str, Any] = field(default_factory=dict)
+    pipeline: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Project the whole report to a JSON-serializable dict."""
+        return {
+            "config": self.config,
+            "phases": [ph.to_dict() for ph in self.phases],
+            "totals": self.totals,
+            "timeline": self.timeline,
+            "metrics": self.metrics,
+            "pipeline": self.pipeline,
+        }
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Human-readable profile: per-phase table + timeline sparkline."""
+        lines = []
+        cfg = " ".join(f"{k}={v}" for k, v in self.config.items())
+        if cfg:
+            lines.append(f"profile: {cfg}")
+        header = (
+            f"{'phase':<28}{'cycles':>9}{'messages':>10}{'bits':>12}"
+            f"{'util':>8}{'hot-ch':>8}{'aux':>6}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for ph in self.phases:
+            hot = f"C{ph.hottest_channel}" if ph.hottest_channel else "-"
+            lines.append(
+                f"{ph.name:<28}{ph.cycles:>9}{ph.messages:>10}{ph.bits:>12}"
+                f"{ph.utilization:>8.3f}{hot:>8}{ph.max_aux_peak:>6}"
+            )
+        lines.append("-" * len(header))
+        t = self.totals
+        lines.append(
+            f"{'TOTAL':<28}{t['cycles']:>9}{t['messages']:>10}{t['bits']:>12}"
+            f"{t['utilization']:>8.3f}{'':>8}{t['max_aux_peak']:>6}"
+        )
+        util = self.timeline.get("utilization", [])
+        if util:
+            peak = max(util)
+            spark = "".join(
+                _SPARK[min(len(_SPARK) - 1, int(u / peak * (len(_SPARK) - 1)))]
+                if peak > 0 else _SPARK[0]
+                for u in util
+            )
+            lines.append(
+                f"\nutilization timeline ({self.timeline['total_cycles']} cycles, "
+                f"{len(util)} buckets, peak {peak:.3f}):"
+            )
+            lines.append(f"  [{spark}]")
+        if self.pipeline.get("dropped"):
+            lines.append(
+                f"note: event ring dropped {self.pipeline['dropped']} events; "
+                "timeline is a lower bound"
+            )
+        return "\n".join(lines)
+
+
+class Profiler:
+    """Attach the full obs stack to a network for the caller's run(s).
+
+    Usage::
+
+        net = MCBNetwork(p=16, k=4)
+        with Profiler(net, config={"algo": "sort"}) as prof:
+            mcb_sort(net, dist)
+        report = prof.report()
+
+    Detaches its observers on exit; ``report()`` may be called after.
+    """
+
+    def __init__(
+        self,
+        net: Any,
+        *,
+        config: Optional[dict[str, Any]] = None,
+        capacity: int = 1 << 20,
+        timeline_buckets: int = 60,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.net = net
+        self.config = dict(config or {})
+        self.timeline_buckets = timeline_buckets
+        self.sink = MemorySink()
+        self.events_pipeline = EventPipeline([self.sink], capacity=capacity)
+        self.metrics_observer = MetricsObserver(registry)
+        self.pipeline_observer = PipelineObserver(self.events_pipeline)
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Profiler":
+        self.net.attach_observer(self.metrics_observer)
+        self.net.attach_observer(self.pipeline_observer)
+        self._attached = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    def detach(self) -> None:
+        """Flush the pipeline and remove both observers (idempotent)."""
+        if self._attached:
+            self.events_pipeline.flush()
+            self.net.detach_observer(self.pipeline_observer)
+            self.net.detach_observer(self.metrics_observer)
+            self._attached = False
+
+    # ------------------------------------------------------------------
+    def report(self) -> ProfileReport:
+        """Build the report from ``net.stats`` + the captured events."""
+        self.events_pipeline.flush()
+        stats = self.net.stats
+        k = getattr(self.net, "k", 0)
+
+        phases: list[PhaseProfile] = []
+        for name in stats.phase_names():
+            ph = stats.phase(name)
+            if ph.channel_writes:
+                hot = max(ph.channel_writes, key=lambda c: (ph.channel_writes[c], -c))
+                hot_writes = ph.channel_writes[hot]
+            else:
+                hot, hot_writes = None, 0
+            phases.append(
+                PhaseProfile(
+                    name=name,
+                    cycles=ph.cycles,
+                    messages=ph.messages,
+                    bits=ph.bits,
+                    utilization=ph.channel_utilization(),
+                    hottest_channel=hot,
+                    hottest_channel_writes=hot_writes,
+                    channel_writes=dict(ph.channel_writes),
+                    max_aux_peak=ph.max_aux_peak,
+                    fast_forward_cycles=ph.fast_forward_cycles,
+                    collisions=ph.collisions,
+                )
+            )
+
+        total_cycles = stats.cycles
+        denom = total_cycles * k
+        totals = {
+            "cycles": total_cycles,
+            "messages": stats.messages,
+            "bits": stats.bits,
+            "max_aux_peak": stats.max_aux_peak,
+            "utilization": round(stats.messages / denom, 6) if denom else 0.0,
+        }
+
+        return ProfileReport(
+            config=self.config,
+            phases=phases,
+            totals=totals,
+            timeline=self._timeline(total_cycles, k),
+            metrics=self.metrics_observer.snapshot(),
+            pipeline=self.events_pipeline.stats(),
+        )
+
+    # ------------------------------------------------------------------
+    def _timeline(self, total_cycles: int, k: int) -> dict[str, Any]:
+        """Bucketed run-wide utilization from the captured message events.
+
+        Each ``run()`` stage restarts its cycle counter at 0, so stages
+        are laid end to end on a global axis using the ``phase_end``
+        cycle totals as offsets.
+        """
+        buckets = self.timeline_buckets
+        if total_cycles <= 0 or k <= 0:
+            return {"total_cycles": total_cycles, "bucket_cycles": 0,
+                    "utilization": []}
+        buckets = min(buckets, total_cycles)
+        width = total_cycles / buckets
+        counts = [0] * buckets
+        offset = 0
+        for ev in self.sink.events:
+            if isinstance(ev, MessageBroadcast):
+                g = offset + ev.cycle
+                idx = min(buckets - 1, int(g / width))
+                counts[idx] += 1
+            elif isinstance(ev, PhaseEnded):
+                offset += ev.cycles
+        util = [round(c / (width * k), 6) for c in counts]
+        return {
+            "total_cycles": total_cycles,
+            "bucket_cycles": round(width, 3),
+            "utilization": util,
+        }

@@ -1,0 +1,72 @@
+"""A bounded ring buffer with explicit overflow accounting.
+
+The event pipeline must never let a chatty phase (one message event per
+delivered broadcast) grow memory without bound, and it must never *lie*
+about having seen everything.  ``RingBuffer`` therefore keeps the most
+recent ``capacity`` items and counts every item it had to evict in
+``dropped`` — sinks downstream can report the loss instead of silently
+presenting a truncated stream as complete.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generic, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+class RingBuffer(Generic[T]):
+    """Keep the newest ``capacity`` items; count evictions in ``dropped``."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"ring buffer capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._items: deque[T] = deque()
+        #: Number of items evicted (oldest-first) since the last clear().
+        self.dropped = 0
+        #: Total items ever appended since the last clear().
+        self.pushed = 0
+
+    def append(self, item: T) -> None:
+        """Add one item, evicting the oldest when full."""
+        if len(self._items) >= self.capacity:
+            self._items.popleft()
+            self.dropped += 1
+        self._items.append(item)
+        self.pushed += 1
+
+    def extend(self, items) -> None:
+        """Append every item in ``items`` in order."""
+        for item in items:
+            self.append(item)
+
+    def drain(self) -> list[T]:
+        """Return all buffered items oldest-first and empty the buffer.
+
+        ``dropped``/``pushed`` counters are preserved — draining is
+        consumption, not amnesia.
+        """
+        out = list(self._items)
+        self._items.clear()
+        return out
+
+    def clear(self) -> None:
+        """Empty the buffer and reset the counters."""
+        self._items.clear()
+        self.dropped = 0
+        self.pushed = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        """Iterate oldest-first without consuming."""
+        return iter(tuple(self._items))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RingBuffer(capacity={self.capacity}, len={len(self._items)}, "
+            f"dropped={self.dropped})"
+        )

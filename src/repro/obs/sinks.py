@@ -1,0 +1,294 @@
+"""Pluggable event sinks: where observability events go to live.
+
+A sink consumes event dicts (or anything with a ``to_dict()``).  Four
+built-ins cover the paper-reproduction workflows:
+
+* :class:`MemorySink` — keep events in process (tests, profiler);
+* :class:`JsonlSink` — one JSON object per line (machine-readable runs,
+  the benchmark recorder);
+* :class:`CsvSink` — flat spreadsheet-friendly projection;
+* :class:`NullSink` — count-and-discard (overhead baselines).
+
+:class:`FanOutSink` composes them, isolating failures: one broken sink
+(full disk, closed file, buggy plugin) must never abort an MCB run or
+starve its sibling sinks, so ``emit`` swallows per-sink exceptions and
+accounts them in ``errors``; a sink is quarantined after
+``max_errors`` consecutive failures.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Optional, Union
+
+from .ring import RingBuffer
+
+
+def _as_dict(event: Any) -> Mapping[str, Any]:
+    """Accept ObsEvent-likes (``to_dict``) and plain mappings alike."""
+    if isinstance(event, Mapping):
+        return event
+    to_dict = getattr(event, "to_dict", None)
+    if to_dict is None:
+        raise TypeError(
+            f"sink received {event!r}; expected a mapping or an object "
+            "with to_dict()"
+        )
+    return to_dict()
+
+
+class Sink:
+    """Base sink: override :meth:`emit`; ``flush``/``close`` are optional."""
+
+    def emit(self, event: Any) -> None:
+        """Consume one event (a mapping or an object with ``to_dict``)."""
+        raise NotImplementedError
+
+    def flush(self) -> None:  # pragma: no cover - default no-op
+        """Push any buffered output downstream (default: nothing)."""
+
+    def close(self) -> None:  # pragma: no cover - default no-op
+        """Release resources; the sink must not be used afterwards."""
+
+    # Sinks are context managers so the profiler/CLI can scope them.
+    def __enter__(self) -> "Sink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class NullSink(Sink):
+    """Discard every event, keeping only a count (overhead baseline)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def emit(self, event: Any) -> None:
+        """Bump ``count`` and drop the event."""
+        self.count += 1
+
+
+class MemorySink(Sink):
+    """Buffer events in memory, bounded by an optional ring capacity."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        self._ring: Optional[RingBuffer] = (
+            RingBuffer(capacity) if capacity is not None else None
+        )
+        self._items: list[Any] = []
+
+    def emit(self, event: Any) -> None:
+        """Buffer the event (evicting the oldest when bounded and full)."""
+        if self._ring is not None:
+            self._ring.append(event)
+        else:
+            self._items.append(event)
+
+    @property
+    def events(self) -> list[Any]:
+        """Buffered events, oldest first."""
+        if self._ring is not None:
+            return list(self._ring)
+        return list(self._items)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the bounding ring (0 when unbounded)."""
+        return self._ring.dropped if self._ring is not None else 0
+
+    def clear(self) -> None:
+        """Forget every buffered event (and any drop accounting)."""
+        if self._ring is not None:
+            self._ring.clear()
+        self._items.clear()
+
+    def __len__(self) -> int:
+        return len(self._ring) if self._ring is not None else len(self._items)
+
+
+class JsonlSink(Sink):
+    """Write one compact JSON object per event line.
+
+    ``target`` may be a path (opened lazily, owned and closed by the
+    sink) or any writable text file object (borrowed — ``close()``
+    flushes but does not close it).
+    """
+
+    def __init__(self, target: Union[str, Path, io.TextIOBase, Any]):
+        self._path: Optional[Path] = None
+        self._fh: Optional[Any] = None
+        self._owns_fh = False
+        if isinstance(target, (str, Path)):
+            self._path = Path(target)
+        else:
+            self._fh = target
+        self.count = 0
+
+    def _handle(self):
+        if self._fh is None:
+            assert self._path is not None
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self._path.open("w", encoding="utf-8")
+            self._owns_fh = True
+        return self._fh
+
+    def emit(self, event: Any) -> None:
+        """Serialize the event as one compact JSON line."""
+        payload = _as_dict(event)
+        self._handle().write(
+            json.dumps(payload, separators=(",", ":"), default=str) + "\n"
+        )
+        self.count += 1
+
+    def flush(self) -> None:
+        """Flush the underlying file handle, if open."""
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        """Flush, then close the file if this sink opened it."""
+        if self._fh is not None:
+            self._fh.flush()
+            if self._owns_fh:
+                self._fh.close()
+                self._fh = None
+
+
+class CsvSink(Sink):
+    """Flatten events onto a fixed column set; unknown fields go to ``extra``.
+
+    The header is written on first emit from ``columns`` (default: the
+    union of the core event schema).  Fields outside the column set are
+    JSON-packed into the ``extra`` column so no information is lost.
+    """
+
+    DEFAULT_COLUMNS = (
+        "kind",
+        "phase",
+        "cycle",
+        "channel",
+        "writer",
+        "readers",
+        "msg_kind",
+        "bits",
+        "cycles",
+        "messages",
+        "utilization",
+    )
+
+    def __init__(
+        self,
+        target: Union[str, Path, io.TextIOBase, Any],
+        columns: Optional[Iterable[str]] = None,
+    ):
+        self.columns = tuple(columns) if columns is not None else self.DEFAULT_COLUMNS
+        self._path: Optional[Path] = None
+        self._fh: Optional[Any] = None
+        self._owns_fh = False
+        if isinstance(target, (str, Path)):
+            self._path = Path(target)
+        else:
+            self._fh = target
+        self._writer: Optional[csv.DictWriter] = None
+        self.count = 0
+
+    def _ensure_writer(self) -> csv.DictWriter:
+        if self._writer is None:
+            if self._fh is None:
+                assert self._path is not None
+                self._path.parent.mkdir(parents=True, exist_ok=True)
+                self._fh = self._path.open("w", encoding="utf-8", newline="")
+                self._owns_fh = True
+            self._writer = csv.DictWriter(
+                self._fh, fieldnames=list(self.columns) + ["extra"]
+            )
+            self._writer.writeheader()
+        return self._writer
+
+    def emit(self, event: Any) -> None:
+        """Write the event as one CSV row (header on first emit)."""
+        payload = dict(_as_dict(event))
+        row = {}
+        for col in self.columns:
+            value = payload.pop(col, "")
+            if isinstance(value, (tuple, list)):
+                value = " ".join(str(v) for v in value)
+            row[col] = value
+        row["extra"] = (
+            json.dumps(payload, separators=(",", ":"), default=str)
+            if payload
+            else ""
+        )
+        self._ensure_writer().writerow(row)
+        self.count += 1
+
+    def flush(self) -> None:
+        """Flush the underlying file handle, if open."""
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        """Flush, then close the file if this sink opened it."""
+        if self._fh is not None:
+            self._fh.flush()
+            if self._owns_fh:
+                self._fh.close()
+                self._fh = None
+
+
+class FanOutSink(Sink):
+    """Forward each event to every child sink, isolating failures.
+
+    A child that raises does not abort the emit: the exception is
+    counted in ``errors[i]`` (indexed like ``sinks``) and the remaining
+    children still receive the event.  After ``max_errors`` consecutive
+    failures a child is quarantined (skipped) so a permanently broken
+    sink cannot slow the run; a successful emit resets its streak.
+    """
+
+    def __init__(self, sinks: Iterable[Sink], *, max_errors: int = 10):
+        self.sinks = list(sinks)
+        self.max_errors = max_errors
+        self.errors = [0] * len(self.sinks)
+        self._streak = [0] * len(self.sinks)
+        self.quarantined = [False] * len(self.sinks)
+
+    def emit(self, event: Any) -> None:
+        """Deliver the event to every non-quarantined child sink."""
+        for i, sink in enumerate(self.sinks):
+            if self.quarantined[i]:
+                continue
+            try:
+                sink.emit(event)
+            except Exception:
+                self.errors[i] += 1
+                self._streak[i] += 1
+                if self._streak[i] >= self.max_errors:
+                    self.quarantined[i] = True
+            else:
+                self._streak[i] = 0
+
+    @property
+    def total_errors(self) -> int:
+        """Sum of failures across all child sinks."""
+        return sum(self.errors)
+
+    def flush(self) -> None:
+        """Flush every child, accounting (not raising) failures."""
+        for i, sink in enumerate(self.sinks):
+            try:
+                sink.flush()
+            except Exception:
+                self.errors[i] += 1
+
+    def close(self) -> None:
+        """Close every child, accounting (not raising) failures."""
+        for i, sink in enumerate(self.sinks):
+            try:
+                sink.close()
+            except Exception:
+                self.errors[i] += 1

@@ -239,6 +239,36 @@ class TestAccounting:
         net.run({1: sleepy})
         assert net.stats.cycles == 10
 
+    def test_sleep_zero_costs_one_cycle(self):
+        # Minimum-one-cycle rule: the yield itself consumes a cycle, so
+        # Sleep(0) === Sleep(1) === one empty CycleOp.
+        def zero(ctx):
+            yield Sleep(0)
+
+        def one(ctx):
+            yield Sleep(1)
+
+        for prog in (zero, one):
+            net = MCBNetwork(p=1, k=1)
+            net.run({1: prog})
+            assert net.stats.cycles == 1
+
+    def test_sleep_zero_keeps_alignment_with_peers(self):
+        # A Sleep(0) processor wakes on the *next* cycle, like Sleep(1):
+        # it must miss a cycle-0 broadcast and catch a cycle-1 one.
+        def zero_then_read(ctx):
+            yield Sleep(0)
+            got = yield CycleOp(read=1)
+            return got
+
+        def write_twice(ctx):
+            yield CycleOp(write=1, payload=Message("t", 0))
+            yield CycleOp(write=1, payload=Message("t", 1))
+
+        net = MCBNetwork(p=2, k=1)
+        res = net.run({1: write_twice, 2: zero_then_read})
+        assert res[2] == Message("t", 1)
+
     def test_sleep_preserves_alignment(self):
         # A sleeper waking at cycle 3 must catch a cycle-3 broadcast.
         def late_writer(ctx):
@@ -274,11 +304,25 @@ class TestAccounting:
         assert net.stats.cycles == 0
 
     def test_channel_utilization(self):
+        # One message in one cycle on a k=2 network fills exactly half
+        # the channel-cycles — the divisor is the network's true k, not
+        # the highest channel index that happened to carry traffic.
         net = MCBNetwork(p=2, k=2)
         net.run({1: _writer(1, 1)})
         ph = net.stats.phases[0]
         assert ph.channel_writes == {1: 1}
-        assert 0 < ph.channel_utilization() <= 1
+        assert ph.k == 2
+        assert ph.channel_utilization() == 0.5
+
+    def test_channel_utilization_idle_high_channels(self):
+        # Regression: k is stamped at run() time, so utilization is not
+        # overstated when only low-index channels carry traffic.
+        net = MCBNetwork(p=4, k=4)
+        net.run({1: _writer(1, 1), 2: _reader(1)})
+        ph = net.stats.phases[0]
+        assert ph.channel_utilization() == 1 / 4
+        # Merged view preserves the true k too.
+        assert net.stats.phase(ph.name).channel_utilization() == 1 / 4
 
     def test_aux_memory_tracking(self):
         def alloc(ctx):

@@ -1,0 +1,113 @@
+"""Tests for the obs event types and the bounded ring buffer."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    CollisionDetected,
+    EVENT_TYPES,
+    FastForward,
+    MessageBroadcast,
+    PhaseEnded,
+    PhaseStarted,
+    RingBuffer,
+    from_dict,
+)
+
+
+def _sample_events():
+    return [
+        PhaseStarted(phase="p1", p=4, k=2),
+        MessageBroadcast(
+            phase="p1", cycle=0, channel=1, writer=1, readers=(2, 3),
+            msg_kind="v", fields=(42,), bits=10,
+        ),
+        CollisionDetected(
+            phase="p1", cycle=1, channel=2, writers=(1, 4),
+            resolution="garbled",
+        ),
+        FastForward(phase="p1", from_cycle=2, to_cycle=7),
+        PhaseEnded(
+            phase="p1", p=4, k=2, cycles=8, messages=1, bits=10,
+            channel_writes={1: 1}, max_aux_peak=3, fast_forward_cycles=5,
+            collisions=1, utilization=1 / 16,
+        ),
+    ]
+
+
+class TestEventSchema:
+    def test_kinds_are_stable(self):
+        assert set(EVENT_TYPES) == {
+            "phase_start", "phase_end", "message", "collision", "fast_forward"
+        }
+
+    def test_to_dict_carries_kind_and_fields(self):
+        ev = _sample_events()[1]
+        d = ev.to_dict()
+        assert d["kind"] == "message"
+        assert d["channel"] == 1
+        assert d["readers"] == (2, 3)
+        assert d["msg_kind"] == "v"
+
+    def test_every_event_is_json_serializable(self):
+        for ev in _sample_events():
+            json.dumps(ev.to_dict())
+
+    def test_json_round_trip(self):
+        for ev in _sample_events():
+            wire = json.loads(json.dumps(ev.to_dict()))
+            back = from_dict(wire)
+            assert type(back) is type(ev)
+            assert back.to_dict() == ev.to_dict()
+
+    def test_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            from_dict({"kind": "martian"})
+
+    def test_from_dict_rejects_missing_field(self):
+        with pytest.raises(ValueError):
+            from_dict({"kind": "phase_start", "phase": "x", "p": 1})
+
+    def test_fast_forward_skipped(self):
+        assert FastForward(phase="x", from_cycle=3, to_cycle=9).skipped == 6
+
+
+class TestRingBuffer:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RingBuffer(0)
+
+    def test_keeps_newest_and_counts_drops(self):
+        ring = RingBuffer(3)
+        for i in range(5):
+            ring.append(i)
+        assert list(ring) == [2, 3, 4]
+        assert ring.dropped == 2
+        assert ring.pushed == 5
+        assert len(ring) == 3
+
+    def test_no_drops_under_capacity(self):
+        ring = RingBuffer(10)
+        ring.extend(range(10))
+        assert ring.dropped == 0
+        assert list(ring) == list(range(10))
+
+    def test_drain_empties_but_keeps_counters(self):
+        ring = RingBuffer(2)
+        ring.extend([1, 2, 3])
+        assert ring.drain() == [2, 3]
+        assert len(ring) == 0
+        assert ring.dropped == 1
+        assert ring.pushed == 3
+        # buffer is reusable after drain
+        ring.append(9)
+        assert list(ring) == [9]
+
+    def test_clear_resets_counters(self):
+        ring = RingBuffer(1)
+        ring.extend([1, 2])
+        ring.clear()
+        assert ring.dropped == 0
+        assert ring.pushed == 0
+        assert len(ring) == 0

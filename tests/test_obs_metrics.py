@@ -1,0 +1,104 @@
+"""Tests for the metrics registry: counters, gauges, histograms, snapshots."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_get(self):
+        r = MetricsRegistry()
+        c = r.counter("messages_total")
+        c.inc()
+        c.inc(4)
+        assert c.get() == 5
+
+    def test_labels_are_independent(self):
+        r = MetricsRegistry()
+        c = r.counter("channel_writes")
+        c.inc(channel=1)
+        c.inc(3, channel=2)
+        assert c.get(channel=1) == 1
+        assert c.get(channel=2) == 3
+        assert c.get(channel=9) == 0
+
+    def test_counters_only_go_up(self):
+        c = MetricsRegistry().counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(10)
+        g.inc(-3)
+        assert g.get() == 7
+
+    def test_set_max_keeps_high_water(self):
+        g = MetricsRegistry().gauge("aux_peak")
+        g.set_max(5)
+        g.set_max(3)
+        g.set_max(8)
+        assert g.get() == 8
+
+
+class TestHistogram:
+    def test_observe_buckets_cumulatively(self):
+        h = MetricsRegistry().histogram("sizes", buckets=[1, 10, 100])
+        for v in (0, 1, 5, 50, 500):
+            h.observe(v)
+        snap = h.get()
+        assert snap["buckets"] == {"le_1": 2, "le_10": 3, "le_100": 4,
+                                   "le_inf": 5}
+        assert snap["count"] == 5
+        assert snap["sum"] == 556
+
+    def test_empty_histogram(self):
+        h = MetricsRegistry().histogram("empty", buckets=[1])
+        assert h.get()["count"] == 0
+
+    def test_rejects_empty_buckets(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("bad", buckets=[])
+
+
+class TestRegistry:
+    def test_create_or_get_same_object(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+
+    def test_type_conflict_rejected(self):
+        r = MetricsRegistry()
+        r.counter("a")
+        with pytest.raises(ValueError):
+            r.gauge("a")
+
+    def test_names_and_contains(self):
+        r = MetricsRegistry()
+        r.counter("b")
+        r.gauge("a")
+        assert r.names() == ["a", "b"]
+        assert "a" in r and "z" not in r
+
+    def test_snapshot_is_plain_and_json_serializable(self):
+        r = MetricsRegistry()
+        r.counter("msgs", "help text").inc(2, phase="sort")
+        r.gauge("util").set(0.5)
+        r.histogram("h", buckets=[1, 2]).observe(1.5)
+        snap = r.snapshot()
+        json.dumps(snap)  # must not raise
+        assert snap["msgs"]["type"] == "counter"
+        assert snap["msgs"]["help"] == "help text"
+        assert snap["msgs"]["value"] == {"phase=sort": 2}
+        assert snap["util"]["value"] == 0.5
+        assert snap["h"]["value"]["count"] == 1
+
+    def test_reset(self):
+        r = MetricsRegistry()
+        r.counter("a").inc()
+        r.reset()
+        assert r.names() == []
+        assert r.counter("a").get() == 0

@@ -1,0 +1,135 @@
+"""Tests for the profiler report and the ``repro profile`` CLI."""
+
+import json
+
+import pytest
+
+from repro import Distribution, MCBNetwork, mcb_select, mcb_sort
+from repro.cli import main
+from repro.obs import Profiler
+
+
+class TestProfiler:
+    def test_totals_match_run_stats_exactly(self):
+        net = MCBNetwork(p=8, k=2)
+        dist = Distribution.even(128, 8, seed=5)
+        with Profiler(net) as prof:
+            mcb_sort(net, dist)
+        report = prof.report()
+        assert report.totals["cycles"] == net.stats.cycles
+        assert report.totals["messages"] == net.stats.messages
+        assert report.totals["bits"] == net.stats.bits
+        assert sum(ph.cycles for ph in report.phases) == net.stats.cycles
+        assert sum(ph.messages for ph in report.phases) == net.stats.messages
+
+    def test_select_profile_has_filtering_phases(self):
+        net = MCBNetwork(p=8, k=2)
+        dist = Distribution.even(128, 8, seed=5)
+        with Profiler(net) as prof:
+            mcb_select(net, dist, 64)
+        report = prof.report()
+        assert len(report.phases) > 1
+        names = [ph.name for ph in report.phases]
+        assert any("filter" in n for n in names)
+
+    def test_hottest_channel_and_utilization(self):
+        net = MCBNetwork(p=4, k=2)
+        dist = Distribution.even(32, 4, seed=1)
+        with Profiler(net) as prof:
+            mcb_sort(net, dist)
+        report = prof.report()
+        for ph in report.phases:
+            if ph.messages:
+                assert ph.hottest_channel in ph.channel_writes
+                assert (
+                    ph.hottest_channel_writes
+                    == max(ph.channel_writes.values())
+                )
+                assert 0 < ph.utilization <= 1
+
+    def test_timeline_covers_run(self):
+        net = MCBNetwork(p=8, k=2)
+        dist = Distribution.even(128, 8, seed=5)
+        with Profiler(net, timeline_buckets=10) as prof:
+            mcb_sort(net, dist)
+        tl = prof.report().timeline
+        assert tl["total_cycles"] == net.stats.cycles
+        assert len(tl["utilization"]) == 10
+        assert all(u >= 0 for u in tl["utilization"])
+
+    def test_detaches_on_exit(self):
+        net = MCBNetwork(p=2, k=1)
+        with Profiler(net):
+            assert len(net.observers) == 2
+        assert net.observers == ()
+
+    def test_report_is_json_serializable(self):
+        net = MCBNetwork(p=4, k=2)
+        with Profiler(net, config={"algo": "sort"}) as prof:
+            mcb_sort(net, Distribution.even(32, 4, seed=2))
+        json.dumps(prof.report().to_dict())
+
+    def test_render_contains_phases_and_totals(self):
+        net = MCBNetwork(p=4, k=2)
+        with Profiler(net) as prof:
+            mcb_sort(net, Distribution.even(32, 4, seed=2))
+        text = prof.report().render()
+        assert "TOTAL" in text
+        assert "utilization timeline" in text
+
+
+class TestProfileCli:
+    def test_json_totals_match_rerun_stats(self, capsys):
+        # Acceptance: the CLI's JSON cost profile equals an identical
+        # uninstrumented run's RunStats exactly.
+        rc = main(
+            ["profile", "sort", "--n", "256", "--p", "8", "--k", "2",
+             "--json"]
+        )
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+
+        net = MCBNetwork(p=8, k=2)
+        mcb_sort(net, Distribution.even(256, 8, seed=0))
+        assert report["totals"]["cycles"] == net.stats.cycles
+        assert report["totals"]["messages"] == net.stats.messages
+        assert report["totals"]["bits"] == net.stats.bits
+        assert report["config"]["verified"] is True
+        phase_cycles = sum(p["cycles"] for p in report["phases"])
+        assert phase_cycles == net.stats.cycles
+
+    def test_select_json(self, capsys):
+        rc = main(
+            ["profile", "select", "--n", "128", "--p", "8", "--k", "2",
+             "--rank", "64", "--json"]
+        )
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["config"]["rank"] == 64
+        assert "selected" in report["config"]
+        assert report["totals"]["cycles"] > 0
+
+    def test_table_output(self, capsys):
+        rc = main(["profile", "sort", "--n", "64", "--p", "4", "--k", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "TOTAL" in out
+        assert "algorithm=sort" in out
+
+    def test_event_export(self, tmp_path, capsys):
+        events = tmp_path / "ev.jsonl"
+        csv_path = tmp_path / "ev.csv"
+        rc = main(
+            ["profile", "sort", "--n", "64", "--p", "4", "--k", "2",
+             "--events", str(events), "--csv", str(csv_path)]
+        )
+        assert rc == 0
+        lines = events.read_text().splitlines()
+        kinds = {json.loads(ln)["kind"] for ln in lines}
+        assert {"phase_start", "message", "phase_end"} <= kinds
+        assert csv_path.read_text().count("\n") == len(lines) + 1  # header
+
+    def test_bad_rank_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "select", "--n", "64", "--p", "4", "--k", "2",
+                  "--rank", "1000"])
