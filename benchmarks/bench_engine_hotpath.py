@@ -1,0 +1,181 @@
+"""Engine hot-path microbenchmark: processor-cycles/s on a ping workload.
+
+Measures the scheduler itself, not any algorithm: the first ``k``
+processors each broadcast on their own channel every cycle while all
+``p`` processors read — every cycle is a full write+read round with zero
+local computation, so wall-clock is pure engine overhead.
+
+Three legs per (p, k) configuration:
+
+* ``seed`` — :class:`~repro.mcb.reference.SeedMCBNetwork`: the
+  pre-change dict-scan loop bound to the seed-era frozen-dataclass
+  protocol classes.  This is the baseline the ≥3× acceptance criterion
+  is measured against (kept in-tree so the comparison is reproducible
+  forever, not a one-off against a git stash).
+* ``fast`` — the current :class:`~repro.mcb.MCBNetwork` with programs
+  constructing one ``CycleOp`` per cycle (the worst case for the new
+  engine: op construction dominates).
+* ``fast-hoisted`` — the current engine with programs re-yielding a
+  prebuilt op, the idiom the paper's oblivious schedules use (see
+  ``IDLE`` in ``repro.mcb.program``).  This is the hot-path number.
+
+The same run doubles as an equivalence spot-check: all legs must report
+identical cycles/messages/bits/channel_writes.
+
+Results land in ``benchmarks/results/BENCH_engine_hotpath.json`` (one
+JSON object per line), the perf-trajectory baseline for later PRs.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.mcb import CycleOp, MCBNetwork, Message
+from repro.mcb.reference import (
+    SeedCycleOp,
+    SeedMCBNetwork,
+    SeedMessage,
+)
+from repro.obs.sinks import JsonlSink
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+HOTPATH_JSON = RESULTS_DIR / "BENCH_engine_hotpath.json"
+
+CONFIGS = [(256, 16), (1024, 32)]
+CYCLES = 1500
+#: Acceptance criterion at (1024, 32): fast-hoisted vs the seed stack.
+REQUIRED_SPEEDUP = 3.0
+
+
+def make_ping(op_cls, msg_cls, cycles):
+    """Ping program: constructs one op per cycle (construction-bound)."""
+
+    def ping(ctx):
+        ch = (ctx.pid - 1) % ctx.k + 1
+        if ctx.pid <= ctx.k:
+            msg = msg_cls("ping", ctx.pid)
+            for _ in range(cycles):
+                yield op_cls(write=ch, payload=msg, read=ch)
+        else:
+            for _ in range(cycles):
+                yield op_cls(read=ch)
+        return None
+
+    return ping
+
+
+def make_ping_hoisted(op_cls, msg_cls, cycles):
+    """Ping program re-yielding one prebuilt op (scheduler-bound)."""
+
+    def ping(ctx):
+        ch = (ctx.pid - 1) % ctx.k + 1
+        if ctx.pid <= ctx.k:
+            op = op_cls(write=ch, payload=msg_cls("ping", ctx.pid), read=ch)
+        else:
+            op = op_cls(read=ch)
+        for _ in range(cycles):
+            yield op
+        return None
+
+    return ping
+
+
+def run_leg(net, program_factory, op_cls, msg_cls, p):
+    """Time one engine+workload leg; returns (proc_cycles_per_s, stats)."""
+    programs = {pid: program_factory(op_cls, msg_cls, CYCLES) for pid in range(1, p + 1)}
+    start = time.perf_counter()
+    net.run(programs, phase="ping")
+    wall = time.perf_counter() - start
+    ph = net.stats.phases[-1]
+    assert ph.cycles == CYCLES
+    return p * CYCLES / wall, ph
+
+
+def test_engine_hotpath(benchmark, emit):
+    rows = []
+    records = []
+    speedups = {}
+    for p, k in CONFIGS:
+        legs = {}
+        stats = {}
+
+        seed_net = SeedMCBNetwork(p=p, k=k)
+        legs["seed"], stats["seed"] = run_leg(
+            seed_net, make_ping, SeedCycleOp, SeedMessage, p
+        )
+
+        fast_net = MCBNetwork(p=p, k=k)
+        legs["fast"], stats["fast"] = run_leg(
+            fast_net, make_ping, CycleOp, Message, p
+        )
+
+        hoist_net = MCBNetwork(p=p, k=k)
+        if (p, k) == (1024, 32):
+            # Route the headline leg through pytest-benchmark too.
+            ph = benchmark.pedantic(
+                lambda: run_leg(hoist_net, make_ping_hoisted, CycleOp, Message, p),
+                rounds=1,
+                iterations=1,
+            )
+            legs["fast-hoisted"], stats["fast-hoisted"] = ph
+        else:
+            legs["fast-hoisted"], stats["fast-hoisted"] = run_leg(
+                hoist_net, make_ping_hoisted, CycleOp, Message, p
+            )
+
+        # Equivalence spot-check: identical accounting on every leg.
+        base = stats["seed"]
+        for name, ph in stats.items():
+            assert ph.cycles == base.cycles, name
+            assert ph.messages == base.messages, name
+            assert ph.bits == base.bits, name
+            assert ph.channel_writes == base.channel_writes, name
+
+        speedup_hoisted = legs["fast-hoisted"] / legs["seed"]
+        speedup_constructing = legs["fast"] / legs["seed"]
+        speedups[(p, k)] = speedup_hoisted
+        rows.append(
+            [
+                f"({p},{k})",
+                f"{legs['seed']:,.0f}",
+                f"{legs['fast']:,.0f}",
+                f"{legs['fast-hoisted']:,.0f}",
+                f"{speedup_constructing:.2f}x",
+                f"{speedup_hoisted:.2f}x",
+            ]
+        )
+        records.append(
+            {
+                "p": p,
+                "k": k,
+                "cycles": CYCLES,
+                "proc_cycles_per_s": {
+                    name: round(v, 1) for name, v in legs.items()
+                },
+                "speedup_constructing": round(speedup_constructing, 3),
+                "speedup_hoisted": round(speedup_hoisted, 3),
+                "messages": base.messages,
+                "bits": base.bits,
+            }
+        )
+
+        # The new engine must never lose to the seed stack, even on the
+        # construction-bound variant.
+        assert legs["fast"] > legs["seed"], (p, k)
+
+    assert speedups[(1024, 32)] >= REQUIRED_SPEEDUP, (
+        f"hot path {speedups[(1024, 32)]:.2f}x < required "
+        f"{REQUIRED_SPEEDUP}x over the pre-change engine"
+    )
+
+    with JsonlSink(HOTPATH_JSON) as sink:
+        for rec in records:
+            sink.emit(rec)
+
+    emit(
+        "Engine hot path — processor-cycles/s, ping workload "
+        f"({CYCLES} cycles; ≥{REQUIRED_SPEEDUP:.0f}x required at (1024,32))",
+        ["(p,k)", "seed", "fast", "fast-hoisted", "fast/seed", "hoisted/seed"],
+        rows,
+    )

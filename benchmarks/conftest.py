@@ -22,9 +22,11 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import format_table
+from repro.bench import ResultCache, run_grid
 from repro.obs.sinks import JsonlSink
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+CACHE_DIR = RESULTS_DIR / "cache"
 
 
 class BenchRecorder:
@@ -87,6 +89,34 @@ def record(request, _bench_recorder):
         _bench_recorder.record(request.node.nodeid, payload)
 
     return _record
+
+
+@pytest.fixture(scope="session")
+def bench_cache():
+    """Session-wide deterministic result cache under results/cache/.
+
+    Engine runs are deterministic per (algorithm, p, k, n, seed), so
+    entries persist *across* sessions: re-running a benchmark grid only
+    simulates configurations that have never been measured.  Delete the
+    directory to force a full re-run.
+    """
+    return ResultCache(CACHE_DIR)
+
+
+@pytest.fixture
+def bench_grid(bench_cache):
+    """Run a list of :class:`repro.bench.BenchSpec` through the pool.
+
+    Thin wrapper over :func:`repro.bench.run_grid` that shares the
+    session cache.  Pass ``max_workers=0`` to force in-process runs
+    (the default fans out over all cores).
+    """
+
+    def _run(specs, **kwargs):
+        kwargs.setdefault("cache", bench_cache)
+        return run_grid(specs, **kwargs)
+
+    return _run
 
 
 @pytest.fixture

@@ -1,0 +1,29 @@
+"""Parallel benchmark harness: grid runner + deterministic result cache.
+
+Benchmark grids in ``benchmarks/`` sweep (algorithm, p, k, n, seed)
+configurations that are embarrassingly parallel and — because every
+engine run is deterministic for a fixed seed — perfectly cacheable.
+This package supplies both halves:
+
+* :class:`~repro.bench.cache.ResultCache` — a directory of JSON files
+  keyed on the exact configuration tuple, so re-running a grid skips
+  every configuration already measured;
+* :func:`~repro.bench.runner.run_grid` — a ``ProcessPoolExecutor``
+  fan-out over the uncached configurations, with a picklable worker
+  (:func:`~repro.bench.runner.run_config`) that runs one configuration
+  on a fresh network and returns its ``RunStats`` projection.
+
+``benchmarks/conftest.py`` exposes these as the ``bench_grid`` fixture.
+"""
+
+from .cache import CacheKey, ResultCache
+from .runner import ALGORITHMS, BenchSpec, run_config, run_grid
+
+__all__ = [
+    "ALGORITHMS",
+    "BenchSpec",
+    "CacheKey",
+    "ResultCache",
+    "run_config",
+    "run_grid",
+]

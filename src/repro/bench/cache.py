@@ -1,0 +1,108 @@
+"""Deterministic on-disk cache for benchmark results.
+
+One JSON file per configuration, keyed on the exact
+``(algorithm, p, k, n, seed)`` tuple.  Engine runs are deterministic for
+a fixed seed, so a cache hit is exactly as good as a re-run — grids can
+be resumed, extended, or re-plotted without re-simulating configurations
+that already have results on disk.
+
+The file format is stable: keys are sorted, the key tuple is embedded in
+the payload (``"key"``), and a schema tag (``"cache_version"``) guards
+against reading results written by an incompatible harness.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, NamedTuple, Optional
+
+#: Bump when the stored payload shape changes incompatibly; mismatched
+#: entries read as misses and are overwritten on the next put().
+CACHE_VERSION = 1
+
+
+class CacheKey(NamedTuple):
+    """The identity of one benchmark configuration."""
+
+    algorithm: str
+    p: int
+    k: int
+    n: int
+    seed: int
+
+    def filename(self) -> str:
+        """Deterministic, human-scannable file name for this key."""
+        return (
+            f"{self.algorithm}_p{self.p}_k{self.k}_n{self.n}"
+            f"_seed{self.seed}.json"
+        )
+
+
+class ResultCache:
+    """Directory of per-configuration JSON results.
+
+    Parameters
+    ----------
+    root:
+        Directory to store entries in (created on first write).
+    """
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: CacheKey) -> Path:
+        return self.root / key.filename()
+
+    def get(self, key: CacheKey) -> Optional[dict[str, Any]]:
+        """Return the cached payload for ``key``, or ``None`` on a miss.
+
+        Corrupt or version-mismatched entries count as misses (and will
+        be overwritten by the next :meth:`put`), never as errors.
+        """
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("cache_version") != CACHE_VERSION
+            or payload.get("key") != list(key)
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["result"]
+
+    def put(self, key: CacheKey, result: dict[str, Any]) -> Path:
+        """Store ``result`` for ``key``; returns the file written.
+
+        The write is atomic (temp file + rename) so a crashed run never
+        leaves a half-written entry for later runs to trip over.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        payload = {
+            "cache_version": CACHE_VERSION,
+            "key": list(key),
+            "result": result,
+        }
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+        tmp.replace(path)
+        return path
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ResultCache({str(self.root)!r}, entries={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -106,6 +106,13 @@ class CREWMemory:
                     if not isinstance(op.payload, Message):
                         raise ProtocolError(f"P{pid}: write without Message")
                     if op.write in writes:
+                        # Keep the partial phase (exclusive-write abort):
+                        # costs up to this step stay queryable.
+                        ph.cycles = step
+                        ph.collisions += 1
+                        for cpid, ctx in contexts.items():
+                            ph.aux_peak[cpid] = ctx.aux_peak
+                        self.stats.add(ph)
                         raise CollisionError(
                             step, op.write, [writes[op.write][0], pid]
                         )

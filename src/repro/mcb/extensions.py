@@ -219,6 +219,14 @@ class ExtendedNetwork(ObservableMixin):
                                 resolution="abort",
                             )
                         )
+                    # Record the partial phase before aborting so
+                    # adversary/lower-bound experiments keep the cost
+                    # data accumulated up to the collision.
+                    ph.cycles = cycle
+                    ph.collisions += 1
+                    for cpid, ctx in contexts.items():
+                        ph.aux_peak[cpid] = ctx.aux_peak
+                    self.stats.add(ph)
                     raise CollisionError(cycle, ch, [w for w, _ in writers])
                 else:
                     ph.collisions += 1

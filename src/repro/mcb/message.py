@@ -73,15 +73,25 @@ class Message:
         Scalar payload values (ints, floats, bools, short strings, None).
     """
 
-    __slots__ = ("kind", "fields")
+    __slots__ = ("kind", "fields", "_bits")
 
     def __init__(self, kind: str, *fields: Any):
         self.kind = kind
         self.fields = fields
+        self._bits = -1
 
     def bit_size(self) -> int:
-        """Total encoded size of this message in bits (incl. kind tag)."""
-        return 8 + sum(scalar_bits(f) for f in self.fields)
+        """Total encoded size of this message in bits (incl. kind tag).
+
+        Cached after the first call — messages are immutable, and
+        broadcast schedules frequently deliver one message object many
+        times (every repetition of the Section 2 simulation, every
+        reader round), so the engines charge bits without re-encoding.
+        """
+        bits = self._bits
+        if bits < 0:
+            bits = self._bits = 8 + sum(scalar_bits(f) for f in self.fields)
+        return bits
 
     def __iter__(self):
         return iter(self.fields)

@@ -16,10 +16,45 @@ realizes the model of Section 2 exactly:
 Programs are generators (see :mod:`repro.mcb.program`); an algorithm is a
 sequence of ``run()`` calls (stages), matching the paper's use of globally
 known synchronization points between phases.
+
+Implementation notes (the hot path)
+-----------------------------------
+Every theorem check funnels through :meth:`MCBNetwork.run`, so its inner
+loop is written for throughput while staying *bit-identical* in results
+and cost accounting to the straightforward engine preserved in
+:mod:`repro.mcb.reference` (the equivalence battery in
+``tests/test_engine_equivalence.py`` enforces this):
+
+* participating processors live in a dense **slot arena** (lists indexed
+  by slot, assigned in program order) instead of dicts keyed by pid —
+  per-cycle bookkeeping is list indexing, not hashing;
+* each generator's ``send`` is **pre-bound** once, and a ``ready`` list
+  carries exactly the slots that act this cycle, so no O(p) wake scan
+  happens per cycle;
+* sleeping processors park in a **wake heap** keyed ``(wake_cycle,
+  slot)``; waking and the all-asleep fast-forward are O(log p) instead
+  of an O(p) min-scan.  Slots due in the same cycle pop in ascending
+  slot order and are merged back so the per-cycle service order stays
+  program order, exactly like the reference engine;
+* channel state is a pair of **slot-indexed lists** over ``1..k``
+  (writer pid and message), reset lazily for only the channels actually
+  written, and per-phase channel-write counters accumulate in a flat
+  list that is densified into ``PhaseStats.channel_writes`` once at
+  phase end (ascending channel order);
+* write **validation is hoisted** to a single fast guard per write (the
+  slow ``_validate_write`` path only runs to raise the precise error, or
+  to admit ``Message`` subclasses), and **observer dispatch** never
+  constructs event objects unless an observer is attached.
+
+On a collision the engine records the aborted phase's partial
+:class:`~repro.mcb.trace.PhaseStats` (costs of all completed cycles,
+``collisions=1``) via ``stats.add`` before raising, so adversary and
+lower-bound experiments keep their cost data.
 """
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Any, Optional, Sequence
 
 from ..obs.events import (
@@ -152,33 +187,66 @@ class MCBNetwork(ObservableMixin):
                     f"program assigned to nonexistent processor P{pid}"
                 )
 
-        contexts: dict[int, ProcContext] = {}
-        gens: dict[int, Any] = {}
-        for pid, fn in programs.items():
+        # --- dense slot arena: slot order == program order ---------------
+        pids: list[int] = list(programs)
+        m = len(pids)
+        contexts: list[ProcContext] = []
+        sends: list[Any] = []
+        for pid in pids:
             ctx = ProcContext(
                 pid=pid,
                 p=self.p,
                 k=self.k,
                 data=None if data is None else data.get(pid),
             )
-            contexts[pid] = ctx
-            gens[pid] = fn(ctx)
+            contexts.append(ctx)
+            sends.append(programs[pid](ctx).send)
 
-        results: dict[int, Any] = {pid: None for pid in programs}
-        inbox: dict[int, Any] = {pid: None for pid in programs}
-        wake: dict[int, int] = {pid: 0 for pid in programs}
+        results: dict[int, Any] = {pid: None for pid in pids}
+        inbox: list[Any] = [None] * m
 
-        ph = PhaseStats(name=phase, k=self.k)
+        k = self.k
+        max_fields = self.max_message_fields
+        ph = PhaseStats(name=phase, k=k)
         dispatch = self._dispatch
         if dispatch is not None:
-            dispatch.dispatch(PhaseStarted(phase=phase, p=self.p, k=self.k))
+            dispatch.dispatch(PhaseStarted(phase=phase, p=self.p, k=k))
+
+        # Channel arena, 1-based (slot 0 unused).  writer 0 = silent,
+        # writer -1 = collided this cycle.
+        chan_writer = [0] * (k + 1)
+        chan_msg: list[Any] = [None] * (k + 1)
+        cw_counts = [0] * (k + 1)
+        messages = 0
+        bits_acc = 0
+
+        sleep_heap: list[tuple[int, int]] = []
+        ready: list[int] = list(range(m))
         cycle = 0
-        while gens:
-            acting = [pid for pid in gens if wake[pid] <= cycle]
-            if not acting:
+
+        # Local bindings for the hot loop.
+        CycleOp_, Sleep_, Message_, EMPTY_ = CycleOp, Sleep, Message, EMPTY
+
+        def _commit_counters() -> None:
+            ph.messages = messages
+            ph.bits = bits_acc
+            ph.channel_writes = {
+                ch: n for ch, n in enumerate(cw_counts) if n
+            }
+            for slot, ctx in enumerate(contexts):
+                ph.aux_peak[pids[slot]] = ctx.aux_peak
+
+        while True:
+            if sleep_heap and sleep_heap[0][0] <= cycle:
+                while sleep_heap and sleep_heap[0][0] <= cycle:
+                    ready.append(heappop(sleep_heap)[1])
+                ready.sort()
+            if not ready:
+                if not sleep_heap:
+                    break  # every program finished
                 # Everyone is sleeping: fast-forward to the earliest waker.
                 # The skipped cycles still elapse (and are counted below).
-                target = min(wake[pid] for pid in gens)
+                target = sleep_heap[0][0]
                 ph.fast_forward_cycles += target - cycle
                 if dispatch is not None:
                     dispatch.dispatch(
@@ -194,55 +262,83 @@ class MCBNetwork(ObservableMixin):
                 )
 
             # --- collect this cycle's ops from every awake processor -----
-            writes: dict[int, tuple[int, Message]] = {}  # channel -> (pid, msg)
-            collided: dict[int, list[int]] = {}
-            reads: list[tuple[int, int]] = []  # (pid, channel)
-            any_op = False
-            for pid in acting:
+            next_ready: list[int] = []
+            written: list[int] = []
+            read_slots: list[int] = []
+            read_chans: list[int] = []
+            collided: Optional[dict[int, list[int]]] = None
+            keep = next_ready.append
+            add_read_slot = read_slots.append
+            add_read_chan = read_chans.append
+            finished = 0
+            for slot in ready:
                 try:
-                    op = gens[pid].send(inbox[pid])
+                    op = sends[slot](inbox[slot])
                 except StopIteration as stop:
-                    results[pid] = stop.value
-                    del gens[pid]
+                    inbox[slot] = None
+                    results[pids[slot]] = stop.value
+                    finished += 1
                     continue
-                finally:
-                    inbox[pid] = None
-                any_op = True
-                if isinstance(op, Sleep):
-                    if op.cycles < 0:
+                inbox[slot] = None
+                cls = op.__class__
+                if cls is not CycleOp_:
+                    if cls is Sleep_ or isinstance(op, Sleep_):
+                        c = op.cycles
+                        if c < 0:
+                            raise ProtocolError(
+                                f"P{pids[slot]} requested a negative sleep ({c})"
+                            )
+                        # Minimum-one-cycle rule (see the Sleep docstring):
+                        # the yield itself consumed this cycle, so Sleep(0)
+                        # === Sleep(1) === one empty CycleOp.
+                        if c <= 1:
+                            keep(slot)
+                        else:
+                            heappush(sleep_heap, (cycle + c, slot))
+                        continue
+                    if not isinstance(op, CycleOp_):
                         raise ProtocolError(
-                            f"P{pid} requested a negative sleep ({op.cycles})"
+                            f"P{pids[slot]} yielded {op!r}; expected CycleOp or Sleep"
                         )
-                    # Minimum-one-cycle rule (see the Sleep docstring):
-                    # the yield itself consumed this cycle, so Sleep(0)
-                    # === Sleep(1) === one empty CycleOp.
-                    wake[pid] = cycle + max(1, op.cycles)
-                    continue
-                if not isinstance(op, CycleOp):
-                    raise ProtocolError(
-                        f"P{pid} yielded {op!r}; expected CycleOp or Sleep"
-                    )
-                wake[pid] = cycle + 1
-                if op.write is not None:
-                    self._validate_write(pid, op, cycle)
-                    if op.write in writes or op.write in collided:
-                        collided.setdefault(
-                            op.write, [writes.pop(op.write)[0]] if op.write in writes else []
-                        ).append(pid)
+                keep(slot)
+                w = op.write
+                if w is not None:
+                    payload = op.payload
+                    if (
+                        not 1 <= w <= k
+                        or payload.__class__ is not Message_
+                        or len(payload.fields) > max_fields
+                    ):
+                        # Raises the precise ProtocolError/MessageSizeError;
+                        # falls through only for Message subclasses.
+                        self._validate_write(pids[slot], op, cycle)
+                    prev = chan_writer[w]
+                    if prev:
+                        if collided is None:
+                            collided = {}
+                        if prev != -1:
+                            chan_writer[w] = -1
+                            collided[w] = [prev, pids[slot]]
+                        else:
+                            collided[w].append(pids[slot])
                     else:
-                        writes[op.write] = (pid, op.payload)
+                        chan_writer[w] = pids[slot]
+                        chan_msg[w] = payload
+                        written.append(w)
                 elif op.payload is not None:
                     raise ProtocolError(
-                        f"P{pid} attached a payload without a write channel"
+                        f"P{pids[slot]} attached a payload without a write channel"
                     )
-                if op.read is not None:
-                    if not 1 <= op.read <= self.k:
+                r = op.read
+                if r is not None:
+                    if not 1 <= r <= k:
                         raise ProtocolError(
-                            f"P{pid} read invalid channel C{op.read} (k={self.k})"
+                            f"P{pids[slot]} read invalid channel C{r} (k={k})"
                         )
-                    reads.append((pid, op.read))
+                    add_read_slot(slot)
+                    add_read_chan(r)
 
-            if collided:
+            if collided is not None:
                 channel, writers = next(iter(collided.items()))
                 if dispatch is not None:
                     dispatch.dispatch(
@@ -254,51 +350,71 @@ class MCBNetwork(ObservableMixin):
                             resolution="abort",
                         )
                     )
+                # Preserve the aborted phase's cost data: all completed
+                # cycles are recorded, stamped with collisions=1, so
+                # adversary/lower-bound experiments keep their stats.
+                _commit_counters()
+                ph.cycles = cycle
+                ph.collisions = 1
+                self.stats.add(ph)
                 raise CollisionError(cycle, channel, writers)
 
             # --- deliver reads -------------------------------------------
-            readers_by_channel: dict[int, list[int]] = {}
-            for pid, ch in reads:
-                if pid in gens:  # the generator may have just finished
-                    readers_by_channel.setdefault(ch, []).append(pid)
-                    inbox[pid] = EMPTY
-            for ch, (writer, msg) in writes.items():
-                bits = msg.bit_size()
-                ph.messages += 1
-                ph.bits += bits
-                ph.channel_writes[ch] = ph.channel_writes.get(ch, 0) + 1
-                receivers = readers_by_channel.get(ch, [])
-                for pid in receivers:
-                    inbox[pid] = msg
-                if dispatch is not None:
+            if dispatch is None:
+                if written:
+                    for slot, ch in zip(read_slots, read_chans):
+                        inbox[slot] = chan_msg[ch] if chan_writer[ch] else EMPTY_
+                    for ch in written:
+                        messages += 1
+                        bits_acc += chan_msg[ch].bit_size()
+                        cw_counts[ch] += 1
+                        chan_writer[ch] = 0
+                        chan_msg[ch] = None
+                else:
+                    for slot in read_slots:
+                        inbox[slot] = EMPTY_
+            else:
+                readers_by_channel: dict[int, list[int]] = {}
+                for slot, ch in zip(read_slots, read_chans):
+                    inbox[slot] = chan_msg[ch] if chan_writer[ch] else EMPTY_
+                    readers_by_channel.setdefault(ch, []).append(pids[slot])
+                for ch in written:
+                    msg = chan_msg[ch]
+                    bits = msg.bit_size()
+                    messages += 1
+                    bits_acc += bits
+                    cw_counts[ch] += 1
                     dispatch.dispatch(
                         MessageBroadcast(
                             phase=phase,
                             cycle=cycle,
                             channel=ch,
-                            writer=writer,
-                            readers=tuple(receivers),
+                            writer=chan_writer[ch],
+                            readers=tuple(readers_by_channel.get(ch, ())),
                             msg_kind=msg.kind,
                             fields=msg.fields,
                             bits=bits,
                         )
                     )
-            if any_op:
+                    chan_writer[ch] = 0
+                    chan_msg[ch] = None
+            if finished < len(ready):
                 # A cycle elapsed only if some processor participated in the
-                # round; generators that return without yielding never
-                # consumed network time.
+                # round (yielded anything); rounds in which every serviced
+                # generator returned without yielding never consumed
+                # network time.
                 cycle += 1
+            ready = next_ready
 
+        _commit_counters()
         ph.cycles = cycle
-        for pid, ctx in contexts.items():
-            ph.aux_peak[pid] = ctx.aux_peak
         self.stats.add(ph)
         if dispatch is not None:
             dispatch.dispatch(
                 PhaseEnded(
                     phase=phase,
                     p=self.p,
-                    k=self.k,
+                    k=k,
                     cycles=ph.cycles,
                     messages=ph.messages,
                     bits=ph.bits,

@@ -39,9 +39,17 @@ ReadResult = Any
 ProgramFn = Callable[["ProcContext"], Generator]
 
 
-@dataclass(frozen=True)
 class CycleOp:
     """One processor's channel activity for one cycle.
+
+    A hand-written ``__slots__`` class rather than a dataclass: programs
+    construct (or re-yield) one of these per processor per cycle, which
+    makes ``__init__`` and the three attribute reads part of the engine
+    hot path.  Treat instances as immutable — they may be yielded
+    repeatedly (schedules that hoist a ``CycleOp`` out of their loop,
+    like the module-level :data:`IDLE`, skip construction entirely), and
+    the engines rely on an op not changing between collection and
+    delivery within a cycle.
 
     Attributes
     ----------
@@ -53,12 +61,36 @@ class CycleOp:
         1-based channel index to read, or ``None`` to skip the read step.
     """
 
-    write: Optional[int] = None
-    payload: Optional[Message] = None
-    read: Optional[int] = None
+    __slots__ = ("write", "payload", "read")
+
+    def __init__(
+        self,
+        write: Optional[int] = None,
+        payload: Optional[Message] = None,
+        read: Optional[int] = None,
+    ):
+        self.write = write
+        self.payload = payload
+        self.read = read
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, CycleOp)
+            and self.write == other.write
+            and self.payload == other.payload
+            and self.read == other.read
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.write, self.payload, self.read))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CycleOp(write={self.write!r}, payload={self.payload!r}, "
+            f"read={self.read!r})"
+        )
 
 
-@dataclass(frozen=True)
 class Sleep:
     """Idle for exactly ``cycles`` cycles (no reads, no writes).
 
@@ -69,9 +101,24 @@ class Sleep:
     cycle, so a zero-cycle sleep cannot be a no-op; the engines enforce
     ``wake = cycle + max(1, cycles)``.  Negative values are a
     :class:`~repro.mcb.errors.ProtocolError`.
+
+    Like :class:`CycleOp`, a plain ``__slots__`` class on the engine hot
+    path; treat instances as immutable.
     """
 
-    cycles: int
+    __slots__ = ("cycles",)
+
+    def __init__(self, cycles: int):
+        self.cycles = cycles
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Sleep) and self.cycles == other.cycles
+
+    def __hash__(self) -> int:
+        return hash(self.cycles)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Sleep({self.cycles!r})"
 
 
 #: A no-op cycle (participate in the round, touch no channel).

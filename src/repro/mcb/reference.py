@@ -1,0 +1,486 @@
+"""The pre-optimization MCB engine, kept verbatim as a correctness oracle.
+
+When the hot path of :class:`~repro.mcb.network.MCBNetwork` was rewritten
+for throughput (slot-indexed arenas, a heap-based wake queue, hoisted
+validation — see ``docs/MODEL.md`` § "Engine performance"), the original
+straightforward implementation was moved here **unchanged**.  It is not
+exported from :mod:`repro.mcb` and is not meant for production use; it
+exists so that
+
+* the equivalence test battery (``tests/test_engine_equivalence.py``)
+  can prove the fast engine produces bit-identical ``RunStats`` (cycles,
+  messages, bits, channel_writes, aux_peak, fast_forward_cycles) and
+  per-processor results on the sort / select / bounds suites, and
+* the hot-path microbenchmark (``benchmarks/bench_engine_hotpath.py``)
+  can report the speedup against the exact pre-change code.
+
+The one deliberate behavioural addition mirrored from the fast engine is
+the partial-:class:`PhaseStats` record on :class:`CollisionError` (the
+aborted phase is recorded with ``collisions=1`` before the exception
+propagates), so the two engines stay comparable on adversary workloads.
+
+:func:`run_simulated_reference` likewise preserves the original
+O(v²·s·|ops|) linear-scan scheduling of :func:`repro.mcb.simulate.run_simulated`
+before the per-virtual-cycle lookup tables were introduced.
+
+Two bindings of the reference engine exist because the shared protocol
+classes (:class:`CycleOp`, :class:`Sleep`, :class:`Message`) were
+*themselves* part of the optimization (``__slots__``, cached
+``bit_size``), so the loop alone does not reproduce the pre-change
+throughput:
+
+* :class:`ReferenceMCBNetwork` — the old loop bound to the **current**
+  protocol classes.  This is the equivalence oracle: it runs the very
+  same programs as the fast engine.
+* :class:`SeedMCBNetwork` — the old loop bound to verbatim copies of
+  the **seed-era** protocol classes (:class:`SeedCycleOp`,
+  :class:`SeedSleep`, :class:`SeedMessage`).  This is the perf
+  baseline: driving it with seed-class ops reproduces the pre-change
+  hot path end to end, so the hot-path microbenchmark's speedup factor
+  is measured against the real past, not a moving target.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from ..obs.events import (
+    CollisionDetected,
+    FastForward,
+    MessageBroadcast,
+    PhaseEnded,
+    PhaseStarted,
+)
+from ..obs.hooks import ObservableMixin
+from .errors import (
+    CollisionError,
+    ConfigurationError,
+    MessageSizeError,
+    ProtocolError,
+)
+from .message import EMPTY, Message, scalar_bits
+from .program import CycleOp, ProcContext, ProgramFn, Sleep
+from .trace import PhaseStats, RunStats
+
+
+# ---------------------------------------------------------------------------
+# Seed-era protocol classes, verbatim (pre-__slots__ ops, uncached bit_size)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SeedCycleOp:
+    """The seed tree's ``CycleOp``: a plain frozen dataclass."""
+
+    write: Optional[int] = None
+    payload: Optional["SeedMessage"] = None
+    read: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class SeedSleep:
+    """The seed tree's ``Sleep``: a plain frozen dataclass."""
+
+    cycles: int
+
+
+class SeedMessage:
+    """The seed tree's ``Message``: ``bit_size`` re-encodes on every call."""
+
+    __slots__ = ("kind", "fields")
+
+    def __init__(self, kind: str, *fields: Any):
+        self.kind = kind
+        self.fields = fields
+
+    def bit_size(self) -> int:
+        """Total encoded size of this message in bits (incl. kind tag)."""
+        return 8 + sum(scalar_bits(f) for f in self.fields)
+
+
+class ReferenceMCBNetwork(ObservableMixin):
+    """The original per-cycle dict-scan MCB(p, k) engine (oracle only).
+
+    The protocol classes the loop validates against are class attributes
+    so :class:`SeedMCBNetwork` can rebind them to the seed-era copies;
+    this binding indirection is the only deviation from the original
+    source.
+    """
+
+    _CycleOp: type = CycleOp
+    _Sleep: type = Sleep
+    _Message: type = Message
+
+    def __init__(
+        self,
+        p: int,
+        k: int,
+        *,
+        max_message_fields: int = 8,
+        record_trace: bool = False,
+    ):
+        if p < 1:
+            raise ConfigurationError(f"need at least one processor, got p={p}")
+        if k < 1:
+            raise ConfigurationError(f"need at least one channel, got k={k}")
+        if k > p:
+            raise ConfigurationError(
+                f"the model requires k <= p, got p={p}, k={k}"
+            )
+        self.p = p
+        self.k = k
+        self.max_message_fields = max_message_fields
+        self.stats = RunStats()
+        self._init_observability(record_trace=record_trace)
+
+    # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Forget all accumulated statistics and detach every observer."""
+        self.stats = RunStats()
+        self._reset_observability()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        programs: dict[int, ProgramFn] | Sequence[ProgramFn],
+        *,
+        phase: str = "phase",
+        data: Optional[dict[int, Any]] = None,
+        max_cycles: int = 50_000_000,
+    ) -> dict[int, Any]:
+        """Execute one synchronized stage (original implementation)."""
+        if not isinstance(programs, dict):
+            if len(programs) != self.p:
+                raise ConfigurationError(
+                    f"expected {self.p} programs, got {len(programs)}"
+                )
+            programs = {i + 1: fn for i, fn in enumerate(programs)}
+        for pid in programs:
+            if not 1 <= pid <= self.p:
+                raise ConfigurationError(
+                    f"program assigned to nonexistent processor P{pid}"
+                )
+
+        contexts: dict[int, ProcContext] = {}
+        gens: dict[int, Any] = {}
+        for pid, fn in programs.items():
+            ctx = ProcContext(
+                pid=pid,
+                p=self.p,
+                k=self.k,
+                data=None if data is None else data.get(pid),
+            )
+            contexts[pid] = ctx
+            gens[pid] = fn(ctx)
+
+        results: dict[int, Any] = {pid: None for pid in programs}
+        inbox: dict[int, Any] = {pid: None for pid in programs}
+        wake: dict[int, int] = {pid: 0 for pid in programs}
+
+        ph = PhaseStats(name=phase, k=self.k)
+        dispatch = self._dispatch
+        if dispatch is not None:
+            dispatch.dispatch(PhaseStarted(phase=phase, p=self.p, k=self.k))
+        Sleep_, CycleOp_ = self._Sleep, self._CycleOp
+        cycle = 0
+        while gens:
+            acting = [pid for pid in gens if wake[pid] <= cycle]
+            if not acting:
+                target = min(wake[pid] for pid in gens)
+                ph.fast_forward_cycles += target - cycle
+                if dispatch is not None:
+                    dispatch.dispatch(
+                        FastForward(
+                            phase=phase, from_cycle=cycle, to_cycle=target
+                        )
+                    )
+                cycle = target
+                continue
+            if cycle >= max_cycles:
+                raise ProtocolError(
+                    f"stage '{phase}' exceeded max_cycles={max_cycles}"
+                )
+
+            # --- collect this cycle's ops from every awake processor -----
+            writes: dict[int, tuple[int, Any]] = {}  # channel -> (pid, msg)
+            collided: dict[int, list[int]] = {}
+            reads: list[tuple[int, int]] = []  # (pid, channel)
+            any_op = False
+            for pid in acting:
+                try:
+                    op = gens[pid].send(inbox[pid])
+                except StopIteration as stop:
+                    results[pid] = stop.value
+                    del gens[pid]
+                    continue
+                finally:
+                    inbox[pid] = None
+                any_op = True
+                if isinstance(op, Sleep_):
+                    if op.cycles < 0:
+                        raise ProtocolError(
+                            f"P{pid} requested a negative sleep ({op.cycles})"
+                        )
+                    wake[pid] = cycle + max(1, op.cycles)
+                    continue
+                if not isinstance(op, CycleOp_):
+                    raise ProtocolError(
+                        f"P{pid} yielded {op!r}; expected CycleOp or Sleep"
+                    )
+                wake[pid] = cycle + 1
+                if op.write is not None:
+                    self._validate_write(pid, op, cycle)
+                    if op.write in writes or op.write in collided:
+                        collided.setdefault(
+                            op.write, [writes.pop(op.write)[0]] if op.write in writes else []
+                        ).append(pid)
+                    else:
+                        writes[op.write] = (pid, op.payload)
+                elif op.payload is not None:
+                    raise ProtocolError(
+                        f"P{pid} attached a payload without a write channel"
+                    )
+                if op.read is not None:
+                    if not 1 <= op.read <= self.k:
+                        raise ProtocolError(
+                            f"P{pid} read invalid channel C{op.read} (k={self.k})"
+                        )
+                    reads.append((pid, op.read))
+
+            if collided:
+                channel, writers = next(iter(collided.items()))
+                if dispatch is not None:
+                    dispatch.dispatch(
+                        CollisionDetected(
+                            phase=phase,
+                            cycle=cycle,
+                            channel=channel,
+                            writers=tuple(writers),
+                            resolution="abort",
+                        )
+                    )
+                # Record the partial phase (costs of the completed cycles)
+                # so adversary experiments keep their data — mirrored from
+                # the fast engine.
+                ph.cycles = cycle
+                ph.collisions = 1
+                for pid, ctx in contexts.items():
+                    ph.aux_peak[pid] = ctx.aux_peak
+                self.stats.add(ph)
+                raise CollisionError(cycle, channel, writers)
+
+            # --- deliver reads -------------------------------------------
+            readers_by_channel: dict[int, list[int]] = {}
+            for pid, ch in reads:
+                if pid in gens:  # the generator may have just finished
+                    readers_by_channel.setdefault(ch, []).append(pid)
+                    inbox[pid] = EMPTY
+            for ch, (writer, msg) in writes.items():
+                bits = msg.bit_size()
+                ph.messages += 1
+                ph.bits += bits
+                ph.channel_writes[ch] = ph.channel_writes.get(ch, 0) + 1
+                receivers = readers_by_channel.get(ch, [])
+                for pid in receivers:
+                    inbox[pid] = msg
+                if dispatch is not None:
+                    dispatch.dispatch(
+                        MessageBroadcast(
+                            phase=phase,
+                            cycle=cycle,
+                            channel=ch,
+                            writer=writer,
+                            readers=tuple(receivers),
+                            msg_kind=msg.kind,
+                            fields=msg.fields,
+                            bits=bits,
+                        )
+                    )
+            if any_op:
+                cycle += 1
+
+        ph.cycles = cycle
+        for pid, ctx in contexts.items():
+            ph.aux_peak[pid] = ctx.aux_peak
+        self.stats.add(ph)
+        if dispatch is not None:
+            dispatch.dispatch(
+                PhaseEnded(
+                    phase=phase,
+                    p=self.p,
+                    k=self.k,
+                    cycles=ph.cycles,
+                    messages=ph.messages,
+                    bits=ph.bits,
+                    channel_writes=dict(ph.channel_writes),
+                    max_aux_peak=ph.max_aux_peak,
+                    fast_forward_cycles=ph.fast_forward_cycles,
+                    collisions=ph.collisions,
+                    utilization=ph.channel_utilization(),
+                )
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    def _validate_write(self, pid: int, op: Any, cycle: int) -> None:
+        if not 1 <= op.write <= self.k:
+            raise ProtocolError(
+                f"P{pid} wrote invalid channel C{op.write} (k={self.k}) "
+                f"at cycle {cycle}"
+            )
+        if not isinstance(op.payload, self._Message):
+            raise ProtocolError(
+                f"P{pid} wrote channel C{op.write} without a Message payload"
+            )
+        if len(op.payload.fields) > self.max_message_fields:
+            raise MessageSizeError(
+                f"P{pid} sent a {len(op.payload.fields)}-field message; "
+                f"limit is {self.max_message_fields} (O(log beta) bits)"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(p={self.p}, k={self.k})"
+
+
+class SeedMCBNetwork(ReferenceMCBNetwork):
+    """The reference loop bound to the seed-era protocol classes.
+
+    Programs driving it must yield :class:`SeedCycleOp` / :class:`SeedSleep`
+    with :class:`SeedMessage` payloads — exactly what the seed tree's
+    algorithms did — so throughput measured here is the true pre-change
+    baseline for ``benchmarks/bench_engine_hotpath.py``.
+    """
+
+    _CycleOp = SeedCycleOp
+    _Sleep = SeedSleep
+    _Message = SeedMessage
+
+
+# ---------------------------------------------------------------------------
+# Original simulation scheduling (linear scans inside the block loop)
+# ---------------------------------------------------------------------------
+
+def run_simulated_reference(
+    net,
+    p_virtual: int,
+    k_virtual: int,
+    programs: dict[int, ProgramFn],
+    *,
+    data: Optional[dict[int, Any]] = None,
+    phase: str = "simulated",
+) -> dict[int, Any]:
+    """Pre-optimization :func:`~repro.mcb.simulate.run_simulated` (oracle).
+
+    Identical schedule and costs; the writer/reader of each real cycle is
+    found by scanning all pending ops instead of a precomputed table.
+    """
+    from .simulate import host_index, host_of, real_channel, subslot
+
+    p, k = net.p, net.k
+    if p_virtual < p or k_virtual < k:
+        raise ConfigurationError(
+            f"can only simulate a larger network: MCB({p_virtual},{k_virtual}) "
+            f"on MCB({p},{k})"
+        )
+    if k_virtual > p_virtual:
+        raise ConfigurationError("virtual network requires k' <= p'")
+    v = math.ceil(p_virtual / p)
+    s = math.ceil(k_virtual / k)
+
+    hosted: dict[int, list[int]] = {}
+    for q in programs:
+        if not 1 <= q <= p_virtual:
+            raise ConfigurationError(f"virtual pid {q} out of range 1..{p_virtual}")
+        hosted.setdefault(host_of(q, v), []).append(q)
+
+    results: dict[int, Any] = {}
+
+    def make_host(host_pid: int, vpids: list[int]):
+        def host_program(ctx: ProcContext):
+            gens: dict[int, Any] = {}
+            vctxs: dict[int, ProcContext] = {}
+            for q in sorted(vpids):
+                vctx = ProcContext(
+                    pid=q,
+                    p=p_virtual,
+                    k=k_virtual,
+                    data=None if data is None else data.get(q),
+                )
+                vctxs[q] = vctx
+                gens[q] = programs[q](vctx)
+            inbox: dict[int, Any] = {q: None for q in gens}
+            sleeping: dict[int, int] = {}
+
+            while gens:
+                writes: dict[int, tuple[int, Any]] = {}
+                reads: dict[int, int] = {}
+                for q in list(gens):
+                    if sleeping.get(q, 0) > 0:
+                        sleeping[q] -= 1
+                        continue
+                    try:
+                        op = gens[q].send(inbox[q])
+                    except StopIteration as stop:
+                        results[q] = stop.value
+                        del gens[q]
+                        continue
+                    finally:
+                        inbox[q] = None
+                    if isinstance(op, Sleep):
+                        sleeping[q] = max(1, op.cycles) - 1
+                        continue
+                    if op.write is not None:
+                        writes[q] = (op.write, op.payload)
+                    if op.read is not None:
+                        reads[q] = op.read
+                        inbox[q] = EMPTY
+
+                if not gens and not writes and not reads:
+                    return None
+
+                if not writes and not reads:
+                    yield Sleep(v * v * s)
+                    continue
+
+                for rep in range(v):
+                    for wrep in range(v):
+                        for t in range(s):
+                            op_write = None
+                            op_payload = None
+                            for q, (chan, msg) in writes.items():
+                                if host_index(q, v) == wrep and subslot(chan, k) == t:
+                                    op_write = real_channel(chan, k)
+                                    op_payload = msg
+                                    break
+                            op_read = None
+                            reader_q = None
+                            for q, chan in reads.items():
+                                if host_index(q, v) == rep and subslot(chan, k) == t:
+                                    op_read = real_channel(chan, k)
+                                    reader_q = q
+                                    break
+                            got = yield CycleOp(
+                                write=op_write, payload=op_payload, read=op_read
+                            )
+                            if reader_q is not None and got is not EMPTY and got is not None:
+                                inbox[reader_q] = got
+            return None
+
+        return host_program
+
+    host_programs = {
+        host_pid: make_host(host_pid, vpids) for host_pid, vpids in hosted.items()
+    }
+    net.run(host_programs, phase=phase)
+    if net.stats.phases:
+        net.stats.phases[-1].extra["simulated"] = {
+            "p_virtual": p_virtual,
+            "k_virtual": k_virtual,
+            "hosts": len(hosted),
+            "v": v,
+            "s": s,
+            "cycles_per_virtual_cycle": v * v * s,
+            "messages_per_message": v,
+        }
+    return results

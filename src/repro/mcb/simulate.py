@@ -42,7 +42,7 @@ from typing import Any, Optional
 from .errors import ConfigurationError
 from .message import EMPTY
 from .network import MCBNetwork
-from .program import CycleOp, ProcContext, ProgramFn, Sleep
+from .program import IDLE, CycleOp, ProcContext, ProgramFn, Sleep
 
 
 def host_of(q: int, v: int) -> int:
@@ -155,29 +155,48 @@ def run_simulated(
                     yield Sleep(v * v * s)
                     continue
 
+                # --- compile this virtual cycle's oblivious block -------
+                # The op at block index (rep, wrep, t) depends only on
+                # the (wrep, t) writer slot and the (rep, t) reader slot,
+                # and host_index is injective on this host's vpids, so
+                # each slot key names at most one virtual processor: the
+                # two dicts below are exact replacements for the old
+                # first-match scans over writes/reads inside the triple
+                # loop (O(v^2 * s) lookups instead of O(v^2 * s * |ops|)).
+                writer_at: dict[tuple[int, int], tuple[int, Any]] = {}
+                for q, (chan, msg) in writes.items():
+                    writer_at[host_index(q, v), subslot(chan, k)] = (
+                        real_channel(chan, k),
+                        msg,
+                    )
+                reader_at: dict[tuple[int, int], tuple[int, int]] = {}
+                for q, chan in reads.items():
+                    reader_at[host_index(q, v), subslot(chan, k)] = (
+                        real_channel(chan, k),
+                        q,
+                    )
+
                 # --- run the R-cycle oblivious block --------------------
                 for rep in range(v):
                     for wrep in range(v):
                         for t in range(s):
-                            op_write = None
-                            op_payload = None
-                            for q, (chan, msg) in writes.items():
-                                if host_index(q, v) == wrep and subslot(chan, k) == t:
-                                    op_write = real_channel(chan, k)
-                                    op_payload = msg
-                                    break
-                            op_read = None
-                            reader_q = None
-                            for q, chan in reads.items():
-                                if host_index(q, v) == rep and subslot(chan, k) == t:
-                                    op_read = real_channel(chan, k)
-                                    reader_q = q
-                                    break
+                            w = writer_at.get((wrep, t))
+                            r = reader_at.get((rep, t))
+                            if w is None and r is None:
+                                # Keep yielding a (shared) empty CycleOp,
+                                # not Sleep: the block's idle sub-cycles
+                                # must count as ordinary participation so
+                                # fast_forward_cycles stays identical to
+                                # the scan-based schedule.
+                                yield IDLE
+                                continue
                             got = yield CycleOp(
-                                write=op_write, payload=op_payload, read=op_read
+                                write=None if w is None else w[0],
+                                payload=None if w is None else w[1],
+                                read=None if r is None else r[0],
                             )
-                            if reader_q is not None and got is not EMPTY and got is not None:
-                                inbox[reader_q] = got
+                            if r is not None and got is not EMPTY and got is not None:
+                                inbox[r[1]] = got
             return None
 
         return host_program

@@ -31,8 +31,10 @@ class PhaseStats:
     #: cycles that elapsed while every live processor slept (included in
     #: ``cycles``; the engine fast-forwarded over them)
     fast_forward_cycles: int = 0
-    #: concurrent-write incidents survived under the §9 extended
-    #: policies (always 0 on the exclusive model, which aborts instead)
+    #: concurrent-write incidents: survived ones under the §9 extended
+    #: policies, or exactly 1 on an exclusive-model phase that aborted
+    #: with :class:`~repro.mcb.errors.CollisionError` (the engine records
+    #: the partial phase before raising so its costs are not lost)
     collisions: int = 0
     #: free-form annotations (e.g. ``run_simulated`` overhead factors)
     extra: dict = field(default_factory=dict)

@@ -1,0 +1,82 @@
+"""Determinism regression tests for the fast engine.
+
+Two independent seeded processes must produce byte-identical profiler
+JSON — the engine has no hidden iteration-order or timing dependence —
+and the fast path must agree with the pre-change reference engine on an
+exhaustive small-case sweep (every permutation, every rank), the
+strongest equivalence evidence short of proof.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.core import Distribution, kth_largest
+from repro.core.problem import is_sorted_output
+from repro.mcb import MCBNetwork
+from repro.mcb.reference import ReferenceMCBNetwork
+from repro.select import mcb_select
+from repro.sort import mcb_sort
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _profile_json(seed: int) -> bytes:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["PYTHONHASHSEED"] = "0"
+    out = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "profile", "sort", "--json",
+            "--n", "128", "--p", "8", "--k", "4", "--seed", str(seed),
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        check=True,
+    )
+    return out.stdout
+
+
+class TestProfileDeterminism:
+    def test_two_seeded_runs_byte_identical(self):
+        first = _profile_json(seed=11)
+        second = _profile_json(seed=11)
+        assert first == second
+        assert b'"verified": true' in first
+
+    def test_different_seed_differs(self):
+        # Sanity check that the comparison above is not vacuous: the
+        # seed actually reaches the input generator.
+        assert _profile_json(seed=11) != _profile_json(seed=12)
+
+
+class TestExhaustiveSmallEquivalence:
+    """Fast path vs reference engine on the exhaustive-small suite."""
+
+    def test_sort_all_permutations_n5(self):
+        for perm in itertools.permutations(range(1, 6)):
+            d = Distribution.from_lists([list(perm[0:2]), list(perm[2:5])])
+            fast = MCBNetwork(p=2, k=1)
+            ref = ReferenceMCBNetwork(p=2, k=1)
+            out_fast = mcb_sort(fast, d)
+            out_ref = mcb_sort(ref, d)
+            assert out_fast.output == out_ref.output, perm
+            assert fast.stats.to_dict() == ref.stats.to_dict(), perm
+            assert is_sorted_output(d, out_fast.output), perm
+
+    def test_select_every_rank_n5(self):
+        for perm in itertools.permutations(range(1, 6)):
+            d = Distribution.from_lists([list(perm[0:2]), list(perm[2:5])])
+            for rank in range(1, 6):
+                fast = MCBNetwork(p=2, k=1)
+                ref = ReferenceMCBNetwork(p=2, k=1)
+                v_fast = mcb_select(fast, d, rank).value
+                v_ref = mcb_select(ref, d, rank).value
+                assert v_fast == v_ref, (perm, rank)
+                assert fast.stats.to_dict() == ref.stats.to_dict(), (perm, rank)
+                assert v_fast == kth_largest(list(perm), rank), (perm, rank)

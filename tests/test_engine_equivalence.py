@@ -1,0 +1,206 @@
+"""The fast engine must be bit-identical to the reference engine.
+
+``MCBNetwork.run`` was rewritten for throughput (slot-indexed arena,
+wake heap, hoisted dispatch — see docs/MODEL.md "Engine performance");
+``repro.mcb.reference.ReferenceMCBNetwork`` preserves the original
+dict-scan loop as the equivalence oracle.  These tests drive both
+engines over the sort, select, and lower-bound suites and demand
+*identical* per-processor results and *identical* accounting
+(``RunStats.to_dict()``: cycles, messages, bits, channel_writes,
+aux_peak, fast_forward_cycles) — plus identical profiler JSON, since the
+obs pipeline observes the run cycle by cycle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Distribution, kth_largest
+from repro.core.problem import is_sorted_output
+from repro.mcb import CollisionError, CycleOp, MCBNetwork, Message, Sleep
+from repro.mcb.reference import ReferenceMCBNetwork, run_simulated_reference
+from repro.mcb.simulate import run_simulated
+from repro.obs.profile import Profiler
+from repro.select import mcb_select
+from repro.sort import mcb_sort
+
+
+def run_both(p, k, drive):
+    """Run ``drive(net)`` on the fast and the reference engine.
+
+    Asserts identical RunStats projections and returns both outcomes.
+    """
+    fast = MCBNetwork(p=p, k=k)
+    ref = ReferenceMCBNetwork(p=p, k=k)
+    out_fast = drive(fast)
+    out_ref = drive(ref)
+    assert fast.stats.to_dict() == ref.stats.to_dict()
+    assert [ph.to_dict() for ph in fast.stats.phases] == [
+        ph.to_dict() for ph in ref.stats.phases
+    ]
+    return out_fast, out_ref
+
+
+class TestSortSuite:
+    @pytest.mark.parametrize(
+        "n,p,k", [(64, 8, 8), (128, 8, 4), (96, 6, 2), (256, 16, 4)]
+    )
+    def test_even_sort_identical(self, n, p, k):
+        d = Distribution.even(n, p, seed=n + p + k)
+
+        def drive(net):
+            return mcb_sort(net, d)
+
+        out_fast, out_ref = run_both(p, k, drive)
+        assert out_fast.output == out_ref.output
+        assert is_sorted_output(d, out_fast.output)
+
+    def test_uneven_sort_identical(self):
+        d = Distribution.uneven(120, 6, seed=3, skew=1.5)
+
+        def drive(net):
+            return mcb_sort(net, d)
+
+        out_fast, out_ref = run_both(6, 3, drive)
+        assert out_fast.output == out_ref.output
+        assert is_sorted_output(d, out_fast.output)
+
+
+class TestSelectSuite:
+    @pytest.mark.parametrize("n,p,k,d_rank", [(64, 8, 4, 1), (64, 8, 4, 32),
+                                              (64, 8, 4, 64), (120, 6, 2, 60)])
+    def test_select_identical(self, n, p, k, d_rank):
+        dist = Distribution.even(n, p, seed=n + d_rank)
+
+        def drive(net):
+            return mcb_select(net, dist, d_rank)
+
+        out_fast, out_ref = run_both(p, k, drive)
+        assert out_fast.value == out_ref.value
+        assert out_fast.value == kth_largest(dist.all_elements(), d_rank)
+
+
+class TestBoundsSuite:
+    def test_theorem3_worst_case_identical(self):
+        d = Distribution.theorem3_worst_case([6, 5, 5, 4], seed=1)
+
+        def drive(net):
+            return mcb_sort(net, d)
+
+        out_fast, out_ref = run_both(4, 2, drive)
+        assert out_fast.output == out_ref.output
+        assert is_sorted_output(d, out_fast.output)
+
+    def test_theorem5_worst_case_identical(self):
+        d = Distribution.theorem5_worst_case(40, 4, seed=2)
+
+        def drive(net):
+            return mcb_sort(net, d)
+
+        out_fast, out_ref = run_both(4, 2, drive)
+        assert out_fast.output == out_ref.output
+        assert is_sorted_output(d, out_fast.output)
+
+
+class TestSchedulerEdgeCases:
+    """Target exactly the behaviours the rewrite touched."""
+
+    def test_mixed_sleep_wakes_identical(self):
+        # Staggered sleeps exercise the wake heap (fast) vs the O(p)
+        # scan (reference): wake order, fast-forward accounting, and the
+        # minimum-one-cycle rule must agree.
+        def prog(ctx):
+            got = None
+            for r in range(4):
+                yield Sleep((ctx.pid * 3 + r) % 5)  # includes Sleep(0)
+                got = yield CycleOp(
+                    write=ctx.pid if ctx.pid <= ctx.k else None,
+                    payload=Message("m", ctx.pid, r) if ctx.pid <= ctx.k else None,
+                    read=(ctx.pid + r) % ctx.k + 1,
+                )
+            return got
+
+        def drive(net):
+            return net.run({pid: prog for pid in range(1, 7)}, phase="sleepy")
+
+        out_fast, out_ref = run_both(6, 3, drive)
+        assert out_fast == out_ref
+
+    def test_all_sleep_fast_forward_identical(self):
+        def prog(ctx):
+            yield Sleep(10 * ctx.pid)
+            yield CycleOp(write=1, payload=Message("w", ctx.pid), read=1) \
+                if ctx.pid == 1 else CycleOp(read=1)
+            return ctx.pid
+
+        def drive(net):
+            return net.run({pid: prog for pid in (1, 2, 3)}, phase="ff")
+
+        out_fast, out_ref = run_both(4, 2, drive)
+        assert out_fast == out_ref
+
+    def test_collision_partial_stats_identical(self):
+        def prog(ctx):
+            yield CycleOp(read=1)  # one clean cycle of costs first
+            yield CycleOp(write=1, payload=Message("clash", ctx.pid))
+
+        def drive(net):
+            with pytest.raises(CollisionError) as exc:
+                net.run({1: prog, 2: prog}, phase="clash")
+            return (exc.value.cycle, exc.value.channel, exc.value.writers)
+
+        out_fast, out_ref = run_both(2, 1, drive)
+        assert out_fast == out_ref
+        # Partial phase recorded on both engines, flagged as aborted.
+        fast = MCBNetwork(p=2, k=1)
+        with pytest.raises(CollisionError):
+            fast.run({1: prog, 2: prog}, phase="clash")
+        ph = fast.stats.phases[-1]
+        assert ph.collisions == 1
+        assert ph.cycles == 1  # the clean cycle before the abort
+
+
+class TestSimulationEquivalence:
+    def test_compiled_schedule_matches_reference(self):
+        # The (wrep, t)/(rep, t) lookup tables must reproduce the
+        # first-match linear scans exactly: results AND real-network
+        # stats (cycle count, per-channel writes, fast-forward).
+        def prog(ctx):
+            ch = (ctx.pid - 1) % ctx.k + 1
+            got = None
+            for r in range(3):
+                got = yield CycleOp(
+                    write=ch if ctx.pid <= ctx.k else None,
+                    payload=Message("s", ctx.pid, r) if ctx.pid <= ctx.k else None,
+                    read=(ctx.pid + r - 1) % ctx.k + 1,
+                )
+                if ctx.pid % 3 == 0:
+                    yield Sleep(2)
+            return (ctx.pid, got.fields if isinstance(got, Message) else got)
+
+        programs = {pid: prog for pid in range(1, 9)}
+
+        fast = MCBNetwork(p=4, k=2)
+        res_fast = run_simulated(fast, 8, 4, programs, phase="sim")
+        ref = ReferenceMCBNetwork(p=4, k=2)
+        res_ref = run_simulated_reference(ref, 8, 4, programs, phase="sim")
+
+        assert res_fast == res_ref
+        assert fast.stats.to_dict() == ref.stats.to_dict()
+        assert (
+            fast.stats.phases[-1].extra["simulated"]
+            == ref.stats.phases[-1].extra["simulated"]
+        )
+
+
+class TestProfilerEquivalence:
+    def test_profiler_json_identical(self):
+        d = Distribution.even(64, 8, seed=5)
+
+        def drive(net):
+            with Profiler(net, config={"algorithm": "sort"}) as prof:
+                mcb_sort(net, d)
+            return prof.report().to_dict()
+
+        report_fast, report_ref = run_both(8, 4, drive)
+        assert report_fast == report_ref
