@@ -22,8 +22,10 @@ Three legs per (p, k) configuration:
 The same run doubles as an equivalence spot-check: all legs must report
 identical cycles/messages/bits/channel_writes.
 
-Results land in ``benchmarks/results/BENCH_engine_hotpath.json`` (one
-JSON object per line), the perf-trajectory baseline for later PRs.
+Results accumulate in ``benchmarks/results/BENCH_engine_hotpath.json``
+(one JSON object per line, appended by the session recorder under the
+canonical bench name ``engine_hotpath``) — the perf trajectory the CI
+regression check reads its baseline from.
 """
 
 from __future__ import annotations
@@ -37,7 +39,6 @@ from repro.mcb.reference import (
     SeedMCBNetwork,
     SeedMessage,
 )
-from repro.obs.sinks import JsonlSink
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 HOTPATH_JSON = RESULTS_DIR / "BENCH_engine_hotpath.json"
@@ -92,9 +93,8 @@ def run_leg(net, program_factory, op_cls, msg_cls, p):
     return p * CYCLES / wall, ph
 
 
-def test_engine_hotpath(benchmark, emit):
+def test_engine_hotpath(benchmark, emit, record):
     rows = []
-    records = []
     speedups = {}
     for p, k in CONFIGS:
         legs = {}
@@ -145,19 +145,18 @@ def test_engine_hotpath(benchmark, emit):
                 f"{speedup_hoisted:.2f}x",
             ]
         )
-        records.append(
-            {
-                "p": p,
-                "k": k,
-                "cycles": CYCLES,
-                "proc_cycles_per_s": {
-                    name: round(v, 1) for name, v in legs.items()
-                },
-                "speedup_constructing": round(speedup_constructing, 3),
-                "speedup_hoisted": round(speedup_hoisted, 3),
-                "messages": base.messages,
-                "bits": base.bits,
-            }
+        record(
+            bench="engine_hotpath",
+            p=p,
+            k=k,
+            cycles=CYCLES,
+            proc_cycles_per_s={
+                name: round(v, 1) for name, v in legs.items()
+            },
+            speedup_constructing=round(speedup_constructing, 3),
+            speedup_hoisted=round(speedup_hoisted, 3),
+            messages=base.messages,
+            bits=base.bits,
         )
 
         # The new engine must never lose to the seed stack, even on the
@@ -169,13 +168,10 @@ def test_engine_hotpath(benchmark, emit):
         f"{REQUIRED_SPEEDUP}x over the pre-change engine"
     )
 
-    with JsonlSink(HOTPATH_JSON) as sink:
-        for rec in records:
-            sink.emit(rec)
-
     emit(
         "Engine hot path — processor-cycles/s, ping workload "
         f"({CYCLES} cycles; ≥{REQUIRED_SPEEDUP:.0f}x required at (1024,32))",
         ["(p,k)", "seed", "fast", "fast-hoisted", "fast/seed", "hoisted/seed"],
         rows,
+        bench="engine_hotpath",
     )

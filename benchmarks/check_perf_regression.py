@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Perf-regression gate over the committed benchmark trajectories.
+
+The engine benchmarks append one record per session to their JSONL
+result files (``benchmarks/results/BENCH_engine_hotpath.json``,
+``BENCH_sparse_cycle.json``), so each file is a history: the *first*
+record per configuration is the committed baseline, the *last* is the
+freshest run.  This script compares the two on the **speedup ratios**
+(fast/seed, parked/polling) — ratios of two measurements taken on the
+same machine in the same session, hence machine-independent — and
+fails (exit 1) when any ratio drops below ``THRESHOLD`` times its
+baseline.
+
+CI reruns the benchmarks (appending fresh records) and then runs this
+script, so an engine change that silently costs more than 20% of
+either hot path fails the build.  Run it locally the same way:
+
+    PYTHONPATH=src python -m pytest -q benchmarks/bench_engine_hotpath.py \
+        benchmarks/bench_sparse_cycle.py
+    python benchmarks/check_perf_regression.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+RESULTS = Path(__file__).resolve().parent / "results"
+
+#: Newest ratio must be at least this fraction of the baseline ratio.
+THRESHOLD = 0.8
+
+#: file stem -> (config key fields, callable row -> {metric: ratio} | None)
+CHECKS = {
+    "BENCH_engine_hotpath.json": lambda row: (
+        {
+            "speedup_hoisted": row["speedup_hoisted"],
+            "speedup_constructing": row["speedup_constructing"],
+        }
+        if "speedup_hoisted" in row
+        else None
+    ),
+    "BENCH_sparse_cycle.json": lambda row: (
+        {f"speedup[{w}]": s for w, s in row["speedup"].items()}
+        if "speedup" in row
+        else None
+    ),
+}
+
+
+def load_rows(path: Path) -> list[dict]:
+    rows = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            rows.append(json.loads(line))
+    return rows
+
+
+def check_file(path: Path, extract) -> list[str]:
+    """Return failure messages for one trajectory file."""
+    if not path.is_file():
+        return [f"{path.name}: missing (run the benchmark first)"]
+    by_config: dict[tuple, list[dict]] = {}
+    for row in load_rows(path):
+        metrics = extract(row)
+        if metrics is None:
+            continue  # table mirror / unrelated record
+        key = (row.get("p"), row.get("k"))
+        by_config.setdefault(key, []).append(metrics)
+    if not by_config:
+        return [f"{path.name}: no metric records found"]
+    failures = []
+    for key, series in sorted(by_config.items()):
+        base, cur = series[0], series[-1]
+        for metric, base_val in base.items():
+            cur_val = cur.get(metric)
+            if cur_val is None:
+                failures.append(
+                    f"{path.name} {key}: {metric} vanished from newest run"
+                )
+                continue
+            ratio = cur_val / base_val if base_val else float("inf")
+            status = "ok" if ratio >= THRESHOLD else "REGRESSION"
+            print(
+                f"{path.name} p,k={key} {metric}: baseline {base_val:.2f} "
+                f"-> current {cur_val:.2f} ({ratio:.0%}) {status}"
+            )
+            if ratio < THRESHOLD:
+                failures.append(
+                    f"{path.name} {key}: {metric} fell to {cur_val:.2f} "
+                    f"({ratio:.0%} of baseline {base_val:.2f}; "
+                    f"floor {THRESHOLD:.0%})"
+                )
+    return failures
+
+
+def main() -> int:
+    failures: list[str] = []
+    for name, extract in CHECKS.items():
+        failures += check_file(RESULTS / name, extract)
+    if failures:
+        print("\nperf regression check FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nperf regression check passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

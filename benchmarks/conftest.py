@@ -9,13 +9,17 @@ configuration through pytest-benchmark.
 Machine-readable trajectory: a session-scoped recorder mirrors every
 table emitted through :func:`emit` (plus any explicit :func:`record`
 calls) into ``benchmarks/results/BENCH_<name>.json`` — one JSON object
-per line, written through the :class:`repro.obs.sinks.JsonlSink` — so
-the perf history of the repo is diffable run over run instead of living
-only in terminal scrollback.
+per line, *appended* through the :class:`repro.obs.sinks.JsonlSink` —
+so the perf history of the repo accumulates run over run instead of
+each session overwriting the last.  Every record carries the session's
+``run`` id plus a unique ``id`` so individual runs stay separable when
+a file holds many sessions; the first record per bench doubles as the
+committed baseline the CI perf-regression check compares against.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from pathlib import Path
 
@@ -30,15 +34,24 @@ CACHE_DIR = RESULTS_DIR / "cache"
 
 
 class BenchRecorder:
-    """Collect per-benchmark records; flush one JSONL-in-.json file each.
+    """Collect per-benchmark records; append one JSONL-in-.json file each.
 
-    Records are grouped by benchmark name (the originating test, with
-    its parametrization stripped to keep one file per benchmark).  Files
-    are (re)written at session end via the obs JSONL sink.
+    Records are grouped by benchmark name — by default the originating
+    test with its parametrization stripped, overridable per record with
+    ``bench=`` so a benchmark can publish under a canonical name (one
+    file per benchmark, not one per test function).  Files are appended
+    at session end via the obs JSONL sink; each record carries the
+    session ``run`` id and a unique ``id`` (``run/seq``) so the perf
+    trajectory accumulates across sessions without ambiguity.
     """
 
     def __init__(self) -> None:
         self._records: dict[str, list[dict]] = {}
+        self.run_id = (
+            time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+            + f"-{os.getpid()}"
+        )
+        self._seq = 0
 
     @staticmethod
     def _bench_name(nodeid: str) -> str:
@@ -48,17 +61,26 @@ class BenchRecorder:
         test = rest.partition("[")[0] or "session"
         return f"{stem}__{test}"
 
-    def record(self, nodeid: str, payload: dict) -> None:
-        name = self._bench_name(nodeid)
+    def record(
+        self, nodeid: str, payload: dict, *, bench: str | None = None
+    ) -> None:
+        name = bench if bench is not None else self._bench_name(nodeid)
+        self._seq += 1
         self._records.setdefault(name, []).append(
-            {"bench": name, "nodeid": nodeid, **payload}
+            {
+                "bench": name,
+                "run": self.run_id,
+                "id": f"{self.run_id}/{self._seq}",
+                "nodeid": nodeid,
+                **payload,
+            }
         )
 
     def flush(self) -> list[Path]:
         written = []
         for name, rows in sorted(self._records.items()):
             path = RESULTS_DIR / f"BENCH_{name}.json"
-            with JsonlSink(path) as sink:
+            with JsonlSink(path, mode="a") as sink:
                 for row in rows:
                     sink.emit(row)
             written.append(path)
@@ -80,13 +102,14 @@ def record(request, _bench_recorder):
 
     Usage: ``record(config={...}, cycles=..., messages=...)`` — any
     keyword becomes a JSON field; wall-clock seconds since test start
-    are stamped automatically as ``wall_s``.
+    are stamped automatically as ``wall_s``.  Pass ``bench="name"`` to
+    publish under a canonical file name instead of the test-derived one.
     """
     start = time.perf_counter()
 
-    def _record(**payload):
+    def _record(*, bench=None, **payload):
         payload.setdefault("wall_s", round(time.perf_counter() - start, 6))
-        _bench_recorder.record(request.node.nodeid, payload)
+        _bench_recorder.record(request.node.nodeid, payload, bench=bench)
 
     return _record
 
@@ -125,7 +148,7 @@ def emit(capsys, request, _bench_recorder):
     mirror it into the session's machine-readable results."""
     start = time.perf_counter()
 
-    def _emit(title, headers, rows, notes=None):
+    def _emit(title, headers, rows, notes=None, *, bench=None):
         with capsys.disabled():
             print()
             print(format_table(headers, rows, title=title))
@@ -141,6 +164,7 @@ def emit(capsys, request, _bench_recorder):
                 "notes": notes,
                 "wall_s": round(time.perf_counter() - start, 6),
             },
+            bench=bench,
         )
 
     return _emit

@@ -18,9 +18,9 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
-from ..mcb.message import EMPTY, Message
+from ..mcb.message import Message
 from ..mcb.network import MCBNetwork
-from ..mcb.program import CycleOp, ProcContext, Sleep
+from ..mcb.program import CycleOp, Listen, ProcContext, Sleep
 from ..sort.common import descending, pack_elem, unpack_elem
 from ..sort.even_pk import SortResult
 
@@ -52,9 +52,11 @@ def gather_sort_scatter(
         if pid == 1:
             pool = list(mine)
             ctx.aux_acquire(n)
-            for _ in range(n - len(mine)):
-                got = yield CycleOp(read=1)
-                pool.append(unpack_elem(got.fields))
+            if n > len(mine):
+                # The senders fill every cycle of the gather window: park
+                # once for the whole stream instead of resuming per cycle.
+                heard = yield Listen(1, n - len(mine))
+                pool.extend(unpack_elem(msg.fields) for _, msg in heard)
             pool = descending(pool)
             # Scatter every position except my own segment.
             for pos in range(counts[0], n):
@@ -79,9 +81,10 @@ def gather_sort_scatter(
         if lead > 0:
             yield Sleep(lead)
         out = []
-        for _ in range(len(mine)):
-            got = yield CycleOp(read=1)
-            out.append(unpack_elem(got.fields))
+        if mine:
+            # P_1 writes one element per cycle straight through my slot.
+            heard = yield Listen(1, len(mine))
+            out.extend(unpack_elem(msg.fields) for _, msg in heard)
         tail = (n - counts[0]) - lead - len(mine)
         if tail > 0:
             yield Sleep(tail)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, NamedTuple, Optional
@@ -121,10 +122,18 @@ def run_grid(
         Optional :class:`ResultCache`; when given, entries on disk are
         returned without simulating.
     max_workers:
-        Pool width (defaults to the executor's ``os.cpu_count()``).
-        ``0`` forces in-process execution — useful under pytest where a
-        fork-bomb per test would cost more than it saves.
+        Pool width; ``None`` (the default) falls back to the
+        ``REPRO_BENCH_MAX_WORKERS`` environment variable, and past that
+        to the executor's ``os.cpu_count()``.  ``0`` forces in-process
+        execution — useful under pytest where a fork-bomb per test
+        would cost more than it saves.  The pool is never wider than
+        the number of cache misses, and is not spawned at all when the
+        whole grid is served from cache or fits one in-process run.
     """
+    if max_workers is None:
+        env = os.environ.get("REPRO_BENCH_MAX_WORKERS")
+        if env is not None:
+            max_workers = int(env)
     results: dict[BenchSpec, dict[str, Any]] = {}
     todo: list[BenchSpec] = []
     for spec in specs:
@@ -136,15 +145,20 @@ def run_grid(
         else:
             todo.append(spec)
 
-    if todo:
-        if max_workers == 0 or len(todo) == 1:
-            fresh = [run_config(spec) for spec in todo]
-        else:
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                fresh = list(pool.map(run_config, todo))
-        for spec, payload in zip(todo, fresh):
-            results[spec] = payload
-            if cache is not None:
-                cache.put(spec.key, payload)
+    if not todo:
+        # Every spec was a cache hit: never pay pool spin-up for a
+        # fully warmed grid.
+        return [results[spec] for spec in specs]
+
+    if max_workers == 0 or len(todo) == 1:
+        fresh = [run_config(spec) for spec in todo]
+    else:
+        width = min(len(todo), max_workers) if max_workers else None
+        with ProcessPoolExecutor(max_workers=width) as pool:
+            fresh = list(pool.map(run_config, todo))
+    for spec, payload in zip(todo, fresh):
+        results[spec] = payload
+        if cache is not None:
+            cache.put(spec.key, payload)
 
     return [results[spec] for spec in specs]

@@ -112,6 +112,7 @@ def cmd_figure1(args) -> int:
 
 def cmd_experiments(args) -> int:
     """Regenerate experiment tables by running the benchmark harness."""
+    import os
     import subprocess
     from pathlib import Path
 
@@ -127,7 +128,11 @@ def cmd_experiments(args) -> int:
     ]
     if args.filter:
         cmd += ["-k", args.filter]
-    return subprocess.call(cmd)
+    env = os.environ.copy()
+    if args.max_workers is not None:
+        # Plumbed to repro.bench.run_grid in the pytest subprocess.
+        env["REPRO_BENCH_MAX_WORKERS"] = str(args.max_workers)
+    return subprocess.call(cmd, env=env)
 
 
 def cmd_max(args) -> int:
@@ -198,6 +203,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sp.add_argument("--filter", default=None,
                     help="pytest -k expression, e.g. 'e5 or e10'")
+    sp.add_argument("--max-workers", type=int, default=None,
+                    help="bench grid pool width (0 = in-process)")
     sp.set_defaults(fn=cmd_experiments)
 
     sp = sub.add_parser("max", help="extrema finding under model variants")

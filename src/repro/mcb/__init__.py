@@ -3,7 +3,8 @@
 Public surface:
 
 * :class:`MCBNetwork` — the synchronous MCB(p, k) engine.
-* :class:`CycleOp` / :class:`Sleep` / :class:`ProcContext` — the program protocol.
+* :class:`CycleOp` / :class:`Sleep` / :class:`Listen` / :class:`ProcContext`
+  — the program protocol.
 * :class:`Message` / :data:`EMPTY` — channel payloads.
 * :func:`run_simulated` — Section 2's larger-network-on-smaller simulation.
 * :class:`RunStats` / :class:`PhaseStats` — cost accounting.
@@ -21,6 +22,7 @@ from .network import MCBNetwork
 from .program import (
     IDLE,
     CycleOp,
+    Listen,
     ProcContext,
     ProgramFn,
     Sleep,
@@ -48,6 +50,7 @@ __all__ = [
     "CycleOp",
     "EMPTY",
     "IDLE",
+    "Listen",
     "MCBError",
     "MCBNetwork",
     "Message",

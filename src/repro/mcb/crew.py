@@ -35,8 +35,20 @@ from typing import Any, Optional
 
 from .errors import CollisionError, ConfigurationError, ProtocolError
 from .message import EMPTY, Message
-from .program import CycleOp, ProcContext, Sleep
+from .program import CycleOp, Listen, ProcContext, Sleep
 from .trace import PhaseStats, RunStats
+
+
+class _CrewListenState:
+    """Per-pid desugaring state for one in-flight :class:`Listen`."""
+
+    __slots__ = ("cell", "window", "elapsed", "buf")
+
+    def __init__(self, cell: int, window: Optional[int]):
+        self.cell = cell
+        self.window = window  # None = until_nonempty
+        self.elapsed = 1
+        self.buf: list = []
 
 
 class CREWMemory:
@@ -46,6 +58,12 @@ class CREWMemory:
     ``CycleOp(write=cell, payload=..., read=cell)`` — but reads return
     the *last value ever written* to the cell (or ``EMPTY`` if never
     written): shared memory persists.
+
+    :class:`Listen` desugars into those per-step reads, so under CREW
+    semantics a bounded listen on a cell that already holds a value
+    buffers that value on *every* step of the window (cells persist,
+    unlike memoryless channels), and ``until_nonempty`` completes on the
+    first step in which the cell has ever been written.
     """
 
     def __init__(self, p: int, cells: int):
@@ -70,9 +88,22 @@ class CREWMemory:
         wake = {pid: 0 for pid in gens}
         results: dict[int, Any] = {pid: None for pid in gens}
         memory: dict[int, Message] = {}
+        listening: dict[int, _CrewListenState] = {}
+        until_parked = 0
         ph = PhaseStats(name=phase)
         step = 0
         while gens:
+            if until_parked and until_parked == len(gens) and not any(
+                inbox[pid] is not None and inbox[pid] is not EMPTY
+                for pid in listening
+            ):
+                # Every live processor waits on a never-written cell: end
+                # the phase, closing the orphans (results stay None).  A
+                # listener whose synthesized read already found the cell
+                # written (cells persist!) is about to complete instead.
+                for pid in list(gens):
+                    gens.pop(pid).close()
+                break
             acting = [pid for pid in gens if wake[pid] <= step]
             if not acting:
                 step = min(wake[pid] for pid in gens)
@@ -83,6 +114,34 @@ class CREWMemory:
             reads: list[tuple[int, int]] = []
             any_op = False
             for pid in acting:
+                st = listening.get(pid)
+                if st is not None:
+                    # Desugared listen: fold last step's read, then either
+                    # synthesize this step's read or resume in bulk.
+                    got = inbox[pid]
+                    inbox[pid] = None
+                    off = st.elapsed - 1
+                    if st.window is None:
+                        if got is EMPTY or got is None:
+                            st.elapsed += 1
+                            wake[pid] = step + 1
+                            any_op = True
+                            reads.append((pid, st.cell))
+                            continue
+                        del listening[pid]
+                        until_parked -= 1
+                        inbox[pid] = (off, got)
+                    else:
+                        if got is not EMPTY and got is not None:
+                            st.buf.append((off, got))
+                        if st.elapsed < st.window:
+                            st.elapsed += 1
+                            wake[pid] = step + 1
+                            any_op = True
+                            reads.append((pid, st.cell))
+                            continue
+                        del listening[pid]
+                        inbox[pid] = st.buf
                 try:
                     op = gens[pid].send(inbox[pid])
                 except StopIteration as stop:
@@ -94,6 +153,35 @@ class CREWMemory:
                 any_op = True
                 if isinstance(op, Sleep):
                     wake[pid] = step + max(1, op.cycles)
+                    continue
+                if isinstance(op, Listen):
+                    if not 1 <= op.channel <= self.cells:
+                        raise ProtocolError(
+                            f"P{pid}: cell {op.channel} outside 1..{self.cells}"
+                        )
+                    if op.until_nonempty:
+                        if op.cycles is not None:
+                            raise ProtocolError(
+                                f"P{pid} yielded Listen with both a cycle "
+                                f"count and until_nonempty=True; pick one"
+                            )
+                        window = None
+                        until_parked += 1
+                    else:
+                        if op.cycles is None:
+                            raise ProtocolError(
+                                f"P{pid} yielded Listen without a cycle count "
+                                f"(pass cycles or until_nonempty=True)"
+                            )
+                        if op.cycles < 0:
+                            raise ProtocolError(
+                                f"P{pid} requested a negative listen window "
+                                f"({op.cycles})"
+                            )
+                        window = max(1, op.cycles)
+                    listening[pid] = _CrewListenState(op.channel, window)
+                    wake[pid] = step + 1
+                    reads.append((pid, op.channel))
                     continue
                 if not isinstance(op, CycleOp):
                     raise ProtocolError(f"P{pid} yielded {op!r}")

@@ -52,8 +52,26 @@ from ..obs.events import (
 from ..obs.hooks import ObservableMixin
 from .errors import CollisionError, ConfigurationError, ProtocolError
 from .message import EMPTY, Message
-from .program import ProcContext, Sleep
+from .program import Listen, ProcContext, Sleep
 from .trace import PhaseStats, RunStats
+
+
+class _ExtListenState:
+    """Per-pid desugaring state for one in-flight :class:`Listen`.
+
+    Listens are single-channel reads regardless of ``read_policy``;
+    under ``write_policy="detect"`` the :data:`COLLISION` marker is
+    audibly non-empty, so it is buffered (and wakes ``until_nonempty``
+    listeners) exactly like a message.
+    """
+
+    __slots__ = ("channel", "window", "elapsed", "buf")
+
+    def __init__(self, channel: int, window: Optional[int]):
+        self.channel = channel
+        self.window = window  # None = until_nonempty
+        self.elapsed = 1
+        self.buf: list = []
 
 
 class _Collision:
@@ -147,11 +165,25 @@ class ExtendedNetwork(ObservableMixin):
         wake = {pid: 0 for pid in gens}
         results: dict[int, Any] = {pid: None for pid in gens}
         ph = PhaseStats(name=phase, k=self.k)
+        listening: dict[int, _ExtListenState] = {}
+        until_parked = 0
         dispatch = self._dispatch
         if dispatch is not None:
             dispatch.dispatch(PhaseStarted(phase=phase, p=self.p, k=self.k))
         cycle = 0
         while gens:
+            if until_parked and until_parked == len(gens) and not any(
+                inbox[pid] is not None and inbox[pid] is not EMPTY
+                for pid in listening
+            ):
+                # Every live processor waits for a broadcast that can never
+                # come: end the phase, closing the orphans (results None).
+                # A listener whose last synthesized read already delivered
+                # (a message, or an audible COLLISION marker) completes
+                # instead.
+                for pid in list(gens):
+                    gens.pop(pid).close()
+                break
             acting = [pid for pid in gens if wake[pid] <= cycle]
             if not acting:
                 target = min(wake[pid] for pid in gens)
@@ -170,6 +202,34 @@ class ExtendedNetwork(ObservableMixin):
             reads: list[tuple[int, Any]] = []
             any_op = False
             for pid in acting:
+                st = listening.get(pid)
+                if st is not None:
+                    # Desugared listen: fold last cycle's read, then either
+                    # synthesize this cycle's read or resume in bulk.
+                    got = inbox[pid]
+                    inbox[pid] = None
+                    off = st.elapsed - 1
+                    if st.window is None:
+                        if got is EMPTY or got is None:
+                            st.elapsed += 1
+                            wake[pid] = cycle + 1
+                            any_op = True
+                            reads.append((pid, st.channel))
+                            continue
+                        del listening[pid]
+                        until_parked -= 1
+                        inbox[pid] = (off, got)
+                    else:
+                        if got is not EMPTY and got is not None:
+                            st.buf.append((off, got))
+                        if st.elapsed < st.window:
+                            st.elapsed += 1
+                            wake[pid] = cycle + 1
+                            any_op = True
+                            reads.append((pid, st.channel))
+                            continue
+                        del listening[pid]
+                        inbox[pid] = st.buf
                 try:
                     op = gens[pid].send(inbox[pid])
                 except StopIteration as stop:
@@ -181,6 +241,35 @@ class ExtendedNetwork(ObservableMixin):
                 any_op = True
                 if isinstance(op, Sleep):
                     wake[pid] = cycle + max(1, op.cycles)
+                    continue
+                if isinstance(op, Listen):
+                    if not 1 <= op.channel <= self.k:
+                        raise ProtocolError(
+                            f"P{pid}: bad listen channel {op.channel}"
+                        )
+                    if op.until_nonempty:
+                        if op.cycles is not None:
+                            raise ProtocolError(
+                                f"P{pid} yielded Listen with both a cycle "
+                                f"count and until_nonempty=True; pick one"
+                            )
+                        window = None
+                        until_parked += 1
+                    else:
+                        if op.cycles is None:
+                            raise ProtocolError(
+                                f"P{pid} yielded Listen without a cycle count "
+                                f"(pass cycles or until_nonempty=True)"
+                            )
+                        if op.cycles < 0:
+                            raise ProtocolError(
+                                f"P{pid} requested a negative listen window "
+                                f"({op.cycles})"
+                            )
+                        window = max(1, op.cycles)
+                    listening[pid] = _ExtListenState(op.channel, window)
+                    wake[pid] = cycle + 1
+                    reads.append((pid, op.channel))
                     continue
                 if not isinstance(op, ExtOp):
                     raise ProtocolError(

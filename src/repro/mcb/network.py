@@ -44,7 +44,17 @@ and cost accounting to the straightforward engine preserved in
 * write **validation is hoisted** to a single fast guard per write (the
   slow ``_validate_write`` path only runs to raise the precise error, or
   to admit ``Message`` subclasses), and **observer dispatch** never
-  constructs event objects unless an observer is attached.
+  constructs event objects unless an observer is attached;
+* :class:`~repro.mcb.program.Listen` readers **park** on per-channel
+  wait-lists with a bounded traffic log instead of being resumed every
+  cycle, so a cycle's cost is O(active writers/readers + wakeups) rather
+  than O(live processors).  Bounded listeners wake through the ordinary
+  wake heap at their deadline and receive the buffered non-empty reads
+  in bulk; ``until_nonempty`` listeners are woken by the first write to
+  their channel.  Observer-subscribed runs take the desugared slow path
+  (the listener stays in the active set and the engine synthesizes its
+  per-cycle reads) so ``MessageBroadcast.readers`` and all accounting
+  stay bit-identical to the reference engine.
 
 On a collision the engine records the aborted phase's partial
 :class:`~repro.mcb.trace.PhaseStats` (costs of all completed cycles,
@@ -72,8 +82,19 @@ from .errors import (
     ProtocolError,
 )
 from .message import EMPTY, Message
-from .program import CycleOp, ProcContext, ProgramFn, Sleep
+from .program import CycleOp, Listen, ProcContext, ProgramFn, Sleep
 from .trace import PhaseStats, RunStats
+
+
+class _ListenState:
+    """Engine-internal per-slot bookkeeping for one :class:`Listen` op.
+
+    ``window is None`` marks an ``until_nonempty`` listen.  The parked
+    fast path uses ``start``/``log_idx`` (a cursor into the channel's
+    traffic log); the desugared observed path uses ``elapsed``/``buf``.
+    """
+
+    __slots__ = ("channel", "window", "start", "log_idx", "elapsed", "buf")
 
 
 class MCBNetwork(ObservableMixin):
@@ -224,8 +245,30 @@ class MCBNetwork(ObservableMixin):
         ready: list[int] = list(range(m))
         cycle = 0
 
+        # --- sparse-cycle (Listen) bookkeeping ---------------------------
+        # listening[slot] is a _ListenState while that slot is inside a
+        # Listen window.  Fast path (no observer): bounded listeners park
+        # with a deadline in the wake heap and a cursor into their
+        # channel's traffic log; until_nonempty listeners park on the
+        # channel's wait-list.  Observed path: the slot stays in `ready`
+        # and the engine synthesizes its per-cycle reads (desugaring), so
+        # event streams match the reference engine bit for bit.
+        listening: list[Any] = [None] * m
+        until_waiters: list[list[int]] = [[] for _ in range(k + 1)]
+        bounded_count = [0] * (k + 1)
+        chan_log: list[list[tuple[int, Any]]] = [[] for _ in range(k + 1)]
+        parked = 0  # parked listeners (fast path only; 0 on observed runs)
+        until_parked = 0  # until_nonempty listeners, parked or desugared
+        live = m  # unfinished generators
+
         # Local bindings for the hot loop.
-        CycleOp_, Sleep_, Message_, EMPTY_ = CycleOp, Sleep, Message, EMPTY
+        CycleOp_, Sleep_, Listen_, Message_, EMPTY_ = (
+            CycleOp,
+            Sleep,
+            Listen,
+            Message,
+            EMPTY,
+        )
 
         def _commit_counters() -> None:
             ph.messages = messages
@@ -237,23 +280,80 @@ class MCBNetwork(ObservableMixin):
                 ph.aux_peak[pids[slot]] = ctx.aux_peak
 
         while True:
+            if until_parked and until_parked == live:
+                # Every still-live processor waits for a broadcast that can
+                # never come: end the phase, closing the orphaned listeners
+                # (their results stay None in every engine, regardless of
+                # what close() returns on newer Pythons).  On the observed
+                # (desugared) path a listener whose last synthesized read
+                # already delivered a message is about to complete — and
+                # may write — so it is not orphaned; parked listeners
+                # never hold a pending inbox (waking clears the state).
+                pending = False
+                for slot in range(m):
+                    st = listening[slot]
+                    if (
+                        st is not None
+                        and st.window is None
+                        and inbox[slot] is not None
+                        and inbox[slot] is not EMPTY_
+                    ):
+                        pending = True
+                        break
+                if not pending:
+                    for slot in range(m):
+                        st = listening[slot]
+                        if st is not None and st.window is None:
+                            sends[slot].__self__.close()
+                    break
             if sleep_heap and sleep_heap[0][0] <= cycle:
+                memo: Optional[dict[tuple[int, int, int], list]] = None
                 while sleep_heap and sleep_heap[0][0] <= cycle:
-                    ready.append(heappop(sleep_heap)[1])
+                    slot = heappop(sleep_heap)[1]
+                    st = listening[slot]
+                    if st is not None:
+                        # Bounded listener at its deadline: deliver the
+                        # buffered non-empty reads in bulk.  Listeners with
+                        # the same (channel, start) share the slice
+                        # computation; each still gets its own list.
+                        ch = st.channel
+                        key = (ch, st.start, st.log_idx)
+                        if memo is None:
+                            memo = {}
+                        res = memo.get(key)
+                        if res is None:
+                            start = st.start
+                            res = [
+                                (t - start, msg)
+                                for t, msg in chan_log[ch][st.log_idx :]
+                            ]
+                            memo[key] = res
+                        inbox[slot] = list(res)
+                        listening[slot] = None
+                        parked -= 1
+                        bounded_count[ch] -= 1
+                        if not bounded_count[ch]:
+                            chan_log[ch] = []
+                    ready.append(slot)
                 ready.sort()
             if not ready:
                 if not sleep_heap:
                     break  # every program finished
-                # Everyone is sleeping: fast-forward to the earliest waker.
-                # The skipped cycles still elapse (and are counted below).
+                # Everyone is sleeping or parked: skip to the earliest
+                # waker.  The skipped cycles still elapse (and are counted
+                # below); they only count as *fast-forward* cycles when no
+                # listener is parked — a parked listener participates in
+                # every cycle of its window, exactly like its desugared
+                # per-cycle reads would.
                 target = sleep_heap[0][0]
-                ph.fast_forward_cycles += target - cycle
-                if dispatch is not None:
-                    dispatch.dispatch(
-                        FastForward(
-                            phase=phase, from_cycle=cycle, to_cycle=target
+                if not parked:
+                    ph.fast_forward_cycles += target - cycle
+                    if dispatch is not None:
+                        dispatch.dispatch(
+                            FastForward(
+                                phase=phase, from_cycle=cycle, to_cycle=target
+                            )
                         )
-                    )
                 cycle = target
                 continue
             if cycle >= max_cycles:
@@ -272,12 +372,42 @@ class MCBNetwork(ObservableMixin):
             add_read_chan = read_chans.append
             finished = 0
             for slot in ready:
+                st = listening[slot]
+                if st is not None:
+                    # Desugared listen (observed runs only): fold the read
+                    # delivered last cycle, then either synthesize the next
+                    # read or resume the generator with the bulk result.
+                    got = inbox[slot]
+                    inbox[slot] = None
+                    off = st.elapsed - 1
+                    if st.window is None:
+                        if got is EMPTY_ or got is None:
+                            st.elapsed += 1
+                            keep(slot)
+                            add_read_slot(slot)
+                            add_read_chan(st.channel)
+                            continue
+                        listening[slot] = None
+                        until_parked -= 1
+                        inbox[slot] = (off, got)
+                    else:
+                        if got is not EMPTY_ and got is not None:
+                            st.buf.append((off, got))
+                        if st.elapsed < st.window:
+                            st.elapsed += 1
+                            keep(slot)
+                            add_read_slot(slot)
+                            add_read_chan(st.channel)
+                            continue
+                        listening[slot] = None
+                        inbox[slot] = st.buf
                 try:
                     op = sends[slot](inbox[slot])
                 except StopIteration as stop:
                     inbox[slot] = None
                     results[pids[slot]] = stop.value
                     finished += 1
+                    live -= 1
                     continue
                 inbox[slot] = None
                 cls = op.__class__
@@ -296,9 +426,38 @@ class MCBNetwork(ObservableMixin):
                         else:
                             heappush(sleep_heap, (cycle + c, slot))
                         continue
+                    if cls is Listen_ or isinstance(op, Listen_):
+                        ch = op.channel
+                        window = self._validate_listen(pids[slot], op)
+                        st = _ListenState()
+                        st.channel = ch
+                        st.window = window
+                        listening[slot] = st
+                        if window is None:
+                            until_parked += 1
+                        if dispatch is None:
+                            # Park: leave the active set entirely.
+                            st.start = cycle
+                            parked += 1
+                            if window is None:
+                                until_waiters[ch].append(slot)
+                            else:
+                                st.log_idx = len(chan_log[ch])
+                                bounded_count[ch] += 1
+                                heappush(sleep_heap, (cycle + window, slot))
+                        else:
+                            # Observed: desugar into per-cycle reads so the
+                            # event stream matches the reference engine.
+                            st.elapsed = 1
+                            st.buf = []
+                            keep(slot)
+                            add_read_slot(slot)
+                            add_read_chan(ch)
+                        continue
                     if not isinstance(op, CycleOp_):
                         raise ProtocolError(
-                            f"P{pids[slot]} yielded {op!r}; expected CycleOp or Sleep"
+                            f"P{pids[slot]} yielded {op!r}; expected "
+                            f"CycleOp, Sleep, or Listen"
                         )
                 keep(slot)
                 w = op.write
@@ -365,9 +524,25 @@ class MCBNetwork(ObservableMixin):
                     for slot, ch in zip(read_slots, read_chans):
                         inbox[slot] = chan_msg[ch] if chan_writer[ch] else EMPTY_
                     for ch in written:
+                        msg = chan_msg[ch]
                         messages += 1
-                        bits_acc += chan_msg[ch].bit_size()
+                        bits_acc += msg.bit_size()
                         cw_counts[ch] += 1
+                        if bounded_count[ch]:
+                            chan_log[ch].append((cycle, msg))
+                        waiters = until_waiters[ch]
+                        if waiters:
+                            # First non-empty broadcast on this channel:
+                            # wake every parked until_nonempty listener;
+                            # they rejoin the active set next cycle.
+                            for ws in waiters:
+                                inbox[ws] = (cycle - listening[ws].start, msg)
+                                listening[ws] = None
+                                heappush(sleep_heap, (cycle + 1, ws))
+                            n = len(waiters)
+                            parked -= n
+                            until_parked -= n
+                            until_waiters[ch] = []
                         chan_writer[ch] = 0
                         chan_msg[ch] = None
                 else:
@@ -398,11 +573,13 @@ class MCBNetwork(ObservableMixin):
                     )
                     chan_writer[ch] = 0
                     chan_msg[ch] = None
-            if finished < len(ready):
+            if finished < len(ready) or parked:
                 # A cycle elapsed only if some processor participated in the
                 # round (yielded anything); rounds in which every serviced
                 # generator returned without yielding never consumed
-                # network time.
+                # network time.  A parked listener participates every cycle
+                # of its window (its desugared form would have yielded a
+                # read), so its presence alone makes the round count.
                 cycle += 1
             ready = next_ready
 
@@ -426,6 +603,33 @@ class MCBNetwork(ObservableMixin):
                 )
             )
         return results
+
+    # ------------------------------------------------------------------
+    def _validate_listen(self, pid: int, op: Listen) -> Optional[int]:
+        """Check a Listen op; return its window (None = until_nonempty)."""
+        if not 1 <= op.channel <= self.k:
+            raise ProtocolError(
+                f"P{pid} listens on invalid channel C{op.channel} (k={self.k})"
+            )
+        if op.until_nonempty:
+            if op.cycles is not None:
+                raise ProtocolError(
+                    f"P{pid} yielded Listen with both a cycle count and "
+                    f"until_nonempty=True; pick one"
+                )
+            return None
+        if op.cycles is None:
+            raise ProtocolError(
+                f"P{pid} yielded Listen without a cycle count "
+                f"(pass cycles or until_nonempty=True)"
+            )
+        if op.cycles < 0:
+            raise ProtocolError(
+                f"P{pid} requested a negative listen window ({op.cycles})"
+            )
+        # Minimum-one-cycle rule, exactly as for Sleep: the yield itself
+        # consumes a cycle, so Listen(ch, 0) === Listen(ch, 1).
+        return max(1, op.cycles)
 
     # ------------------------------------------------------------------
     def _validate_write(self, pid: int, op: CycleOp, cycle: int) -> None:

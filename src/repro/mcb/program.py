@@ -19,7 +19,15 @@ Per cycle a program yields either
 * :class:`Sleep` — idle for an exact number of cycles.  Used by the paper's
   schedules in which a processor "awaits its turn to write by counting
   cycles" (Sections 7.2 and 8.1).  Sleeping is semantically identical to
-  yielding that many empty ``CycleOp()`` but lets the engine fast-forward.
+  yielding that many empty ``CycleOp()`` but lets the engine fast-forward;
+  or
+
+* :class:`Listen` — read one channel for a window of cycles (or until the
+  first non-empty broadcast) without being resumed per cycle.  Listening
+  is semantically identical to yielding that many ``CycleOp(read=ch)``
+  but lets the engine *park* the reader on a per-channel wait-list, so a
+  cycle's cost tracks the active writers rather than ``p`` (most of the
+  paper's phases are "few writers, many listeners").
 
 The generator's return value (``return x``) becomes the processor's result
 in :meth:`MCBNetwork.run`'s output.
@@ -119,6 +127,71 @@ class Sleep:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Sleep({self.cycles!r})"
+
+
+class Listen:
+    """Read one channel every cycle of a window, delivered in bulk.
+
+    ``Listen(ch, c)`` is *defined* by desugaring: it behaves exactly like
+    yielding ``CycleOp(read=ch)`` for ``max(1, c)`` consecutive cycles
+    (the minimum-one-cycle rule of :class:`Sleep` applies — ``Listen(ch,
+    0)`` consumes one cycle, like a single read).  Cost accounting is
+    identical to the desugared form: every cycle of the window counts as
+    a participating cycle (never fast-forwarded), and each listener
+    appears among the channel's readers in observability events.  What
+    changes is the *delivery*: instead of one ``send`` per cycle, the
+    engine parks the generator and resumes it once, at the end of the
+    window, with the list of non-empty reads::
+
+        heard = yield Listen(channel, cycles)
+        # heard == [(offset, Message), ...] for every cycle of the
+        # window in which the channel was written; offset is 0-based
+        # from the first listened cycle.  Empty cycles are omitted.
+
+    ``Listen(ch, until_nonempty=True)`` listens with no deadline and
+    resumes at the first non-empty broadcast::
+
+        offset, msg = yield Listen(channel, until_nonempty=True)
+
+    If every still-live processor is parked in an ``until_nonempty``
+    listen, no future write can ever occur; the engines end the phase,
+    closing the orphaned generators (their results stay ``None``).  A
+    *bounded* listener whose window is still open when all other
+    processors finish simply runs its window out (its deadline is a wake
+    like any sleeper's).
+
+    Like :class:`CycleOp`, a plain ``__slots__`` class; treat instances
+    as immutable.
+    """
+
+    __slots__ = ("channel", "cycles", "until_nonempty")
+
+    def __init__(
+        self,
+        channel: int,
+        cycles: Optional[int] = None,
+        *,
+        until_nonempty: bool = False,
+    ):
+        self.channel = channel
+        self.cycles = cycles
+        self.until_nonempty = until_nonempty
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Listen)
+            and self.channel == other.channel
+            and self.cycles == other.cycles
+            and self.until_nonempty == other.until_nonempty
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.channel, self.cycles, self.until_nonempty))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.until_nonempty:
+            return f"Listen({self.channel!r}, until_nonempty=True)"
+        return f"Listen({self.channel!r}, {self.cycles!r})"
 
 
 #: A no-op cycle (participate in the round, touch no channel).

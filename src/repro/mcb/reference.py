@@ -14,10 +14,19 @@ exists so that
 * the hot-path microbenchmark (``benchmarks/bench_engine_hotpath.py``)
   can report the speedup against the exact pre-change code.
 
-The one deliberate behavioural addition mirrored from the fast engine is
-the partial-:class:`PhaseStats` record on :class:`CollisionError` (the
-aborted phase is recorded with ``collisions=1`` before the exception
-propagates), so the two engines stay comparable on adversary workloads.
+Two deliberate behavioural additions are mirrored from the fast engine
+so the two engines stay comparable:
+
+* the partial-:class:`PhaseStats` record on :class:`CollisionError` (the
+  aborted phase is recorded with ``collisions=1`` before the exception
+  propagates), for adversary workloads;
+* :class:`~repro.mcb.program.Listen` support, implemented here by
+  *desugaring* into per-cycle ``CycleOp(read=...)`` — the engine
+  synthesizes one read per cycle of the window without resuming the
+  generator, then resumes it once with the bulk result.  This is the
+  semantic definition of ``Listen``; the fast engine's parked wait-lists
+  must match it bit for bit (cycles, messages, fast-forward accounting,
+  and observer event streams).
 
 :func:`run_simulated_reference` likewise preserves the original
 O(v²·s·|ops|) linear-scan scheduling of :func:`repro.mcb.simulate.run_simulated`
@@ -61,8 +70,20 @@ from .errors import (
     ProtocolError,
 )
 from .message import EMPTY, Message, scalar_bits
-from .program import CycleOp, ProcContext, ProgramFn, Sleep
+from .program import CycleOp, Listen, ProcContext, ProgramFn, Sleep
 from .trace import PhaseStats, RunStats
+
+
+class _RefListenState:
+    """Per-pid desugaring state for one in-flight :class:`Listen`."""
+
+    __slots__ = ("channel", "window", "elapsed", "buf")
+
+    def __init__(self, channel: int, window: Optional[int]):
+        self.channel = channel
+        self.window = window  # None = until_nonempty
+        self.elapsed = 1  # reads synthesized so far (first at yield cycle)
+        self.buf: list = []
 
 
 # ---------------------------------------------------------------------------
@@ -177,6 +198,8 @@ class ReferenceMCBNetwork(ObservableMixin):
         results: dict[int, Any] = {pid: None for pid in programs}
         inbox: dict[int, Any] = {pid: None for pid in programs}
         wake: dict[int, int] = {pid: 0 for pid in programs}
+        listening: dict[int, _RefListenState] = {}
+        until_parked = 0
 
         ph = PhaseStats(name=phase, k=self.k)
         dispatch = self._dispatch
@@ -185,6 +208,18 @@ class ReferenceMCBNetwork(ObservableMixin):
         Sleep_, CycleOp_ = self._Sleep, self._CycleOp
         cycle = 0
         while gens:
+            if until_parked and until_parked == len(gens) and not any(
+                inbox[pid] is not None and inbox[pid] is not EMPTY
+                for pid in listening
+            ):
+                # Every still-live processor waits for a broadcast that can
+                # never come: end the phase, closing the orphaned listeners
+                # (their results stay None).  A listener whose last
+                # synthesized read already delivered a message is about to
+                # complete — and may write — so it is not orphaned.
+                for pid in list(gens):
+                    gens.pop(pid).close()
+                break
             acting = [pid for pid in gens if wake[pid] <= cycle]
             if not acting:
                 target = min(wake[pid] for pid in gens)
@@ -208,6 +243,36 @@ class ReferenceMCBNetwork(ObservableMixin):
             reads: list[tuple[int, int]] = []  # (pid, channel)
             any_op = False
             for pid in acting:
+                st = listening.get(pid)
+                if st is not None:
+                    # In-flight Listen: fold the read delivered last cycle,
+                    # then either synthesize this cycle's read (without
+                    # resuming the generator) or complete the listen and
+                    # resume with the bulk result.
+                    got = inbox[pid]
+                    inbox[pid] = None
+                    off = st.elapsed - 1
+                    if st.window is None:
+                        if got is EMPTY or got is None:
+                            st.elapsed += 1
+                            wake[pid] = cycle + 1
+                            any_op = True
+                            reads.append((pid, st.channel))
+                            continue
+                        del listening[pid]
+                        until_parked -= 1
+                        inbox[pid] = (off, got)
+                    else:
+                        if got is not EMPTY and got is not None:
+                            st.buf.append((off, got))
+                        if st.elapsed < st.window:
+                            st.elapsed += 1
+                            wake[pid] = cycle + 1
+                            any_op = True
+                            reads.append((pid, st.channel))
+                            continue
+                        del listening[pid]
+                        inbox[pid] = st.buf
                 try:
                     op = gens[pid].send(inbox[pid])
                 except StopIteration as stop:
@@ -224,9 +289,18 @@ class ReferenceMCBNetwork(ObservableMixin):
                         )
                     wake[pid] = cycle + max(1, op.cycles)
                     continue
+                if isinstance(op, Listen):
+                    window = self._validate_listen(pid, op)
+                    listening[pid] = _RefListenState(op.channel, window)
+                    if window is None:
+                        until_parked += 1
+                    wake[pid] = cycle + 1
+                    reads.append((pid, op.channel))
+                    continue
                 if not isinstance(op, CycleOp_):
                     raise ProtocolError(
-                        f"P{pid} yielded {op!r}; expected CycleOp or Sleep"
+                        f"P{pid} yielded {op!r}; expected "
+                        f"CycleOp, Sleep, or Listen"
                     )
                 wake[pid] = cycle + 1
                 if op.write is not None:
@@ -321,6 +395,31 @@ class ReferenceMCBNetwork(ObservableMixin):
                 )
             )
         return results
+
+    # ------------------------------------------------------------------
+    def _validate_listen(self, pid: int, op: Listen) -> Optional[int]:
+        """Check a Listen op; return its window (None = until_nonempty)."""
+        if not 1 <= op.channel <= self.k:
+            raise ProtocolError(
+                f"P{pid} listens on invalid channel C{op.channel} (k={self.k})"
+            )
+        if op.until_nonempty:
+            if op.cycles is not None:
+                raise ProtocolError(
+                    f"P{pid} yielded Listen with both a cycle count and "
+                    f"until_nonempty=True; pick one"
+                )
+            return None
+        if op.cycles is None:
+            raise ProtocolError(
+                f"P{pid} yielded Listen without a cycle count "
+                f"(pass cycles or until_nonempty=True)"
+            )
+        if op.cycles < 0:
+            raise ProtocolError(
+                f"P{pid} requested a negative listen window ({op.cycles})"
+            )
+        return max(1, op.cycles)
 
     # ------------------------------------------------------------------
     def _validate_write(self, pid: int, op: Any, cycle: int) -> None:
@@ -430,6 +529,12 @@ def run_simulated_reference(
                     if isinstance(op, Sleep):
                         sleeping[q] = max(1, op.cycles) - 1
                         continue
+                    if isinstance(op, Listen):
+                        raise ProtocolError(
+                            f"virtual P{q} yielded {op!r}: Listen is not "
+                            f"supported inside simulated virtual programs; "
+                            f"yield per-cycle CycleOp(read=...) instead"
+                        )
                     if op.write is not None:
                         writes[q] = (op.write, op.payload)
                     if op.read is not None:

@@ -39,10 +39,10 @@ from __future__ import annotations
 import math
 from typing import Any, Optional
 
-from .errors import ConfigurationError
+from .errors import ConfigurationError, ProtocolError
 from .message import EMPTY
 from .network import MCBNetwork
-from .program import IDLE, CycleOp, ProcContext, ProgramFn, Sleep
+from .program import IDLE, CycleOp, Listen, ProcContext, ProgramFn, Sleep
 
 
 def host_of(q: int, v: int) -> int:
@@ -139,6 +139,15 @@ def run_simulated(
                         # This virtual cycle plus (cycles-1) further ones.
                         sleeping[q] = max(1, op.cycles) - 1
                         continue
+                    if isinstance(op, Listen):
+                        # The oblivious block schedule has no notion of a
+                        # parked reader; virtual programs must spell out
+                        # their per-cycle reads.
+                        raise ProtocolError(
+                            f"virtual P{q} yielded {op!r}: Listen is not "
+                            f"supported inside simulated virtual programs; "
+                            f"yield per-cycle CycleOp(read=...) instead"
+                        )
                     if op.write is not None:
                         writes[q] = (op.write, op.payload)
                     if op.read is not None:

@@ -115,13 +115,23 @@ class JsonlSink(Sink):
 
     ``target`` may be a path (opened lazily, owned and closed by the
     sink) or any writable text file object (borrowed — ``close()``
-    flushes but does not close it).
+    flushes but does not close it).  ``mode`` selects truncate (``"w"``,
+    the default) or append (``"a"`` — used by the benchmark recorder so
+    result files accumulate a run-over-run trajectory).
     """
 
-    def __init__(self, target: Union[str, Path, io.TextIOBase, Any]):
+    def __init__(
+        self,
+        target: Union[str, Path, io.TextIOBase, Any],
+        *,
+        mode: str = "w",
+    ):
+        if mode not in ("w", "a"):
+            raise ValueError(f"mode must be 'w' or 'a', got {mode!r}")
         self._path: Optional[Path] = None
         self._fh: Optional[Any] = None
         self._owns_fh = False
+        self._mode = mode
         if isinstance(target, (str, Path)):
             self._path = Path(target)
         else:
@@ -132,7 +142,7 @@ class JsonlSink(Sink):
         if self._fh is None:
             assert self._path is not None
             self._path.parent.mkdir(parents=True, exist_ok=True)
-            self._fh = self._path.open("w", encoding="utf-8")
+            self._fh = self._path.open(self._mode, encoding="utf-8")
             self._owns_fh = True
         return self._fh
 

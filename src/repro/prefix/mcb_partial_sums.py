@@ -34,7 +34,7 @@ from typing import Any, Callable, Optional
 
 from ..mcb.message import EMPTY, Message
 from ..mcb.network import MCBNetwork
-from ..mcb.program import CycleOp, ProcContext, Sleep
+from ..mcb.program import CycleOp, Listen, ProcContext, Sleep
 
 
 @dataclass(frozen=True)
@@ -190,19 +190,23 @@ def mcb_partial_sums(
             write_cycle = (pid - 2) // k if pid >= 2 else None
             read_cycle = (pid - 1) // k if pid <= p - 1 else None
             got = None
-            for t in range(stage_cycles):
+            # Jump straight to the (at most two) cycles in which I act
+            # instead of stepping through the stage one sleep at a time.
+            events = sorted({c for c in (write_cycle, read_cycle) if c is not None})
+            t = 0
+            for c in events:
+                yield from _sleep(c - t)
                 w = wp = rd = None
-                if write_cycle == t:
+                if write_cycle == c:
                     w = (pid - 2) % k + 1
                     wp = Message("next", incl)
-                if read_cycle == t:
+                if read_cycle == c:
                     rd = (pid - 1) % k + 1
-                if w is None and rd is None:
-                    yield from _sleep(1)
-                    continue
                 res = yield CycleOp(write=w, payload=wp, read=rd)
                 if rd is not None:
                     got = res
+                t = c + 1
+            yield from _sleep(stage_cycles - t)
             nxt = incl if pid == p else (got[0] if got not in (None, EMPTY) else None)
         return PartialSums(prev=prev, incl=incl, next=nxt)
 
@@ -260,7 +264,9 @@ def mcb_total_sum(
             total = vals[r]
             yield CycleOp(write=1, payload=Message("total", total), read=1)
             return total
-        got = yield CycleOp(read=1)
+        # Everyone reaches the broadcast cycle together; park until the
+        # root's message lands rather than polling the channel.
+        _, got = yield Listen(1, until_nonempty=True)
         return got[0]
 
     return net.run({i: program for i in range(1, p + 1)}, phase=phase)

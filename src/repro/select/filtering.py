@@ -31,9 +31,9 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
-from ..mcb.message import EMPTY, Message
+from ..mcb.message import Message
 from ..mcb.network import MCBNetwork
-from ..mcb.program import CycleOp, ProcContext, Sleep
+from ..mcb.program import CycleOp, Listen, ProcContext, Sleep
 from ..prefix.mcb_partial_sums import mcb_partial_sums, mcb_total_sum
 from ..sort.common import pack_elem, unpack_elem
 from ..sort.ones import sort_ones
@@ -144,8 +144,9 @@ def mcb_select_descending(
                 med_fields = my_sorted[pid][0][:-2]
                 yield CycleOp(write=1, payload=Message("med", *med_fields))
                 return unpack_elem(med_fields)
-            got = yield CycleOp(read=1)
-            assert got is not EMPTY, "some processor must hold the median"
+            # Exactly one processor holds the weighted median and writes
+            # in this phase's single cycle; everyone else parks for it.
+            _, got = yield Listen(1, until_nonempty=True)
             return unpack_elem(got.fields)
 
         med_star = net.run(
@@ -197,9 +198,12 @@ def mcb_select_descending(
             start = sums[pid].incl
             if start > 0:
                 yield Sleep(start)
-            for _ in range(total - start):
-                got = yield CycleOp(read=1)
-                pool.append(unpack_elem(got.fields))
+            if total > start:
+                # The other processors' candidates arrive back to back,
+                # one per cycle (partial-sums pacing): park once for the
+                # whole stream instead of resuming per candidate.
+                heard = yield Listen(1, total - start)
+                pool.extend(unpack_elem(msg.fields) for _, msg in heard)
             answer = select_kth_largest(pool, d) if pool else None
             ctx.aux_release(total)
             yield CycleOp(write=1, payload=Message("ans", *pack_elem(answer)))

@@ -37,6 +37,7 @@ def mcb_multiselect(
     dist: Distribution | dict[int, Sequence[Any]],
     ranks: Sequence[int],
     *,
+    pair_sorter: str = "ones",
     phase: str = "multiselect",
 ) -> MultiSelectResult:
     """Select several order statistics of a distributed set.
@@ -45,6 +46,10 @@ def mcb_multiselect(
     ----------
     ranks:
         1-based ranks (d-th largest); any order, duplicates rejected.
+    pair_sorter:
+        Forwarded to every underlying
+        :func:`~repro.select.filtering.mcb_select_descending` call (how
+        each filtering phase sorts its ``(median, count)`` pairs).
 
     Returns
     -------
@@ -80,11 +85,12 @@ def mcb_multiselect(
             }
             res = mcb_select_descending(
                 net, negated, m_pool - d_rel + 1,
-                phase=f"{phase}/rank-{label}",
+                pair_sorter=pair_sorter, phase=f"{phase}/rank-{label}",
             )
             return neg_elem(res.value), res.trace
         res = mcb_select_descending(
-            net, pool, d_rel, phase=f"{phase}/rank-{label}"
+            net, pool, d_rel, pair_sorter=pair_sorter,
+            phase=f"{phase}/rank-{label}",
         )
         return res.value, res.trace
 
@@ -123,6 +129,7 @@ def mcb_quantiles(
     dist: Distribution | dict[int, Sequence[Any]],
     q: int,
     *,
+    pair_sorter: str = "ones",
     phase: str = "quantiles",
 ) -> MultiSelectResult:
     """The ``q``-quantile splitters: ranks ``round(j*n/q)`` for
@@ -132,4 +139,6 @@ def mcb_quantiles(
     if q < 2:
         raise ValueError("need q >= 2")
     ranks = sorted({max(1, min(n, round(j * n / q))) for j in range(1, q)})
-    return mcb_multiselect(net, dist, ranks, phase=phase)
+    return mcb_multiselect(
+        net, dist, ranks, pair_sorter=pair_sorter, phase=phase
+    )

@@ -32,7 +32,7 @@ from typing import Any, Sequence
 
 from ..mcb.message import EMPTY, Message
 from ..mcb.network import MCBNetwork
-from ..mcb.program import CycleOp, ProcContext, Sleep
+from ..mcb.program import CycleOp, Listen, ProcContext, Sleep
 from .common import dummy_like, is_dummy, pack_elem, unpack_elem
 from .even_pk import SortResult, columnsort_program
 
@@ -92,9 +92,11 @@ def sort_even_collect(
         if is_rep:
             column = []
             ctx.aux_acquire(m_pad)
-            for _ in range(collect_cycles):
-                got = yield CycleOp(read=j)
-                column.append(unpack_elem(got.fields))
+            if collect_cycles:
+                # The members write back to back, filling every cycle of
+                # the window: park once instead of resuming per cycle.
+                heard = yield Listen(j, collect_cycles)
+                column.extend(unpack_elem(msg.fields) for _, msg in heard)
             column.extend(mine)
             column.extend(
                 dummy_like(mine[0], seq=r) for r in range(m_pad - len(column))
@@ -123,34 +125,47 @@ def sort_even_collect(
         cols_needed = sorted(needs)
         assert len(cols_needed) <= 2, "a segment spans at most two columns"
         out: list[Any] = [None] * npp
-        # Pass a reads my first needed column, pass b my second (if any).
-        plan: dict[int, tuple[int, int]] = {}  # cycle -> (channel, slot)
-        for pass_idx, c in enumerate(cols_needed):
-            for row, slot in needs[c]:
-                plan[pass_idx * m_pad + row] = (c + 1, slot)
-        t = 0
-        while t < 2 * m_pad:
-            r = t % m_pad
-            wchan = wpay = None
-            if is_rep and not is_dummy(column[r]):
-                wchan = j
-                wpay = Message("elem", *pack_elem(column[r]))
-            rd = plan.get(t)
-            if wchan is None and rd is None:
-                # Idle until my next interesting cycle of phase 10.
-                nxt = min((u for u in plan if u > t), default=2 * m_pad)
-                if is_rep:
-                    nxt = t + 1  # a representative may resume writing
-                yield from _sleep(nxt - t)
-                t = nxt
-                continue
-            got = yield CycleOp(
-                write=wchan, payload=wpay, read=rd[0] if rd else None
-            )
-            if rd is not None:
-                assert got is not EMPTY
-                out[rd[1]] = unpack_elem(got.fields)
-            t += 1
+        if is_rep:
+            # A representative interleaves writing its column with its own
+            # segment reads, so it cannot park; keep the per-cycle plan.
+            plan: dict[int, tuple[int, int]] = {}  # cycle -> (channel, slot)
+            for pass_idx, c in enumerate(cols_needed):
+                for row, slot in needs[c]:
+                    plan[pass_idx * m_pad + row] = (c + 1, slot)
+            t = 0
+            while t < 2 * m_pad:
+                r = t % m_pad
+                wchan = wpay = None
+                if not is_dummy(column[r]):
+                    wchan = j
+                    wpay = Message("elem", *pack_elem(column[r]))
+                rd = plan.get(t)
+                if wchan is None and rd is None:
+                    yield from _sleep(1)  # may resume writing next cycle
+                    t += 1
+                    continue
+                got = yield CycleOp(
+                    write=wchan, payload=wpay, read=rd[0] if rd else None
+                )
+                if rd is not None:
+                    assert got is not EMPTY
+                    out[rd[1]] = unpack_elem(got.fields)
+                t += 1
+        else:
+            # A pure listener: its segment's rows are consecutive within
+            # each needed column (and never dummies), so each pass is one
+            # contiguous fully-written window — park through it.
+            t = 0
+            for pass_idx, c in enumerate(cols_needed):
+                rows = needs[c]  # ascending (row, slot)
+                start = pass_idx * m_pad + rows[0][0]
+                yield from _sleep(start - t)
+                heard = yield Listen(c + 1, len(rows))
+                assert len(heard) == len(rows)
+                for (_, msg), (_, slot) in zip(heard, rows):
+                    out[slot] = unpack_elem(msg.fields)
+                t = start + len(rows)
+            yield from _sleep(2 * m_pad - t)
         assert all(e is not None for e in out)
         if is_rep:
             ctx.aux_release(m_pad)

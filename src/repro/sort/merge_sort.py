@@ -44,7 +44,7 @@ from typing import Any, Optional, Sequence
 
 from ..mcb.message import EMPTY, Message
 from ..mcb.network import MCBNetwork
-from ..mcb.program import CycleOp, ProcContext
+from ..mcb.program import CycleOp, Listen, ProcContext
 from .common import descending, pack_elem, unpack_elem
 from .even_pk import SortResult
 
@@ -210,9 +210,10 @@ def merge_sort_group(
                 if in_list and my_list[-1] < new_top:
                     rank += 1
         if new_top is None:
-            # Nothing was re-inserted; burn the round's remaining cycles.
-            yield CycleOp(read=channel)
-            yield CycleOp(read=channel)
+            # Nothing was re-inserted; every member burns the round's two
+            # remaining cycles, so the channel is guaranteed silent —
+            # park through them instead of reading twice.
+            yield Listen(channel, 2)
             continue
 
         # cycle 4: P_b answers

@@ -83,3 +83,44 @@ class TestRunGrid:
             r["fingerprint"] for r in pooled
         ]
         assert [r["stats"] for r in inline] == [r["stats"] for r in pooled]
+
+    def test_full_cache_hit_never_spawns_pool(self, tmp_path, monkeypatch):
+        import repro.bench.runner as runner
+
+        cache = ResultCache(tmp_path)
+        specs = [BenchSpec("sort", 4, 4, 32, seed=s) for s in (1, 2)]
+        warm = run_grid(specs, cache=cache, max_workers=0)
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("pool spawned despite a fully warmed cache")
+
+        monkeypatch.setattr(runner, "ProcessPoolExecutor", boom)
+        served = run_grid(specs, cache=cache)  # default workers, all hits
+        assert served == warm
+
+    def test_pool_width_capped_by_todo(self, tmp_path, monkeypatch):
+        import repro.bench.runner as runner
+
+        seen = {}
+        real_pool = runner.ProcessPoolExecutor
+
+        def spy(max_workers=None, **kwargs):
+            seen["width"] = max_workers
+            return real_pool(max_workers=max_workers, **kwargs)
+
+        monkeypatch.setattr(runner, "ProcessPoolExecutor", spy)
+        specs = [BenchSpec("sort", 4, 4, 32, seed=s) for s in (1, 2)]
+        run_grid(specs, max_workers=16)
+        assert seen["width"] == 2  # min(len(todo), max_workers)
+
+    def test_env_var_default_forces_inline(self, tmp_path, monkeypatch):
+        import repro.bench.runner as runner
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("pool spawned despite REPRO_BENCH_MAX_WORKERS=0")
+
+        monkeypatch.setattr(runner, "ProcessPoolExecutor", boom)
+        monkeypatch.setenv("REPRO_BENCH_MAX_WORKERS", "0")
+        specs = [BenchSpec("sort", 4, 4, 32, seed=s) for s in (1, 2)]
+        out = run_grid(specs)  # max_workers unset -> env default
+        assert len(out) == 2

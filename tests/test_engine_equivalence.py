@@ -17,7 +17,15 @@ import pytest
 
 from repro.core import Distribution, kth_largest
 from repro.core.problem import is_sorted_output
-from repro.mcb import CollisionError, CycleOp, MCBNetwork, Message, Sleep
+from repro.mcb import (
+    CollisionError,
+    CycleOp,
+    Listen,
+    MCBNetwork,
+    Message,
+    ProtocolError,
+    Sleep,
+)
 from repro.mcb.reference import ReferenceMCBNetwork, run_simulated_reference
 from repro.mcb.simulate import run_simulated
 from repro.obs.profile import Profiler
@@ -158,6 +166,256 @@ class TestSchedulerEdgeCases:
         ph = fast.stats.phases[-1]
         assert ph.collisions == 1
         assert ph.cycles == 1  # the clean cycle before the abort
+
+
+class TestListenEquivalence:
+    """Listen parking (fast) vs per-cycle desugaring (reference)."""
+
+    def test_bounded_listen_mixed_traffic_identical(self):
+        # Writers with silent gaps + listeners with staggered windows:
+        # the parked traffic-log path must deliver exactly the
+        # (offset, message) pairs the reference's per-cycle reads see.
+        def prog(ctx):
+            if ctx.pid <= 2:
+                ch = ctx.pid
+                for r in range(6):
+                    if (r + ctx.pid) % 3 == 0:
+                        yield Sleep(1)  # silent cycle inside the window
+                    else:
+                        yield CycleOp(write=ch, payload=Message("m", ctx.pid, r))
+                return None
+            ch = (ctx.pid % 2) + 1
+            yield from iter(())  # keep generator shape uniform
+            heard = yield Listen(ch, 4 + ctx.pid % 3)
+            return [(off, msg.fields) for off, msg in heard]
+
+        def drive(net):
+            return net.run({pid: prog for pid in range(1, 8)}, phase="listen")
+
+        out_fast, out_ref = run_both(8, 4, drive)
+        assert out_fast == out_ref
+        assert any(out_fast[pid] for pid in range(3, 8))
+
+    def test_until_nonempty_wake_identical(self):
+        # A late writer wakes parked listeners; offsets must match the
+        # reference's polling loop, including listeners that park at
+        # different cycles (different offsets for the same broadcast).
+        def prog(ctx):
+            if ctx.pid == 1:
+                yield Sleep(7)
+                yield CycleOp(write=1, payload=Message("wake", 42))
+                return None
+            yield Sleep(ctx.pid)  # stagger the park cycle
+            off, msg = yield Listen(1, until_nonempty=True)
+            return (off, msg.fields)
+
+        def drive(net):
+            return net.run({pid: prog for pid in range(1, 6)}, phase="until")
+
+        out_fast, out_ref = run_both(6, 2, drive)
+        assert out_fast == out_ref
+        # Distinct park cycles -> distinct offsets for one broadcast.
+        assert len({v[0] for pid, v in out_fast.items() if pid != 1}) > 1
+
+    def test_listener_parked_at_run_end_identical(self):
+        # A bounded window outliving every writer: the listener still
+        # runs its window out (cycles keep elapsing) and returns only
+        # what was broadcast before the silence.
+        def prog(ctx):
+            if ctx.pid == 1:
+                yield CycleOp(write=1, payload=Message("only", 1))
+                return None
+            heard = yield Listen(1, 9)
+            return [(off, msg.fields) for off, msg in heard]
+
+        def drive(net):
+            return net.run({1: prog, 2: prog}, phase="tail")
+
+        out_fast, out_ref = run_both(2, 1, drive)
+        assert out_fast == out_ref
+        assert out_fast[2] == [(0, (1,))]
+        net = MCBNetwork(p=2, k=1)
+        net.run({1: prog, 2: prog}, phase="tail")
+        assert net.stats.phases[-1].cycles == 9  # full window elapsed
+
+    def test_orphaned_until_listeners_identical(self):
+        # Once every still-live processor waits for a broadcast that can
+        # never come, the phase ends and the orphans' results stay None.
+        def prog(ctx):
+            if ctx.pid == 1:
+                yield CycleOp(write=1, payload=Message("gone", 1))
+                return "wrote"
+            yield CycleOp(read=2)
+            off, msg = yield Listen(2, until_nonempty=True)
+            return (off, msg.fields)  # pragma: no cover - never resumed
+
+        def drive(net):
+            return net.run({pid: prog for pid in (1, 2, 3)}, phase="orphan")
+
+        out_fast, out_ref = run_both(4, 2, drive)
+        assert out_fast == out_ref
+        assert out_fast == {1: "wrote", 2: None, 3: None}
+
+    def test_until_write_in_final_cycle_not_orphaned(self):
+        # The last non-listener writes in the very cycle the listener
+        # parks, then finishes.  The desugaring engines already hold the
+        # message in the listener's inbox when the orphan check runs —
+        # the listener must complete, not be closed as an orphan.
+        def prog(ctx):
+            if ctx.pid == 1:
+                yield CycleOp(write=1, payload=Message("last", 5))
+                return "wrote"
+            off, msg = yield Listen(1, until_nonempty=True)
+            return (off, msg.fields)
+
+        def drive(net):
+            return net.run({1: prog, 2: prog}, phase="last-cycle")
+
+        out_fast, out_ref = run_both(2, 1, drive)
+        assert out_fast == out_ref == {1: "wrote", 2: (0, (5,))}
+        # Same outcome on the observed (desugared) fast path.
+        observed = MCBNetwork(p=2, k=1, record_trace=True)
+        assert observed.run({1: prog, 2: prog}, phase="last-cycle") == out_fast
+
+    def test_observed_run_event_streams_identical(self):
+        # With an observer attached the fast engine desugars listens so
+        # MessageBroadcast.readers includes every parked listener; the
+        # recorded trace must match the reference engine event for event.
+        def prog(ctx):
+            if ctx.pid == 1:
+                for r in range(4):
+                    yield CycleOp(write=1, payload=Message("t", r))
+                return None
+            if ctx.pid == 2:
+                heard = yield Listen(1, 4)
+                return [(off, msg.fields) for off, msg in heard]
+            off, msg = yield Listen(1, until_nonempty=True)
+            return (off, msg.fields)
+
+        fast = MCBNetwork(p=3, k=1, record_trace=True)
+        ref = ReferenceMCBNetwork(p=3, k=1, record_trace=True)
+        res_fast = fast.run({pid: prog for pid in (1, 2, 3)}, phase="obs")
+        res_ref = ref.run({pid: prog for pid in (1, 2, 3)}, phase="obs")
+        assert res_fast == res_ref
+        assert fast.stats.to_dict() == ref.stats.to_dict()
+        assert fast.events == ref.events
+        # Parked listeners appear as readers of the broadcasts they heard.
+        assert any(len(ev.readers) == 2 for ev in fast.events)
+
+    def test_listen_protocol_errors_identical(self):
+        cases = [
+            lambda: Listen(1, 2, until_nonempty=True),  # both forms
+            lambda: Listen(1),  # neither form
+            lambda: Listen(1, -3),  # negative window
+            lambda: Listen(99, 2),  # channel out of range
+        ]
+        for make in cases:
+            def bad(ctx, make=make):
+                yield make()
+
+            for net in (MCBNetwork(p=2, k=2), ReferenceMCBNetwork(p=2, k=2)):
+                with pytest.raises(ProtocolError):
+                    net.run({1: bad}, phase="bad-listen")
+
+    def test_listen_zero_means_one_cycle(self):
+        # Minimum-one-cycle rule, exactly as for Sleep.
+        def prog(ctx):
+            if ctx.pid == 1:
+                yield CycleOp(write=1, payload=Message("x", 1))
+                return None
+            heard = yield Listen(1, 0)
+            return [(off, msg.fields) for off, msg in heard]
+
+        def drive(net):
+            return net.run({1: prog, 2: prog}, phase="zero")
+
+        out_fast, out_ref = run_both(2, 1, drive)
+        assert out_fast == out_ref
+        assert out_fast[2] == [(0, (1,))]
+
+    def test_listen_rejected_inside_simulation(self):
+        def virt(ctx):
+            yield Listen(1, 2)
+
+        programs = {pid: virt for pid in range(1, 5)}
+        fast = MCBNetwork(p=2, k=1)
+        with pytest.raises(ProtocolError, match="Listen"):
+            run_simulated(fast, 4, 2, programs, phase="sim-listen")
+        ref = ReferenceMCBNetwork(p=2, k=1)
+        with pytest.raises(ProtocolError, match="Listen"):
+            run_simulated_reference(ref, 4, 2, programs, phase="sim-listen")
+
+
+class TestListenModelVariants:
+    """Listen under CREW persistent cells and extended write policies."""
+
+    def test_crew_persistent_cell_buffers_every_step(self):
+        from repro.mcb.crew import CREWMemory
+
+        def prog(ctx):
+            if ctx.pid == 1:
+                yield CycleOp(write=1, payload=Message("v", 7))
+                yield Sleep(4)
+                return None
+            yield CycleOp(read=2)  # let the write land first
+            heard = yield Listen(1, 3)
+            return [(off, msg.fields) for off, msg in heard]
+
+        mem = CREWMemory(p=2, cells=2)
+        res = mem.run({1: prog, 2: prog}, phase="crew-listen")
+        # Cells persist: the one write is heard on every window step.
+        assert res[2] == [(0, (7,)), (1, (7,)), (2, (7,))]
+
+    def test_crew_until_completes_on_ever_written_cell(self):
+        from repro.mcb.crew import CREWMemory
+
+        def prog(ctx):
+            if ctx.pid == 1:
+                yield CycleOp(write=1, payload=Message("v", 9))
+                return None
+            yield CycleOp(read=2)
+            off, msg = yield Listen(1, until_nonempty=True)
+            return (off, msg.fields)
+
+        mem = CREWMemory(p=2, cells=2)
+        res = mem.run({1: prog, 2: prog}, phase="crew-until")
+        assert res[2] == (0, (9,))
+
+    def test_extended_collision_wakes_until_listener(self):
+        from repro.mcb.extensions import ExtendedNetwork, ExtOp
+
+        def prog(ctx):
+            if ctx.pid <= 2:
+                yield ExtOp(write=1, payload=Message("w", ctx.pid))
+                return None
+            got = yield Listen(1, until_nonempty=True)
+            return got
+
+        net = ExtendedNetwork(p=3, k=1, write_policy="detect")
+        res = net.run({pid: prog for pid in (1, 2, 3)}, phase="ext-until")
+        off, marker = res[3]
+        assert off == 0
+        assert repr(marker) == "COLLISION"  # audibly non-empty
+
+    def test_extended_bounded_listen_buffers_collisions(self):
+        from repro.mcb.extensions import ExtendedNetwork, ExtOp
+
+        def prog(ctx):
+            if ctx.pid <= 2:
+                yield ExtOp(write=1, payload=Message("w", ctx.pid))
+                yield Sleep(1)
+                if ctx.pid == 1:
+                    yield ExtOp(write=1, payload=Message("solo", 1))
+                return None
+            heard = yield Listen(1, 3)
+            return heard
+
+        net = ExtendedNetwork(p=3, k=1, write_policy="detect")
+        res = net.run({pid: prog for pid in (1, 2, 3)}, phase="ext-listen")
+        offsets = [off for off, _ in res[3]]
+        assert offsets == [0, 2]  # collision marker + the later solo write
+        assert repr(res[3][0][1]) == "COLLISION"
+        assert res[3][1][1].fields == (1,)
 
 
 class TestSimulationEquivalence:

@@ -11,7 +11,8 @@ import pytest
 
 from repro.core import Distribution, kth_largest
 from repro.core.problem import is_sorted_output
-from repro.mcb import MCBNetwork
+from repro.mcb import CycleOp, Listen, MCBNetwork, Message, Sleep
+from repro.mcb.reference import ReferenceMCBNetwork
 from repro.select import mcb_select
 from repro.sort import mcb_sort, merge_sort, rank_sort
 
@@ -75,6 +76,55 @@ class TestExhaustiveSelection:
             net = MCBNetwork(p=4, k=2)
             res = mcb_select(net, d, rank)
             assert res.value == kth_largest(elems, rank), rank
+
+
+class TestExhaustiveListen:
+    """Every small (write schedule, window, park delay) combination.
+
+    The reference engine's per-cycle desugaring *defines* Listen; the
+    fast engine's parked wait-lists must reproduce it bit for bit —
+    results and ``RunStats`` — across every alignment of broadcasts
+    with bounded windows, until-nonempty parks, and orphaned listeners
+    (schedules whose writes all land before the listener parks).
+    """
+
+    @staticmethod
+    def _programs(mask, window, delay_b, delay_u):
+        def writer(ctx):
+            for r in range(4):
+                if mask >> r & 1:
+                    yield CycleOp(write=1, payload=Message("m", r))
+                else:
+                    yield Sleep(1)
+            return "done"
+
+        def bounded(ctx):
+            if delay_b:
+                yield Sleep(delay_b)
+            heard = yield Listen(1, window)
+            return [(off, msg.fields) for off, msg in heard]
+
+        def until(ctx):
+            if delay_u:
+                yield Sleep(delay_u)
+            off, msg = yield Listen(1, until_nonempty=True)
+            return (off, msg.fields)
+
+        return {1: writer, 2: bounded, 3: until}
+
+    def test_all_small_listen_schedules(self):
+        for mask, window, delay_b, delay_u in itertools.product(
+            range(16), (1, 2, 4), (0, 1, 3), (0, 2)
+        ):
+            outcomes = []
+            for engine in (MCBNetwork, ReferenceMCBNetwork):
+                net = engine(p=3, k=2)
+                res = net.run(
+                    self._programs(mask, window, delay_b, delay_u),
+                    phase="listen-sweep",
+                )
+                outcomes.append((res, net.stats.to_dict()))
+            assert outcomes[0] == outcomes[1], (mask, window, delay_b, delay_u)
 
 
 class TestExhaustivePartialSums:
