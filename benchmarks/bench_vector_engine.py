@@ -1,0 +1,204 @@
+"""Vector-engine benchmark: compiled NumPy execution vs generator stepping.
+
+The §5.2 columnsort transformation phases are oblivious, so the vector
+engine (:mod:`repro.mcb.vector`) compiles each one to columnar index
+arrays and executes it as a single NumPy gather/scatter instead of the
+generator engines' ``m`` per-cycle dispatch rounds.  Two legs, both
+gated:
+
+* ``transform`` — the four transformation phases (2/4/6/8) back to back
+  at ``p = k = 32, m = 1024``: per-processor generator programs stepped
+  by the fast engine vs four compiled ``VectorRun.execute`` calls on the
+  same state.  Required: **>= 5x**.
+* ``batch`` — aggregate sort throughput (instances/second): the vector
+  engine sorts ``B = 64`` independent instances as one ``(k, m, B)``
+  pass, compared against full generator ``sort_even_pk`` runs (sampled
+  at ``GEN_SAMPLE`` instances — one generator instance costs ~1s at
+  this size, so timing all 64 would only slow the suite without
+  changing the per-instance rate).  Required: **>= 10x**.
+
+The speedup is not allowed to buy accounting drift: both legs assert
+bit-identical outputs and identical per-phase stats between engines,
+and ``test_vector_matches_reference`` pins full
+``RunStats.to_dict()`` parity against
+:class:`~repro.mcb.reference.ReferenceMCBNetwork` at a small size.
+
+Compilation is timed separately and reported (``compile_s``): it is a
+one-time cost per ``(m, k)`` amortized across runs and batch lanes by
+the ``compiled_columnsort_phases`` cache.
+
+Results accumulate in ``benchmarks/results/BENCH_vector_engine.json``
+(canonical bench name ``vector_engine``), the committed baseline for
+the CI perf-regression check.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.columnsort.schedule import schedule_for_phase
+from repro.mcb import MCBNetwork
+from repro.mcb.reference import ReferenceMCBNetwork
+from repro.mcb.vector import VectorRun, build_state
+from repro.sort import sort_even_pk, sort_even_pk_batch
+from repro.sort.even_pk import transformation_phase
+from repro.sort.vector import compiled_columnsort_phases
+
+P = K = 32
+M = 1024
+B = 64
+#: Generator instances actually timed for the batch-throughput baseline.
+GEN_SAMPLE = 4
+TRANSFORM_PHASES = (2, 4, 6, 8)
+REQUIRED_TRANSFORM_SPEEDUP = 5.0
+REQUIRED_BATCH_SPEEDUP = 10.0
+
+
+def make_columns(k: int, m: int, seed: int) -> dict[int, list[int]]:
+    rng = random.Random(seed)
+    return {
+        pid: [rng.randrange(1 << 20) for _ in range(m)]
+        for pid in range(1, k + 1)
+    }
+
+
+def run_generator_transforms(columns: dict[int, list[int]]):
+    """The four transformation phases as generator programs, fast engine."""
+    scheds = [schedule_for_phase(ph, M, K) for ph in TRANSFORM_PHASES]
+
+    def program(ctx):
+        col = list(columns[ctx.pid])
+        for sched in scheds:
+            col = yield from transformation_phase(ctx.pid - 1, col, sched)
+        return col
+
+    net = MCBNetwork(p=P, k=K)
+    start = time.perf_counter()
+    out = net.run({pid: program for pid in range(1, K + 1)}, phase="transform")
+    wall = time.perf_counter() - start
+    return wall, out, net.stats.to_dict()
+
+
+def run_vector_transforms(columns: dict[int, list[int]], phases):
+    """The same four phases as compiled gather/scatter passes."""
+    state = build_state([list(columns[pid]) for pid in range(1, K + 1)])
+    run = VectorRun(P, K, phase="transform")
+    start = time.perf_counter()
+    for compiled in phases:
+        state = run.execute(compiled, state)
+    lane = run.finish()[0]
+    wall = time.perf_counter() - start
+    rows = state.tolist()
+    out = {pid: tuple(rows[pid - 1]) for pid in range(1, K + 1)}
+    from repro.mcb.trace import RunStats
+
+    return wall, out, RunStats(phases=[lane]).to_dict()
+
+
+def test_vector_engine_speedup(benchmark, emit, record):
+    compile_start = time.perf_counter()
+    phases = compiled_columnsort_phases(M, K)
+    compile_s = time.perf_counter() - compile_start
+
+    # ---- leg 1: transformation phases, generator vs vector --------------
+    columns = make_columns(K, M, seed=7)
+    gen_wall, gen_out, gen_stats = run_generator_transforms(columns)
+    vec_wall, vec_out, vec_stats = benchmark.pedantic(
+        lambda: run_vector_transforms(columns, phases), rounds=1, iterations=1
+    )
+    assert {pid: tuple(v) for pid, v in gen_out.items()} == vec_out
+    assert gen_stats == vec_stats
+    transform_speedup = gen_wall / vec_wall
+
+    # ---- leg 2: batched sorts vs sampled generator sorts ----------------
+    lanes = [make_columns(K, M, seed=1000 + b) for b in range(B)]
+    gen_results = []
+    gen_stat_dicts = []
+    gen_total = 0.0
+    for b in range(GEN_SAMPLE):
+        net = MCBNetwork(p=P, k=K)
+        start = time.perf_counter()
+        res = sort_even_pk(net, {p: list(v) for p, v in lanes[b].items()})
+        gen_total += time.perf_counter() - start
+        gen_results.append(res)
+        gen_stat_dicts.append(net.stats.to_dict())
+    gen_throughput = GEN_SAMPLE / gen_total
+
+    start = time.perf_counter()
+    batch = sort_even_pk_batch(K, lanes)
+    batch_wall = time.perf_counter() - start
+    batch_throughput = B / batch_wall
+
+    for b in range(GEN_SAMPLE):
+        assert batch.results[b].output == gen_results[b].output, b
+        assert batch.stats[b].to_dict() == gen_stat_dicts[b], b
+    batch_speedup = batch_throughput / gen_throughput
+
+    record(
+        bench="vector_engine",
+        p=P,
+        k=K,
+        m=M,
+        batch=B,
+        gen_sample=GEN_SAMPLE,
+        compile_s=round(compile_s, 6),
+        transform_wall_s={
+            "generator": round(gen_wall, 6), "vector": round(vec_wall, 6),
+        },
+        sorts_per_s={
+            "generator": round(gen_throughput, 3),
+            "vector_batched": round(batch_throughput, 3),
+        },
+        speedup={
+            "transform": round(transform_speedup, 3),
+            "batch": round(batch_speedup, 3),
+        },
+    )
+
+    emit(
+        "Vector engine — compiled NumPy execution vs generator stepping "
+        f"at p=k={K}, m={M} (transform ≥{REQUIRED_TRANSFORM_SPEEDUP:.0f}x, "
+        f"B={B} batch throughput ≥{REQUIRED_BATCH_SPEEDUP:.0f}x required)",
+        ["leg", "generator", "vector", "speedup"],
+        [
+            [
+                "transform (wall s)",
+                f"{gen_wall:.3f}",
+                f"{vec_wall:.4f}",
+                f"{transform_speedup:.1f}x",
+            ],
+            [
+                "batch (sorts/s)",
+                f"{gen_throughput:.2f}",
+                f"{batch_throughput:.2f}",
+                f"{batch_speedup:.1f}x",
+            ],
+        ],
+        notes=f"schedule compile: {compile_s:.3f}s (cached per (m, k))",
+        bench="vector_engine",
+    )
+
+    assert transform_speedup >= REQUIRED_TRANSFORM_SPEEDUP, (
+        f"vector transform {transform_speedup:.2f}x < required "
+        f"{REQUIRED_TRANSFORM_SPEEDUP}x over the generator engine"
+    )
+    assert batch_speedup >= REQUIRED_BATCH_SPEEDUP, (
+        f"batched vector throughput {batch_speedup:.2f}x < required "
+        f"{REQUIRED_BATCH_SPEEDUP}x over generator sorts"
+    )
+
+
+def test_vector_matches_reference():
+    """Full columnsort on both engines at small scale: bit-identical
+    outputs and ``RunStats.to_dict()`` against the reference engine."""
+    k, m = 8, 64
+    columns = make_columns(k, m, seed=3)
+    ref = ReferenceMCBNetwork(p=k, k=k)
+    res_ref = sort_even_pk(ref, {p: list(v) for p, v in columns.items()})
+    net = ReferenceMCBNetwork(p=k, k=k)
+    res_vec = sort_even_pk(
+        net, {p: list(v) for p, v in columns.items()}, engine="vector"
+    )
+    assert res_ref.output == res_vec.output
+    assert ref.stats.to_dict() == net.stats.to_dict()

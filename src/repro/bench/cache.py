@@ -1,7 +1,7 @@
 """Deterministic on-disk cache for benchmark results.
 
 One JSON file per configuration, keyed on the exact
-``(algorithm, p, k, n, seed)`` tuple.  Engine runs are deterministic for
+``(algorithm, p, k, n, seed, engine)`` tuple.  Engine runs are deterministic for
 a fixed seed, so a cache hit is exactly as good as a re-run — grids can
 be resumed, extended, or re-plotted without re-simulating configurations
 that already have results on disk.
@@ -19,7 +19,8 @@ from typing import Any, NamedTuple, Optional
 
 #: Bump when the stored payload shape changes incompatibly; mismatched
 #: entries read as misses and are overwritten on the next put().
-CACHE_VERSION = 1
+#: v2: keys grew an ``engine`` field (generator vs vector execution).
+CACHE_VERSION = 2
 
 
 class CacheKey(NamedTuple):
@@ -30,12 +31,13 @@ class CacheKey(NamedTuple):
     k: int
     n: int
     seed: int
+    engine: str = "generator"
 
     def filename(self) -> str:
         """Deterministic, human-scannable file name for this key."""
         return (
             f"{self.algorithm}_p{self.p}_k{self.k}_n{self.n}"
-            f"_seed{self.seed}.json"
+            f"_seed{self.seed}_{self.engine}.json"
         )
 
 

@@ -28,17 +28,25 @@ from .cache import CacheKey, ResultCache
 
 
 class BenchSpec(NamedTuple):
-    """One point of a benchmark grid (picklable, hashable)."""
+    """One point of a benchmark grid (picklable, hashable).
+
+    ``engine`` selects the execution engine for algorithms that support
+    it (``mcb_sort``'s ``"generator"`` / ``"vector"``); it is part of
+    the cache identity so engine comparisons never alias.
+    """
 
     algorithm: str
     p: int
     k: int
     n: int
     seed: int = 0
+    engine: str = "generator"
 
     @property
     def key(self) -> CacheKey:
-        return CacheKey(self.algorithm, self.p, self.k, self.n, self.seed)
+        return CacheKey(
+            self.algorithm, self.p, self.k, self.n, self.seed, self.engine
+        )
 
 
 def _fingerprint(value: Any) -> str:
@@ -50,13 +58,17 @@ def _run_sort(net: MCBNetwork, spec: BenchSpec) -> str:
     from ..sort import mcb_sort
 
     dist = Distribution.even(spec.n, spec.p, seed=spec.seed)
-    out = mcb_sort(net, dist)
+    out = mcb_sort(net, dist, engine=spec.engine)
     return _fingerprint(sorted(out.output.items()))
 
 
 def _run_select(net: MCBNetwork, spec: BenchSpec) -> str:
     from ..select import mcb_select
 
+    if spec.engine != "generator":
+        raise ValueError(
+            f"selection has no {spec.engine!r} engine; it is adaptive"
+        )
     dist = Distribution.even(spec.n, spec.p, seed=spec.seed)
     d = (spec.n + 1) // 2  # median
     res = mcb_select(net, dist, d)

@@ -32,6 +32,7 @@ from .schedule import (
     Transfer,
     build_schedule,
     bvn_decomposition,
+    bvn_for_phase,
     paper_transpose_schedule,
     schedule_for_phase,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "apply_perm",
     "build_schedule",
     "bvn_decomposition",
+    "bvn_for_phase",
     "columnsort",
     "columnsort_zero_one_counterexample",
     "columnsort_zero_one_exhaustive",

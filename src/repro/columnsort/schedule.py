@@ -26,7 +26,6 @@ cost model) — no coordination traffic is needed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 from typing import Optional
 
 import numpy as np
@@ -161,17 +160,63 @@ def bvn_decomposition(t: np.ndarray) -> list[tuple[np.ndarray, int]]:
 
 
 # ---------------------------------------------------------------------------
-# Schedule construction
+# Schedule construction (memoized per (phase, m, k))
 # ---------------------------------------------------------------------------
 
-def build_schedule(perm: np.ndarray, m: int, k: int) -> BroadcastSchedule:
+# Explicit dict caches rather than lru_cache: the BvN decomposition is
+# shared across phases *and* runs (the hot part of compilation for both
+# the generator and vector engines), and the hit/miss counters below
+# make the reuse observable through the global metrics registry.
+_BVN_CACHE: dict[tuple[int, int, int], list[tuple[np.ndarray, int]]] = {}
+_SCHEDULE_CACHE: dict[tuple[int, int, int], BroadcastSchedule] = {}
+
+
+def _cache_counter(name: str, hit: bool) -> None:
+    from ..obs.metrics import global_registry
+
+    global_registry().counter(
+        name, "columnsort schedule-cache lookups by result"
+    ).inc(result="hit" if hit else "miss")
+
+
+def bvn_for_phase(phase: int, m: int, k: int) -> list[tuple[np.ndarray, int]]:
+    """Memoized Birkhoff–von-Neumann decomposition for one transformation.
+
+    The decomposition depends only on ``(phase, m, k)`` (through the
+    transfer matrix), so it is computed once per process and shared by
+    every schedule/compile that needs it.  Lookups are counted on the
+    ``columnsort_bvn_cache_total`` counter of
+    :func:`repro.obs.metrics.global_registry` with a ``result=hit|miss``
+    label.
+    """
+    if phase not in PHASE_PERMS:
+        raise ValueError(f"phase {phase} is not a transformation phase")
+    key = (phase, m, k)
+    hit = key in _BVN_CACHE
+    _cache_counter("columnsort_bvn_cache_total", hit)
+    if not hit:
+        t = transfer_matrix(PHASE_PERMS[phase](m, k), m, k)
+        _BVN_CACHE[key] = bvn_decomposition(t)
+    return _BVN_CACHE[key]
+
+
+def build_schedule(
+    perm: np.ndarray,
+    m: int,
+    k: int,
+    *,
+    matchings: Optional[list[tuple[np.ndarray, int]]] = None,
+) -> BroadcastSchedule:
     """Build an ``m``-cycle collision-free schedule realizing ``perm``.
 
     ``perm`` maps 0-based column-major positions to destinations (as
-    produced by :mod:`repro.columnsort.matrix`).
+    produced by :mod:`repro.columnsort.matrix`).  Pass ``matchings`` (a
+    precomputed :func:`bvn_decomposition` of the transfer matrix, e.g.
+    from :func:`bvn_for_phase`) to skip the decomposition.
     """
-    t = transfer_matrix(perm, m, k)
-    matchings = bvn_decomposition(t)
+    if matchings is None:
+        t = transfer_matrix(perm, m, k)
+        matchings = bvn_decomposition(t)
 
     # Queue the transfers of each (src, dst) column pair in row order.
     queues: dict[tuple[int, int], list[Transfer]] = {}
@@ -202,12 +247,25 @@ def build_schedule(perm: np.ndarray, m: int, k: int) -> BroadcastSchedule:
     return BroadcastSchedule(m=m, k=k, cycles=cycles, reads=reads)
 
 
-@lru_cache(maxsize=256)
 def schedule_for_phase(phase: int, m: int, k: int) -> BroadcastSchedule:
-    """Cached schedule for paper phase 2, 4, 6 or 8 on an ``m x k`` matrix."""
+    """Cached schedule for paper phase 2, 4, 6 or 8 on an ``m x k`` matrix.
+
+    Repeated calls return the identical object.  Lookups are counted on
+    ``columnsort_schedule_cache_total`` (``result=hit|miss``) of the
+    global metrics registry; the underlying BvN decomposition is cached
+    separately via :func:`bvn_for_phase`.
+    """
     if phase not in PHASE_PERMS:
         raise ValueError(f"phase {phase} is not a transformation phase")
-    return build_schedule(PHASE_PERMS[phase](m, k), m, k)
+    key = (phase, m, k)
+    hit = key in _SCHEDULE_CACHE
+    _cache_counter("columnsort_schedule_cache_total", hit)
+    if not hit:
+        _SCHEDULE_CACHE[key] = build_schedule(
+            PHASE_PERMS[phase](m, k), m, k,
+            matchings=bvn_for_phase(phase, m, k),
+        )
+    return _SCHEDULE_CACHE[key]
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,46 @@
+"""repro.mcb.vector — vectorized execution of oblivious schedules.
+
+The paper's hot phases (§5.2 transformation schedules, §2 simulation
+blocks, §7.2 all-to-all movement) are *oblivious*: every message is a
+pure function of globally-known parameters.  This package compiles them
+into columnar index arrays (:mod:`~repro.mcb.vector.plan`), lowers the
+repo's existing schedule sources into that form
+(:mod:`~repro.mcb.vector.lower`) and executes whole phases as NumPy
+gather/scatter over a ``(p, slots)`` — or batched ``(p, slots, B)`` —
+element matrix (:mod:`~repro.mcb.vector.executor`), with bit-identical
+outputs and ``RunStats`` accounting to the generator engines.
+
+Opt in from the algorithm layer via ``engine="vector"`` on
+:func:`repro.sort.sort_even_pk` / :func:`repro.sort.mcb_sort`, or batch
+many instances through one compiled schedule with
+:func:`repro.sort.vector.sort_even_pk_batch`.
+"""
+
+from .executor import (
+    VectorRun,
+    build_batched_state,
+    build_state,
+    detect_dtype,
+    message_bits,
+)
+from .lower import (
+    lower_broadcast_schedule,
+    lower_paper_transpose,
+    lower_rebalance_movement,
+    lower_simulation_block,
+)
+from .plan import CompiledPhase, SchedulePlan
+
+__all__ = [
+    "CompiledPhase",
+    "SchedulePlan",
+    "VectorRun",
+    "build_batched_state",
+    "build_state",
+    "detect_dtype",
+    "lower_broadcast_schedule",
+    "lower_paper_transpose",
+    "lower_rebalance_movement",
+    "lower_simulation_block",
+    "message_bits",
+]

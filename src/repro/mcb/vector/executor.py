@@ -1,0 +1,417 @@
+"""Columnar execution of compiled oblivious phases.
+
+One :class:`CompiledPhase` executes as a handful of whole-array NumPy
+operations over a ``(p, slots)`` element matrix — or ``(p, slots, B)``
+with a trailing *batch axis*, running ``B`` independent instances of the
+same schedule in a single vectorized pass:
+
+1. gather every write's payload: ``vals = state[w_proc, w_src]``;
+2. start the output as a copy of the input (*update* semantics);
+3. scatter local moves and matched reads:
+   ``out[r_proc, r_dst] = vals[r_widx]``;
+4. account messages/bits/channel-writes from the gathered values.
+
+Bit accounting is exact: a message's size is a pure function of its
+payload value (:func:`repro.mcb.message.scalar_bits`), so
+:func:`message_bits` computes per-event bit sizes vectorized — floats
+cost a constant 64(+8 kind tag) bits, integers their exact two's
+complement width via a branch-free bit-length reduction, and object
+payloads (tuples, mixed columns) fall back to the scalar rule per
+element.  Batched lanes share every structural counter (cycles,
+messages, channel writes) and differ only in bits, which is tracked
+per lane.
+
+:class:`VectorRun` accumulates one phase's worth of accounting across
+any number of ``execute`` calls and finishes into the same
+:class:`~repro.mcb.trace.PhaseStats` a generator engine would commit,
+including the partial-stats-then-raise contract on a collision and the
+obs-pipeline event stream when a dispatcher is attached.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..errors import CollisionError, ConfigurationError
+from ..message import scalar_bits
+from ..trace import PhaseStats, RunStats
+from .plan import CompiledPhase, SchedulePlan, _pack
+
+try:  # events only needed when a dispatcher is attached
+    from ...obs.events import (
+        CollisionDetected,
+        MessageBroadcast,
+        PhaseEnded,
+        PhaseStarted,
+    )
+except ImportError:  # pragma: no cover - obs is part of the package
+    CollisionDetected = MessageBroadcast = PhaseEnded = PhaseStarted = None
+
+#: Message kind tag cost (mirrors ``Message.bit_size``'s constant).
+_KIND_BITS = 8
+
+#: Integers at or beyond this magnitude lose exactness in int64 ops;
+#: :func:`detect_dtype` routes them to the object path instead.
+_INT_LIMIT = 1 << 62
+
+
+def _object_bits(value: Any) -> int:
+    """Exact ``Message("...", *pack_elem(value)).bit_size()``."""
+    return _KIND_BITS + sum(scalar_bits(f) for f in _pack(value))
+
+
+def _int_bit_lengths(mags: np.ndarray) -> np.ndarray:
+    """``int.bit_length`` of non-negative int64 magnitudes, vectorized."""
+    v = mags.copy()
+    bl = np.zeros(v.shape, dtype=np.int64)
+    for shift in (32, 16, 8, 4, 2, 1):
+        big = v >= (np.int64(1) << shift)
+        bl[big] += shift
+        v[big] >>= shift
+    bl += v > 0
+    return bl
+
+
+def message_bits(values: np.ndarray) -> np.ndarray:
+    """Per-element message bit sizes (kind tag included), any shape.
+
+    Matches ``Message(kind, *pack_elem(v)).bit_size()`` exactly for
+    every supported payload: the bit size is a function of the value
+    alone, never of which processor sent it.
+    """
+    a = np.asarray(values)
+    if a.dtype == object:
+        flat = a.ravel()
+        out = np.fromiter(
+            (_object_bits(v) for v in flat), dtype=np.int64, count=flat.size
+        )
+        return out.reshape(a.shape)
+    if a.dtype.kind == "f":
+        return np.full(a.shape, _KIND_BITS + 64, dtype=np.int64)
+    if a.dtype.kind == "b":
+        return np.full(a.shape, _KIND_BITS + 1, dtype=np.int64)
+    if a.dtype.kind in "iu":
+        bl = _int_bit_lengths(np.abs(a.astype(np.int64)))
+        return _KIND_BITS + np.maximum(bl, 1) + 1  # +1 sign bit
+    raise TypeError(f"unsupported element dtype {a.dtype!r}")
+
+
+def detect_dtype(values: Iterable[Any]) -> np.dtype:
+    """The narrowest dtype that preserves generator-engine semantics.
+
+    Pure ``int`` data (within int64 exactness) -> int64, pure ``float``
+    -> float64, anything else — tuples, strings, bools, mixed int/float
+    columns, huge integers — -> object, where comparisons and bit
+    accounting run the scalar Python rules element by element.  Mixing
+    ints and floats must not promote to float64: the generator engines
+    charge an int payload its exact bit length, not 64 bits.
+    """
+    kind = ""
+    for v in values:
+        t = type(v)
+        if t is int:
+            if not -_INT_LIMIT < v < _INT_LIMIT:
+                return np.dtype(object)
+            this = "i"
+        elif t is float:
+            this = "f"
+        else:
+            return np.dtype(object)
+        if not kind:
+            kind = this
+        elif kind != this:
+            return np.dtype(object)
+    return np.dtype({"i": np.int64, "f": np.float64, "": np.float64}[kind])
+
+
+def build_state(
+    rows: Sequence[Sequence[Any]], dtype: Optional[np.dtype] = None
+) -> np.ndarray:
+    """Stack per-processor rows into the ``(p, slots)`` state matrix."""
+    if dtype is None:
+        dtype = detect_dtype(v for row in rows for v in row)
+    if dtype == np.dtype(object):
+        out = np.empty((len(rows), len(rows[0]) if rows else 0), dtype=object)
+        for i, row in enumerate(rows):
+            for j, v in enumerate(row):
+                out[i, j] = v
+        return out
+    return np.array(rows, dtype=dtype)
+
+
+def build_batched_state(
+    lanes: Sequence[Sequence[Sequence[Any]]], dtype: Optional[np.dtype] = None
+) -> np.ndarray:
+    """Stack ``B`` per-lane row sets into a ``(p, slots, B)`` state.
+
+    The dtype is detected over *all* lanes so every lane of one batch
+    shares comparison and bit-accounting semantics.
+    """
+    if not lanes:
+        raise ConfigurationError("a batch needs at least one lane")
+    if dtype is None:
+        dtype = detect_dtype(
+            v for rows in lanes for row in rows for v in row
+        )
+    p = len(lanes[0])
+    slots = len(lanes[0][0]) if p else 0
+    out = np.empty((p, slots, len(lanes)), dtype=dtype)
+    for b, rows in enumerate(lanes):
+        out[:, :, b] = build_state(rows, dtype)
+    return out
+
+
+class VectorRun:
+    """Accounting context for one phase executed on the vector engine.
+
+    Mirrors what one :meth:`MCBNetwork.run` invocation tracks: absolute
+    cycle position, message/bit/channel-write totals, and — via
+    :meth:`finish` — the committed :class:`PhaseStats`.  A run may span
+    several ``execute`` calls (e.g. the four columnsort transformation
+    phases form one ``"columnsort"`` phase, exactly like the generator
+    program that yields through all four schedules in one ``run()``).
+
+    Parameters
+    ----------
+    p, k:
+        Network shape the phase runs on (stamped into stats/events).
+    phase:
+        Phase name for stats and obs events.
+    batch:
+        ``None`` for a single instance (state is ``(p, slots)``), or the
+        batch width ``B`` (state is ``(p, slots, B)``).  Batched runs
+        cannot be observed — per-lane event streams would interleave —
+        so ``batch`` and ``dispatch`` are mutually exclusive.
+    stats:
+        Optional :class:`RunStats` to commit the finished (or aborted)
+        phase into, like an engine commits into ``net.stats``.
+    dispatch:
+        Optional obs dispatcher (``net._dispatch``) to emit the engine
+        event stream into: ``PhaseStarted`` at construction, one
+        ``MessageBroadcast`` per write in ``(cycle, writer)`` order,
+        ``CollisionDetected`` before an abort, ``PhaseEnded`` on finish.
+    """
+
+    def __init__(
+        self,
+        p: int,
+        k: int,
+        *,
+        phase: str = "vector",
+        batch: Optional[int] = None,
+        stats: Optional[RunStats] = None,
+        dispatch=None,
+    ):
+        if batch is not None:
+            if batch < 1:
+                raise ConfigurationError(f"batch width must be >= 1, got {batch}")
+            if dispatch is not None:
+                raise ConfigurationError(
+                    "batched vector runs cannot emit per-message events; "
+                    "attach observers only to single-instance (batch=None) runs"
+                )
+        self.p = p
+        self.k = k
+        self.phase = phase
+        self.batch = batch
+        self.cycle = 0
+        self._lanes = 1 if batch is None else batch
+        self._messages = 0
+        self._bits = np.zeros(self._lanes, dtype=np.int64)
+        self._cw = np.zeros(k + 1, dtype=np.int64)
+        self._stats = stats
+        self._dispatch = dispatch
+        if dispatch is not None:
+            dispatch.dispatch(PhaseStarted(phase=phase, p=p, k=k))
+
+    # ------------------------------------------------------------------
+    def execute(self, compiled: CompiledPhase, state: np.ndarray) -> np.ndarray:
+        """Run one compiled phase; returns the new state matrix."""
+        expect_ndim = 2 if self.batch is None else 3
+        if state.ndim != expect_ndim:
+            raise ConfigurationError(
+                f"state has {state.ndim} axes; expected {expect_ndim} "
+                f"(batch={self.batch})"
+            )
+        if compiled.k != self.k or compiled.p > state.shape[0]:
+            raise ConfigurationError(
+                f"compiled phase shape (p={compiled.p}, k={compiled.k}) does "
+                f"not fit the run (p={state.shape[0]}, k={self.k})"
+            )
+        out = state.copy()
+        if len(compiled.m_proc):
+            out[compiled.m_proc, compiled.m_dst] = state[
+                compiled.m_proc, compiled.m_src
+            ]
+        n_writes = len(compiled.w_cycle)
+        if n_writes:
+            vals = state[compiled.w_proc, compiled.w_src]
+            if len(compiled.r_proc):
+                out[compiled.r_proc, compiled.r_dst] = vals[compiled.r_widx]
+            bits = message_bits(vals)
+            if self.batch is None:
+                self._bits[0] += int(bits.sum())
+            else:
+                self._bits += bits.sum(axis=0)
+            self._messages += n_writes
+            self._cw += compiled.channel_write_counts()
+            if self._dispatch is not None:
+                self._emit_messages(compiled, vals, bits)
+        self.cycle += compiled.cycles
+        return out
+
+    def execute_plan(self, plan: SchedulePlan, state: np.ndarray) -> np.ndarray:
+        """Compile and run a plan, with the engines' collision contract.
+
+        A collision is detected at *compile* time, before any element
+        moves; the partial phase (costs of the cycles before the
+        collision) is committed to ``stats`` and a
+        :class:`CollisionError` carrying the absolute cycle is raised —
+        bit-for-bit what a generator engine does when the equivalent
+        programs collide mid-run.
+        """
+        try:
+            compiled = plan.compile()
+        except CollisionError as err:
+            raise self._collision_abort(plan, state, err) from None
+        return self.execute(compiled, state)
+
+    # ------------------------------------------------------------------
+    def finish(self) -> list[PhaseStats]:
+        """Commit the phase; returns one :class:`PhaseStats` per lane.
+
+        Lane stats are structurally identical (cycles, messages, channel
+        writes) and differ only in ``bits``.  Lane 0 is committed to
+        ``stats`` when one was given (single-instance runs pass
+        ``net.stats``; batched callers distribute the list themselves).
+        """
+        cw = self._channel_writes()
+        phases = [
+            PhaseStats(
+                name=self.phase,
+                cycles=self.cycle,
+                messages=self._messages,
+                bits=int(self._bits[lane]),
+                channel_writes=dict(cw),
+                k=self.k,
+            )
+            for lane in range(self._lanes)
+        ]
+        if self._stats is not None:
+            self._stats.add(phases[0])
+        if self._dispatch is not None:
+            ph = phases[0]
+            self._dispatch.dispatch(
+                PhaseEnded(
+                    phase=self.phase,
+                    p=self.p,
+                    k=self.k,
+                    cycles=ph.cycles,
+                    messages=ph.messages,
+                    bits=ph.bits,
+                    channel_writes=dict(ph.channel_writes),
+                    max_aux_peak=0,
+                    fast_forward_cycles=0,
+                    collisions=0,
+                    utilization=ph.channel_utilization(),
+                )
+            )
+        return phases
+
+    # ------------------------------------------------------------------
+    def _channel_writes(self) -> dict[int, int]:
+        return {
+            int(ch): int(n)
+            for ch, n in enumerate(self._cw)
+            if ch and n
+        }
+
+    def _emit_messages(
+        self, compiled: CompiledPhase, vals: np.ndarray, bits: np.ndarray
+    ) -> None:
+        dispatch = self._dispatch
+        readers = compiled.readers_by_write()
+        base = self.cycle
+        vlist = vals.tolist()
+        w_cycle = compiled.w_cycle.tolist()
+        w_proc = compiled.w_proc.tolist()
+        w_chan = compiled.w_chan.tolist()
+        for i, value in enumerate(vlist):
+            dispatch.dispatch(
+                MessageBroadcast(
+                    phase=self.phase,
+                    cycle=base + w_cycle[i],
+                    channel=w_chan[i],
+                    writer=w_proc[i] + 1,
+                    readers=readers[i],
+                    msg_kind=compiled.kind,
+                    fields=_pack(value),
+                    bits=int(bits[i]),
+                )
+            )
+
+    def _collision_abort(
+        self, plan: SchedulePlan, state: np.ndarray, err: CollisionError
+    ) -> CollisionError:
+        """Account the cycles before the collision; build the final error."""
+        clash = err.cycle
+        pre = sorted(
+            (w for w in plan.writes if w[0] < clash),
+            key=lambda w: (w[0], w[1]),
+        )
+        if pre:
+            procs = np.array([w[1] for w in pre], dtype=np.int64)
+            srcs = np.array([w[3] for w in pre], dtype=np.int64)
+            vals = state[procs, srcs]
+            bits = message_bits(vals)
+            if self.batch is None:
+                self._bits[0] += int(bits.sum())
+            else:
+                self._bits += bits.sum(axis=0)
+            self._messages += len(pre)
+            for _, _, chan, _ in pre:
+                self._cw[chan] += 1
+            if self._dispatch is not None:
+                readers = plan.matched_readers()
+                vlist = vals.tolist()
+                for i, (cy, proc, chan, _) in enumerate(pre):
+                    self._dispatch.dispatch(
+                        MessageBroadcast(
+                            phase=self.phase,
+                            cycle=self.cycle + cy,
+                            channel=chan,
+                            writer=proc + 1,
+                            readers=readers.get((cy, chan), ()),
+                            msg_kind=plan.kind,
+                            fields=_pack(vlist[i]),
+                            bits=int(bits[i]),
+                        )
+                    )
+        absolute = self.cycle + clash
+        if self._dispatch is not None:
+            self._dispatch.dispatch(
+                CollisionDetected(
+                    phase=self.phase,
+                    cycle=absolute,
+                    channel=err.channel,
+                    writers=tuple(err.writers),
+                    resolution="abort",
+                )
+            )
+        if self._stats is not None:
+            self._stats.add(
+                PhaseStats(
+                    name=self.phase,
+                    cycles=absolute,
+                    messages=self._messages,
+                    bits=int(self._bits[0]),
+                    channel_writes=self._channel_writes(),
+                    k=self.k,
+                    collisions=1,
+                )
+            )
+        if absolute == err.cycle:
+            return err
+        return CollisionError(absolute, err.channel, err.writers)

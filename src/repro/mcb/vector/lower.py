@@ -1,0 +1,232 @@
+"""Lowering the repo's oblivious schedule sources to :class:`SchedulePlan`.
+
+Each lowering is a pure function of globally-known parameters — exactly
+the property that makes a phase oblivious — and produces the raw event
+lists that :meth:`SchedulePlan.compile` validates into a
+:class:`~repro.mcb.vector.plan.CompiledPhase`:
+
+* :func:`lower_broadcast_schedule` — a §5.2 transformation phase from
+  the Birkhoff–von-Neumann :func:`~repro.columnsort.schedule.build_schedule`
+  output (self-transfers become free local moves, mirroring the
+  generator's "these elements need not be shifted at all").
+* :func:`lower_paper_transpose` — the paper's verbatim closed-form
+  phase-2 schedule, including its broadcast-even-to-self behaviour.
+* :func:`lower_simulation_block` — one virtual cycle of the §2
+  simulation lemma as the ``R = v*v*S`` real-cycle ``(rep, wrep, t)``
+  block over the hosts.
+* :func:`lower_rebalance_movement` — the §7.2-style all-to-all element
+  movement of :func:`repro.sort.rebalance.rebalance`, on the
+  :func:`~repro.mcb.routing.alltoall_schedule` edge-coloured plan.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ...columnsort.matrix import transpose_perm
+from ...columnsort.schedule import BroadcastSchedule, paper_transpose_schedule
+from ..errors import ConfigurationError
+from ..routing import alltoall_schedule
+from ..simulate import host_index, host_of, real_channel, subslot
+from .plan import MoveEvent, ReadEvent, SchedulePlan, WriteEvent
+
+
+def lower_broadcast_schedule(sched: BroadcastSchedule) -> SchedulePlan:
+    """One transformation phase (BvN schedule) as a plan over k columns.
+
+    Column ``c`` writes channel ``c + 1``; a transfer whose destination
+    is its own column never touches a channel (free local move), exactly
+    like :func:`repro.sort.even_pk.transformation_phase`.
+    """
+    m, k = sched.m, sched.k
+    writes: list[WriteEvent] = []
+    reads: list[ReadEvent] = []
+    moves: list[MoveEvent] = []
+    for j, cycle in enumerate(sched.cycles):
+        for c, tr in enumerate(cycle):
+            if tr is None:
+                continue
+            if tr.dst_col == c:
+                moves.append((c, tr.src_row, tr.dst_row))
+            else:
+                writes.append((j, c, c + 1, tr.src_row))
+                reads.append((j, tr.dst_col, c + 1, tr.dst_row))
+    return SchedulePlan(
+        p=k, k=k, cycles=sched.num_cycles(), slots=m,
+        writes=writes, reads=reads, moves=moves,
+    )
+
+
+def lower_paper_transpose(m: int, k: int) -> SchedulePlan:
+    """§5.2's closed-form phase-2 schedule as a plan (``p = k``).
+
+    Every processor broadcasts every cycle — including the cycles in
+    which it reads its own channel — matching
+    :func:`repro.sort.even_pk.paper_transpose_transformation`'s message
+    count of exactly ``m * k``.
+    """
+    sched = paper_transpose_schedule(m, k)
+    perm = transpose_perm(m, k)
+    writes: list[WriteEvent] = []
+    reads: list[ReadEvent] = []
+    for j in range(m):
+        for i in range(k):
+            send_row, read_ch = sched[j][i]
+            writes.append((j, i, i + 1, send_row))
+            src_row = sched[j][read_ch][0]
+            dest = int(perm[read_ch * m + src_row])
+            assert dest // m == i, "paper schedule delivers to my column"
+            reads.append((j, i, read_ch + 1, dest % m))
+    return SchedulePlan(
+        p=k, k=k, cycles=m, slots=m, writes=writes, reads=reads,
+    )
+
+
+def lower_simulation_block(
+    p: int,
+    k: int,
+    v: int,
+    s: int,
+    writes: Sequence[tuple[int, int, int]],
+    reads: Sequence[tuple[int, int, int]],
+    *,
+    slots: int,
+    kind: str = "elem",
+) -> SchedulePlan:
+    """One virtual cycle of the §2 simulation lemma as a real-cycle plan.
+
+    ``writes`` are ``(q, vchan, src_slot)`` and ``reads`` are
+    ``(q, vchan, dst_slot)`` over *virtual* 1-based pids ``q`` and
+    virtual 1-based channels; the plan spans the ``R = v * v * s`` real
+    cycles of one ``(rep, wrep, t)`` block on the ``p`` hosts, exactly
+    as :func:`repro.mcb.simulate.run_simulated` schedules it: the writer
+    of virtual channel ``c'`` (within-host index ``h``) repeats its
+    message in every reader round (``v`` messages per virtual message)
+    at sub-slot ``t(c')``, and a virtual reader scans all ``v`` writer
+    sub-rounds of its round, keeping the unique non-empty hit — hence
+    ``allow_empty_reads=True``.
+    """
+    p_virtual = p * v
+    cycles = v * v * s
+    plan_writes: list[WriteEvent] = []
+    plan_reads: list[ReadEvent] = []
+    for q, vchan, src in writes:
+        if not 1 <= q <= p_virtual:
+            raise ConfigurationError(
+                f"virtual pid {q} out of range 1..{p_virtual}"
+            )
+        if not 1 <= vchan <= k * s:
+            raise ConfigurationError(
+                f"virtual channel {vchan} out of range 1..{k * s}"
+            )
+        host = host_of(q, v) - 1
+        h = host_index(q, v)
+        rc = real_channel(vchan, k)
+        t = subslot(vchan, k)
+        for rep in range(v):
+            plan_writes.append(((rep * v + h) * s + t, host, rc, src))
+    for q, vchan, dst in reads:
+        if not 1 <= q <= p_virtual:
+            raise ConfigurationError(
+                f"virtual pid {q} out of range 1..{p_virtual}"
+            )
+        if not 1 <= vchan <= k * s:
+            raise ConfigurationError(
+                f"virtual channel {vchan} out of range 1..{k * s}"
+            )
+        host = host_of(q, v) - 1
+        h = host_index(q, v)
+        rc = real_channel(vchan, k)
+        t = subslot(vchan, k)
+        for wrep in range(v):
+            plan_reads.append(((h * v + wrep) * s + t, host, rc, dst))
+    return SchedulePlan(
+        p=p, k=k, cycles=cycles, slots=slots,
+        writes=plan_writes, reads=plan_reads,
+        kind=kind, allow_empty_reads=True,
+    )
+
+
+def lower_rebalance_movement(
+    lengths: Sequence[int], k: int, *, kind: str = "elem"
+) -> tuple[SchedulePlan, list[int]]:
+    """The all-to-all element movement of a rebalance as a plan.
+
+    ``lengths[i]`` is the element count held by processor ``i + 1``; the
+    target layout is the canonical even split and elements keep the
+    global pid-concatenation order, exactly like
+    :func:`repro.sort.rebalance.rebalance`'s movement stage (whose
+    receivers stable-sort arrivals by source pid — here destination
+    slots are assigned in that order up front).  Returns the plan plus
+    the per-processor target counts; state rows must hold each
+    processor's elements in slots ``0..lengths[i]-1`` (``slots`` is
+    sized to fit both layouts).
+
+    Only the *data movement* is lowered — the prefix/total counting
+    rounds that make ``lengths`` globally known stay on the generator
+    engine, where they belong (their traffic depends on run-time data).
+    """
+    p = len(lengths)
+    n = sum(lengths)
+    base, extra = divmod(n, p)
+    targets = [base + (1 if i < extra else 0) for i in range(p)]
+    bounds = [0]
+    for t in targets:
+        bounds.append(bounds[-1] + t)
+    starts = [0]
+    for length in lengths:
+        starts.append(starts[-1] + length)
+
+    def owner(pos: int) -> int:
+        """0-based target owner of global position ``pos``."""
+        return min(np.searchsorted(bounds, pos, side="right") - 1, p - 1)
+
+    counts = np.zeros((p, p), dtype=np.int64)
+    for src in range(p):
+        for off in range(lengths[src]):
+            counts[src, owner(starts[src] + off)] += 1
+    # Destination layout: concatenation by source pid (FIFO within one
+    # source), matching the rebalance receivers' stable sort.
+    dst_base = np.zeros((p, p), dtype=np.int64)
+    for d in range(p):
+        running = 0
+        for s in range(p):
+            dst_base[s, d] = running
+            running += counts[s, d]
+    next_dst = dst_base.copy()
+    moves: list[MoveEvent] = []
+    src_queues: dict[tuple[int, int], list[int]] = {}
+    pair_dsts: dict[tuple[int, int], list[int]] = {}
+    for src in range(p):
+        for off in range(lengths[src]):
+            d = owner(starts[src] + off)
+            dst = int(next_dst[src, d])
+            next_dst[src, d] += 1
+            if d == src:
+                moves.append((src, off, dst))
+            else:
+                src_queues.setdefault((src, d), []).append(off)
+                pair_dsts.setdefault((src, d), []).append(dst)
+
+    routed = counts.copy()
+    np.fill_diagonal(routed, 0)
+    plan = alltoall_schedule(routed, k)
+    pair_pos: dict[tuple[int, int], int] = {}
+    writes: list[WriteEvent] = []
+    reads: list[ReadEvent] = []
+    for cyc, transfers in enumerate(plan):
+        for src, d, chan in transfers:
+            at = pair_pos.get((src, d), 0)
+            pair_pos[(src, d)] = at + 1
+            writes.append((cyc, src, chan + 1, src_queues[(src, d)][at]))
+            reads.append((cyc, d, chan + 1, pair_dsts[(src, d)][at]))
+    slots = max([1, *lengths, *targets])
+    return (
+        SchedulePlan(
+            p=p, k=k, cycles=len(plan), slots=slots,
+            writes=writes, reads=reads, moves=moves, kind=kind,
+        ),
+        targets,
+    )

@@ -1,0 +1,396 @@
+"""The oblivious-schedule IR: plans, compile-time checks, compiled phases.
+
+An *oblivious* phase is one in which every message's (writer, channel,
+reader, payload position) is a pure function of ``(p, k, m, cycle)``
+known before the run starts — the §5.2 columnsort transformation
+schedules, the §2 simulation-lemma ``(rep, wrep, t)`` blocks, the §7.2
+all-to-all element movement.  Such a phase needs no per-cycle generator
+dispatch at all: it is a fixed permutation-with-fanout from an input
+state matrix to an output state matrix, and can be validated *before*
+execution and executed as a handful of NumPy gather/scatter operations
+(:mod:`repro.mcb.vector.executor`).
+
+Two layers:
+
+* :class:`SchedulePlan` — the raw, unvalidated event-list form produced
+  by the lowerings in :mod:`repro.mcb.vector.lower`.  Its
+  :meth:`~SchedulePlan.as_programs` renders the plan back into ordinary
+  per-processor generator programs, so any plan can also be run on the
+  generator engines — that interpreter is the parity oracle the vector
+  executor is tested against.
+
+* :class:`CompiledPhase` — the validated columnar form produced by
+  :meth:`SchedulePlan.compile`: flat int64 index arrays, one row per
+  write/read/local-move event.  Compilation enforces the MCB access
+  rules statically: collision-freedom (one writer per channel per
+  cycle — a violation raises :class:`~repro.mcb.errors.CollisionError`
+  with exactly the engine's message, *before* any element moves), one
+  write and one read per processor per cycle, matched reads, and
+  unambiguous destination slots.
+
+Semantics of one plan are "update": the output state starts as a copy of
+the input state, every write sources the *input* state, and every
+matched read (plus every local move) overwrites one destination slot.
+This is exactly what the per-cycle generator form computes, because a
+collision-free oblivious schedule never reads a slot it has already
+overwritten in the same phase — each phase is built from a permutation
+of element positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from ..errors import CollisionError, ConfigurationError
+from ..message import EMPTY, Message
+from ..program import IDLE, CycleOp, ProcContext
+
+#: (cycle, proc0, channel, src_slot) — proc0 is 0-based, channel 1-based.
+WriteEvent = tuple[int, int, int, int]
+#: (cycle, proc0, channel, dst_slot)
+ReadEvent = tuple[int, int, int, int]
+#: (proc0, src_slot, dst_slot) — a free local permutation step.
+MoveEvent = tuple[int, int, int]
+
+
+def _pack(value: Any) -> tuple:
+    """Element -> message fields (mirrors :func:`repro.sort.common.pack_elem`)."""
+    return tuple(value) if isinstance(value, tuple) else (value,)
+
+
+def _unpack(fields: tuple) -> Any:
+    """Message fields -> element (mirrors ``repro.sort.common.unpack_elem``)."""
+    return fields[0] if len(fields) == 1 else tuple(fields)
+
+
+class CompiledPhase:
+    """A validated oblivious phase as flat columnar index arrays.
+
+    Write event ``i`` broadcasts ``state[w_proc[i], w_src[i]]`` on
+    channel ``w_chan[i]`` in cycle ``w_cycle[i]``; read event ``j``
+    stores the value of write ``r_widx[j]`` into
+    ``out[r_proc[j], r_dst[j]]``; move event ``l`` copies
+    ``state[m_proc[l], m_src[l]]`` to ``out[m_proc[l], m_dst[l]]``
+    locally (free — no channel traffic).  Write events are sorted by
+    ``(cycle, proc)``, which is the order the generator engines deliver
+    (and emit observability events for) them.
+    """
+
+    __slots__ = (
+        "p", "k", "cycles", "slots", "kind", "allow_empty_reads",
+        "w_cycle", "w_proc", "w_chan", "w_src",
+        "r_proc", "r_dst", "r_widx",
+        "m_proc", "m_src", "m_dst",
+        "_readers",
+    )
+
+    def __init__(
+        self,
+        *,
+        p: int,
+        k: int,
+        cycles: int,
+        slots: int,
+        kind: str,
+        allow_empty_reads: bool,
+        w_cycle: np.ndarray,
+        w_proc: np.ndarray,
+        w_chan: np.ndarray,
+        w_src: np.ndarray,
+        r_proc: np.ndarray,
+        r_dst: np.ndarray,
+        r_widx: np.ndarray,
+        m_proc: np.ndarray,
+        m_src: np.ndarray,
+        m_dst: np.ndarray,
+    ):
+        self.p = p
+        self.k = k
+        self.cycles = cycles
+        self.slots = slots
+        self.kind = kind
+        self.allow_empty_reads = allow_empty_reads
+        self.w_cycle = w_cycle
+        self.w_proc = w_proc
+        self.w_chan = w_chan
+        self.w_src = w_src
+        self.r_proc = r_proc
+        self.r_dst = r_dst
+        self.r_widx = r_widx
+        self.m_proc = m_proc
+        self.m_src = m_src
+        self.m_dst = m_dst
+        self._readers: Optional[list[tuple[int, ...]]] = None
+
+    @property
+    def messages(self) -> int:
+        """Broadcast count of the phase (== number of write events)."""
+        return len(self.w_cycle)
+
+    def channel_write_counts(self) -> np.ndarray:
+        """Writes per channel, dense ``(k + 1,)`` array (index 0 unused)."""
+        return np.bincount(self.w_chan, minlength=self.k + 1).astype(np.int64)
+
+    def readers_by_write(self) -> list[tuple[int, ...]]:
+        """1-based reader pids per write event, ascending (event order)."""
+        readers = self._readers
+        if readers is None:
+            readers = [()] * len(self.w_cycle)
+            by_widx: dict[int, list[int]] = {}
+            for proc, widx in zip(self.r_proc.tolist(), self.r_widx.tolist()):
+                by_widx.setdefault(widx, []).append(proc + 1)
+            for widx, pids in by_widx.items():
+                readers[widx] = tuple(sorted(pids))
+            self._readers = readers
+        return readers
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CompiledPhase(kind={self.kind!r}, p={self.p}, k={self.k}, "
+            f"cycles={self.cycles}, slots={self.slots}, "
+            f"writes={len(self.w_cycle)}, reads={len(self.r_proc)}, "
+            f"moves={len(self.m_proc)})"
+        )
+
+
+@dataclass
+class SchedulePlan:
+    """Raw (unvalidated) oblivious phase: flat event lists.
+
+    ``writes``/``reads`` are ``(cycle, proc, channel, slot)`` tuples with
+    0-based cycles/procs/slots and 1-based channels; ``moves`` are free
+    local ``(proc, src_slot, dst_slot)`` copies.  Use
+    :meth:`compile` to validate into a :class:`CompiledPhase` for the
+    vector executor, or :meth:`as_programs` to render the identical
+    computation as generator programs for any MCB engine.
+    """
+
+    p: int
+    k: int
+    cycles: int
+    slots: int
+    writes: list[WriteEvent]
+    reads: list[ReadEvent]
+    moves: list[MoveEvent] = field(default_factory=list)
+    kind: str = "elem"
+    #: Reads of a channel nobody writes that cycle are dropped (the
+    #: generator semantics deliver EMPTY) instead of rejected.  The
+    #: simulation-lemma blocks need this: a virtual reader scans every
+    #: writer sub-round of its slot and keeps the unique non-empty hit.
+    allow_empty_reads: bool = False
+
+    # ------------------------------------------------------------------
+    def compile(self) -> CompiledPhase:
+        """Validate the plan and lower it to columnar index arrays.
+
+        Raises
+        ------
+        CollisionError
+            Two writers share one channel in one cycle.  Raised with the
+            engines' exact message — collision-freedom is a *static*
+            property of an oblivious schedule, so it is checked here,
+            before any element moves.
+        ConfigurationError
+            Any other violation of the model's access rules: a processor
+            writing or reading twice in one cycle, out-of-range indices,
+            a read of a silent channel (unless ``allow_empty_reads``), or
+            two events landing in one destination slot.
+        """
+        p, k, cycles, slots = self.p, self.k, self.cycles, self.slots
+        if p < 1 or k < 1 or cycles < 0 or slots < 1:
+            raise ConfigurationError(
+                f"invalid plan shape: p={p}, k={k}, cycles={cycles}, "
+                f"slots={slots}"
+            )
+
+        writes = sorted(self.writes, key=lambda w: (w[0], w[1]))
+        seen_wp: set[tuple[int, int]] = set()
+        for cy, proc, chan, src in writes:
+            self._check_event("write", cy, proc, chan, src)
+            if (cy, proc) in seen_wp:
+                raise ConfigurationError(
+                    f"P{proc + 1} writes twice in cycle {cy}"
+                )
+            seen_wp.add((cy, proc))
+
+        # Collision scan, replicating the generator engines: a cycle's
+        # ops are collected in pid order, the whole cycle is scanned
+        # before aborting, and the reported channel is the first one to
+        # receive its second writer.
+        self._check_collisions(writes)
+
+        reads = sorted(self.reads, key=lambda r: (r[0], r[1]))
+        seen_rp: set[tuple[int, int]] = set()
+        for cy, proc, chan, dst in reads:
+            self._check_event("read", cy, proc, chan, dst)
+            if (cy, proc) in seen_rp:
+                raise ConfigurationError(
+                    f"P{proc + 1} reads twice in cycle {cy}"
+                )
+            seen_rp.add((cy, proc))
+
+        write_at = {
+            (cy, chan): i for i, (cy, _, chan, _) in enumerate(writes)
+        }
+        matched: list[tuple[int, int, int]] = []  # (proc, dst, widx)
+        for cy, proc, chan, dst in reads:
+            widx = write_at.get((cy, chan))
+            if widx is None:
+                if self.allow_empty_reads:
+                    continue  # generator semantics: EMPTY, nothing stored
+                raise ConfigurationError(
+                    f"P{proc + 1} reads silent channel C{chan} in cycle "
+                    f"{cy} (no writer scheduled); pass "
+                    f"allow_empty_reads=True if the schedule scans for "
+                    f"a possibly-absent writer"
+                )
+            matched.append((proc, dst, widx))
+
+        dests: set[tuple[int, int]] = set()
+        for proc, dst, _ in matched:
+            if (proc, dst) in dests:
+                raise ConfigurationError(
+                    f"two events deliver into slot {dst} of P{proc + 1}"
+                )
+            dests.add((proc, dst))
+        for proc, src, dst in self.moves:
+            if not (0 <= proc < p and 0 <= src < slots and 0 <= dst < slots):
+                raise ConfigurationError(
+                    f"local move ({proc}, {src}, {dst}) out of range for "
+                    f"p={p}, slots={slots}"
+                )
+            if (proc, dst) in dests:
+                raise ConfigurationError(
+                    f"two events deliver into slot {dst} of P{proc + 1}"
+                )
+            dests.add((proc, dst))
+
+        def col(values: list[int]) -> np.ndarray:
+            return np.array(values, dtype=np.int64)
+
+        return CompiledPhase(
+            p=p, k=k, cycles=cycles, slots=slots, kind=self.kind,
+            allow_empty_reads=self.allow_empty_reads,
+            w_cycle=col([w[0] for w in writes]),
+            w_proc=col([w[1] for w in writes]),
+            w_chan=col([w[2] for w in writes]),
+            w_src=col([w[3] for w in writes]),
+            r_proc=col([r[0] for r in matched]),
+            r_dst=col([r[1] for r in matched]),
+            r_widx=col([r[2] for r in matched]),
+            m_proc=col([mv[0] for mv in self.moves]),
+            m_src=col([mv[1] for mv in self.moves]),
+            m_dst=col([mv[2] for mv in self.moves]),
+        )
+
+    # ------------------------------------------------------------------
+    def _check_event(
+        self, what: str, cy: int, proc: int, chan: int, slot: int
+    ) -> None:
+        if not 0 <= cy < self.cycles:
+            raise ConfigurationError(
+                f"{what} event cycle {cy} outside 0..{self.cycles - 1}"
+            )
+        if not 0 <= proc < self.p:
+            raise ConfigurationError(
+                f"{what} event processor {proc} outside 0..{self.p - 1}"
+            )
+        if not 1 <= chan <= self.k:
+            raise ConfigurationError(
+                f"{what} event on invalid channel C{chan} (k={self.k})"
+            )
+        if not 0 <= slot < self.slots:
+            raise ConfigurationError(
+                f"{what} event slot {slot} outside 0..{self.slots - 1}"
+            )
+
+    def _check_collisions(self, writes: list[WriteEvent]) -> None:
+        """Abort on the first cycle with two writers on one channel."""
+        i, n = 0, len(writes)
+        while i < n:
+            cy = writes[i][0]
+            first: dict[int, int] = {}
+            collided: dict[int, list[int]] = {}
+            while i < n and writes[i][0] == cy:
+                _, proc, chan, _ = writes[i]
+                if chan in collided:
+                    collided[chan].append(proc + 1)
+                elif chan in first:
+                    collided[chan] = [first.pop(chan), proc + 1]
+                else:
+                    first[chan] = proc + 1
+                i += 1
+            if collided:
+                channel, pids = next(iter(collided.items()))
+                raise CollisionError(cy, channel, pids)
+
+    def matched_readers(self) -> dict[tuple[int, int], tuple[int, ...]]:
+        """1-based reader pids per written ``(cycle, channel)`` (lenient).
+
+        Used for event emission on the partial-stats abort path, where
+        the plan as a whole failed :meth:`compile`'s collision check but
+        the cycles *before* the collision still delivered normally.
+        """
+        written = {(cy, chan) for cy, _, chan, _ in self.writes}
+        out: dict[tuple[int, int], list[int]] = {}
+        for cy, proc, chan, _ in self.reads:
+            if (cy, chan) in written:
+                out.setdefault((cy, chan), []).append(proc + 1)
+        return {key: tuple(sorted(pids)) for key, pids in out.items()}
+
+    # ------------------------------------------------------------------
+    def as_programs(self, state: Sequence[Sequence[Any]]):
+        """Render the plan as per-processor generator programs.
+
+        ``state[proc][slot]`` supplies each processor's initial row;
+        every processor's program returns its final row (a list).  The
+        programs follow the plan literally — one :class:`CycleOp` per
+        cycle, writes sourcing the *initial* row — so running them on
+        any generator engine computes exactly what the vector executor
+        computes, with identical cycle/message/bit accounting.  This is
+        the parity oracle: no validation happens here; an invalid plan
+        fails at runtime exactly as a hand-written program would.
+        """
+        per_w: dict[int, dict[int, tuple[int, int]]] = {}
+        for cy, proc, chan, src in self.writes:
+            per_w.setdefault(proc, {})[cy] = (chan, src)
+        per_r: dict[int, dict[int, tuple[int, int]]] = {}
+        for cy, proc, chan, dst in self.reads:
+            per_r.setdefault(proc, {})[cy] = (chan, dst)
+        per_m: dict[int, list[tuple[int, int]]] = {}
+        for proc, src, dst in self.moves:
+            per_m.setdefault(proc, []).append((src, dst))
+        cycles, kind = self.cycles, self.kind
+
+        def make(proc: int):
+            row = list(state[proc])
+            wmap = per_w.get(proc, {})
+            rmap = per_r.get(proc, {})
+            moves = per_m.get(proc, [])
+
+            def program(ctx: ProcContext):
+                out = list(row)
+                for src, dst in moves:
+                    out[dst] = row[src]
+                for cy in range(cycles):
+                    w = wmap.get(cy)
+                    r = rmap.get(cy)
+                    if w is None and r is None:
+                        yield IDLE
+                        continue
+                    got = yield CycleOp(
+                        write=None if w is None else w[0],
+                        payload=None if w is None
+                        else Message(kind, *_pack(row[w[1]])),
+                        read=None if r is None else r[0],
+                    )
+                    if r is not None and got is not EMPTY and got is not None:
+                        out[r[1]] = _unpack(got.fields)
+                return out
+
+            return program
+
+        return {proc + 1: make(proc) for proc in range(self.p)}

@@ -45,7 +45,7 @@ from .hooks import (
     PipelineObserver,
     TraceObserver,
 )
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, global_registry
 from .pipeline import DEFAULT_CAPACITY, EventPipeline
 from .profile import PhaseProfile, Profiler, ProfileReport
 from .ring import RingBuffer
@@ -82,4 +82,5 @@ __all__ = [
     "Sink",
     "TraceObserver",
     "from_dict",
+    "global_registry",
 ]

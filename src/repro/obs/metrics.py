@@ -8,8 +8,12 @@ each a named, labelled metric and one ``snapshot()`` that projects the
 whole registry to a plain nested dict — the contract every exporter
 (JSON profile, bench recorder, future Prometheus bridge) builds on.
 
-No external dependencies, no global state: a registry is an object you
-attach to a network via :class:`~repro.obs.hooks.MetricsObserver`.
+No external dependencies: a registry is an object you attach to a
+network via :class:`~repro.obs.hooks.MetricsObserver`.  One process-wide
+default lives behind :func:`global_registry` for cross-cutting library
+counters (schedule-cache hit rates and the like) that have no network
+object to hang off; everything per-run should keep using its own
+registry instance.
 """
 
 from __future__ import annotations
@@ -223,3 +227,19 @@ class MetricsRegistry:
             }
             for name, metric in sorted(self._metrics.items())
         }
+
+
+_GLOBAL_REGISTRY: Optional[MetricsRegistry] = None
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide default registry (created on first use).
+
+    Home for library-internal counters that outlive any single network —
+    e.g. the columnsort schedule/BvN cache hit rates.  Call
+    ``global_registry().reset()`` in tests that assert on deltas.
+    """
+    global _GLOBAL_REGISTRY
+    if _GLOBAL_REGISTRY is None:
+        _GLOBAL_REGISTRY = MetricsRegistry()
+    return _GLOBAL_REGISTRY

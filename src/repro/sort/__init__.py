@@ -10,14 +10,22 @@ from .rank_sort import rank_sort, rank_sort_group
 from .ones import sort_ones
 from .rebalance import even_targets, rebalance
 from .uneven import sort_uneven
+from .vector import (
+    BatchSortResult,
+    compiled_columnsort_phases,
+    sort_even_pk_batch,
+    sort_even_pk_vector,
+)
 from .virtual import sort_virtual, virtual_transformation
 
 __all__ = [
+    "BatchSortResult",
     "DUMMY",
     "SortResult",
     "Strategy",
     "choose_strategy",
     "columnsort_program",
+    "compiled_columnsort_phases",
     "is_dummy",
     "mcb_merge",
     "mcb_sort",
@@ -34,6 +42,8 @@ __all__ = [
     "segment_owner",
     "sort_even_collect",
     "sort_even_pk",
+    "sort_even_pk_batch",
+    "sort_even_pk_vector",
     "sort_ones",
     "sort_uneven",
     "sort_virtual",

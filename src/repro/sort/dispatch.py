@@ -21,6 +21,7 @@ from typing import Any, Literal, Sequence
 from ..core.distribution import Distribution
 from ..core.element import has_duplicates, tag_elements
 from ..columnsort.matrix import dims_valid
+from ..mcb.errors import ConfigurationError
 from ..mcb.network import MCBNetwork
 from .even_collect import sort_even_collect
 from .even_pk import SortResult, sort_even_pk
@@ -57,6 +58,7 @@ def mcb_sort(
     *,
     strategy: Strategy = "auto",
     phase: str = "sort",
+    engine: str = "generator",
 ) -> SortResult:
     """Sort a distributed set on the network (paper's sorting spec §3).
 
@@ -70,12 +72,23 @@ def mcb_sort(
         ``"auto"`` (default) picks per the paper; explicit values force a
         particular algorithm (``"rank"`` / ``"merge"`` are the
         single-channel §6.1 sorts on channel 1).
+    engine:
+        ``"generator"`` (default) or ``"vector"``.  The vector engine
+        executes only the fully oblivious even-pk columnsort; any other
+        strategy is adaptive (data-dependent or Listen-based), so
+        requesting it with ``engine="vector"`` raises a
+        :class:`~repro.mcb.errors.ConfigurationError` instead of
+        silently mis-executing.
 
     Returns
     -------
     SortResult
         pid -> descending segment, cardinalities preserved.
     """
+    if engine not in ("generator", "vector"):
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected 'generator' or 'vector'"
+        )
     parts = dist.parts if isinstance(dist, Distribution) else {
         pid: tuple(v) for pid, v in dist.items()
     }
@@ -88,8 +101,18 @@ def mcb_sort(
     if strategy == "auto":
         strategy = choose_strategy(net.p, net.k, parts)
 
+    if engine == "vector" and strategy != "even-pk":
+        raise ConfigurationError(
+            "engine='vector' executes only the oblivious even-pk columnsort "
+            f"schedule; strategy {strategy!r} is adaptive/generator-driven — "
+            "rerun with engine='generator'"
+        )
+
     if strategy == "even-pk":
-        result = sort_even_pk(net, {i: list(v) for i, v in parts.items()}, phase=phase)
+        result = sort_even_pk(
+            net, {i: list(v) for i, v in parts.items()},
+            phase=phase, engine=engine,
+        )
     elif strategy == "collect":
         result = sort_even_collect(net, parts, phase=phase)
     elif strategy == "virtual":

@@ -33,6 +33,7 @@ from ..columnsort.schedule import (
     paper_transpose_schedule,
     schedule_for_phase,
 )
+from ..mcb.errors import ConfigurationError
 from ..mcb.message import Message
 from ..mcb.network import MCBNetwork
 from ..mcb.program import CycleOp, ProcContext
@@ -250,6 +251,7 @@ def sort_even_pk(
     paper_phase2: bool = False,
     wrap_skip: bool = False,
     phase: str = "columnsort",
+    engine: str = "generator",
 ) -> SortResult:
     """Sort an even distribution on MCB(k, k) (paper §5.2, basic case).
 
@@ -260,12 +262,29 @@ def sort_even_pk(
     columns:
         pid -> local elements; all the same length ``m`` with
         ``m >= k(k-1)`` and ``k | m``.
+    engine:
+        ``"generator"`` (default) steps per-processor programs on the
+        network's cycle loop; ``"vector"`` compiles the oblivious
+        schedules and executes them as NumPy gather/scatter
+        (:mod:`repro.sort.vector`) — identical outputs and stats,
+        ``wrap_skip`` unsupported.
 
     Returns
     -------
     SortResult
         pid -> descending segment (``P_1`` holds the largest elements).
     """
+    if engine == "vector":
+        from .vector import sort_even_pk_vector
+
+        return sort_even_pk_vector(
+            net, columns,
+            paper_phase2=paper_phase2, wrap_skip=wrap_skip, phase=phase,
+        )
+    if engine != "generator":
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected 'generator' or 'vector'"
+        )
     k = net.k
     if net.p != k:
         raise ValueError(f"sort_even_pk requires p == k, got p={net.p}, k={k}")

@@ -1,0 +1,209 @@
+"""Vectorized §5.2 columnsort: compiled schedules + multi-instance batching.
+
+The even ``p = k`` columnsort is fully oblivious: phases 2/4/6/8 follow
+fixed broadcast schedules and phases 1/3/5/7/9 are free local sorts.
+This module compiles the four transformation schedules once per
+``(m, k, paper_phase2)`` (cached) and executes a whole sort as nine
+whole-matrix NumPy operations instead of ``4m`` generator dispatch
+rounds — with bit-identical outputs and identical
+``RunStats.to_dict()`` accounting to the generator engines, verified by
+``tests/test_vector_columnsort.py``.
+
+:func:`sort_even_pk_batch` adds the batch axis: ``B`` independent
+instances (same ``(k, m)``, different data) run through one compiled
+schedule as a single ``(k, m, B)`` pass, amortizing compilation and all
+per-phase Python overhead across the batch — one vectorized execution
+per grid-sweep configuration instead of ``B`` runs.
+
+Only the oblivious path is supported by design: ``wrap_skip=True``
+parks elements adaptively (data-dependent ghost rows) and the other
+``mcb_sort`` strategies drive adaptive/Listen-based programs, so both
+are rejected at compile/dispatch time with a
+:class:`~repro.mcb.errors.ConfigurationError` — never silently
+mis-executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
+
+from ..columnsort.matrix import require_valid_dims
+from ..columnsort.schedule import schedule_for_phase
+from ..mcb.errors import ConfigurationError
+from ..mcb.network import MCBNetwork
+from ..mcb.trace import RunStats
+from ..mcb.vector import (
+    CompiledPhase,
+    VectorRun,
+    build_batched_state,
+    build_state,
+    detect_dtype,
+    lower_broadcast_schedule,
+    lower_paper_transpose,
+)
+from .even_pk import SortResult
+
+
+@lru_cache(maxsize=64)
+def compiled_columnsort_phases(
+    m: int, k: int, paper_phase2: bool = False
+) -> tuple[CompiledPhase, ...]:
+    """The four compiled transformation phases for an ``m x k`` sort.
+
+    Cached per ``(m, k, paper_phase2)`` — compilation is the one-time
+    cost the vector engine amortizes over runs and over batch lanes.
+    """
+    first = (
+        lower_paper_transpose(m, k)
+        if paper_phase2
+        else lower_broadcast_schedule(schedule_for_phase(2, m, k))
+    )
+    return (
+        first.compile(),
+        lower_broadcast_schedule(schedule_for_phase(4, m, k)).compile(),
+        lower_broadcast_schedule(schedule_for_phase(6, m, k)).compile(),
+        lower_broadcast_schedule(schedule_for_phase(8, m, k)).compile(),
+    )
+
+
+def _descending(state: np.ndarray, skip_first: bool = False) -> np.ndarray:
+    """Sort every column (row of ``state``) descending, in place.
+
+    Ties carry no hidden order: equal values are equal elements (bit
+    accounting is a function of the value), so ``np.sort`` matches the
+    generator's ``sorted(column, reverse=True)`` exactly.  Works on the
+    batch axis too — axis 1 is the slot axis in both layouts.
+    """
+    lo = 1 if skip_first else 0
+    state[lo:] = np.sort(state[lo:], axis=1)[:, ::-1]
+    return state
+
+
+def _columnsort_pipeline(
+    run: VectorRun, state: np.ndarray, phases: tuple[CompiledPhase, ...]
+) -> np.ndarray:
+    state = _descending(state)                      # phase 1
+    state = run.execute(phases[0], state)           # phase 2
+    state = _descending(state)                      # phase 3
+    state = run.execute(phases[1], state)           # phase 4
+    state = _descending(state)                      # phase 5
+    state = run.execute(phases[2], state)           # phase 6
+    state = _descending(state, skip_first=True)     # phase 7 (col 1 skipped)
+    state = run.execute(phases[3], state)           # phase 8
+    return _descending(state)                       # phase 9
+
+
+def _validated_columns(k: int, columns: dict[int, list]) -> int:
+    """Shared ``sort_even_pk`` input validation; returns ``m``."""
+    if sorted(columns) != list(range(1, k + 1)):
+        raise ValueError("columns must be given for every processor 1..k")
+    lengths = {len(c) for c in columns.values()}
+    if len(lengths) != 1:
+        raise ValueError(
+            f"distribution is not even: lengths {sorted(lengths)}"
+        )
+    m = lengths.pop()
+    require_valid_dims(m, k)
+    return m
+
+
+def _reject_wrap_skip(wrap_skip: bool) -> None:
+    if wrap_skip:
+        raise ConfigurationError(
+            "the vector engine compiles only the oblivious §5.2 schedules; "
+            "wrap_skip=True parks wrapped elements adaptively — run it on "
+            "the generator engine (engine='generator')"
+        )
+
+
+def sort_even_pk_vector(
+    net: MCBNetwork,
+    columns: dict[int, list],
+    *,
+    paper_phase2: bool = False,
+    wrap_skip: bool = False,
+    phase: str = "columnsort",
+) -> SortResult:
+    """:func:`repro.sort.even_pk.sort_even_pk` on the vector engine.
+
+    Costs accumulate in ``net.stats`` and obs events flow through the
+    network's attached observers, exactly as a generator run would —
+    the network object stays the single accounting surface either way.
+    """
+    k = net.k
+    if net.p != k:
+        raise ValueError(
+            f"sort_even_pk requires p == k, got p={net.p}, k={k}"
+        )
+    _reject_wrap_skip(wrap_skip)
+    m = _validated_columns(k, columns)
+    phases = compiled_columnsort_phases(m, k, paper_phase2)
+    state = build_state([list(columns[pid]) for pid in range(1, k + 1)])
+    run = VectorRun(
+        net.p, k, phase=phase, stats=net.stats, dispatch=net._dispatch
+    )
+    state = _columnsort_pipeline(run, state, phases)
+    run.finish()
+    rows = state.tolist()
+    return SortResult(
+        output={pid: tuple(rows[pid - 1]) for pid in range(1, k + 1)}
+    )
+
+
+@dataclass
+class BatchSortResult:
+    """Outputs of a batched vector sort: one result + stats per lane."""
+
+    results: list[SortResult]
+    stats: list[RunStats]
+
+
+def sort_even_pk_batch(
+    k: int,
+    batches: Sequence[dict[int, list]],
+    *,
+    paper_phase2: bool = False,
+    phase: str = "columnsort",
+) -> BatchSortResult:
+    """Sort ``B`` independent even ``p = k`` instances in one pass.
+
+    Every batch lane must present the same ``(k, m)`` shape (different
+    data/seeds are the point); the compiled schedule executes once over
+    a ``(k, m, B)`` state.  Lane ``b``'s ``stats[b]`` is exactly the
+    ``RunStats`` a solo run of lane ``b`` would produce: structural
+    counters (cycles, messages, channel writes) are shared by
+    construction, bits are accounted per lane.
+    """
+    if not batches:
+        raise ConfigurationError("sort_even_pk_batch needs at least one lane")
+    m = _validated_columns(k, batches[0])
+    for lane in batches[1:]:
+        if _validated_columns(k, lane) != m:
+            raise ValueError("all batch lanes must share the same (k, m)")
+    phases = compiled_columnsort_phases(m, k, paper_phase2)
+    dtype = detect_dtype(
+        v for lane in batches for col in lane.values() for v in col
+    )
+    state = build_batched_state(
+        [[list(lane[pid]) for pid in range(1, k + 1)] for lane in batches],
+        dtype,
+    )
+    run = VectorRun(k, k, phase=phase, batch=len(batches))
+    state = _columnsort_pipeline(run, state, phases)
+    lane_phases = run.finish()
+    results = []
+    for b in range(len(batches)):
+        rows = state[:, :, b].tolist()
+        results.append(
+            SortResult(
+                output={pid: tuple(rows[pid - 1]) for pid in range(1, k + 1)}
+            )
+        )
+    return BatchSortResult(
+        results=results,
+        stats=[RunStats(phases=[ph]) for ph in lane_phases],
+    )

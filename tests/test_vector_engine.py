@@ -1,0 +1,359 @@
+"""Vector executor vs the reference engine: exact parity, by property.
+
+The vector engine's contract is stronger than "sorts correctly": for
+*any* collision-free oblivious schedule it must produce bit-identical
+final states and identical ``RunStats.to_dict()`` accounting to the
+reference engine running the same plan rendered as generator programs
+(:meth:`SchedulePlan.as_programs`, the parity oracle).  Hypothesis
+drives random plans — random writer/channel assignments per cycle,
+random matched reads, random local moves — plus random §2
+simulation-lemma blocks, through both engines.
+
+Collision-freedom is a *static* property of an oblivious schedule, so
+the vector engine checks it at compile time, before any element moves;
+the pinned test asserts the error message and the partial-stats commit
+match the generator engine's runtime behaviour exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mcb.errors import CollisionError, ConfigurationError
+from repro.mcb.message import Message
+from repro.mcb.reference import ReferenceMCBNetwork
+from repro.mcb.trace import RunStats
+from repro.mcb.vector import (
+    SchedulePlan,
+    VectorRun,
+    build_batched_state,
+    build_state,
+    lower_rebalance_movement,
+    lower_simulation_block,
+    message_bits,
+)
+from repro.sort.rebalance import rebalance
+
+
+# ---------------------------------------------------------------------------
+# Random collision-free oblivious plans
+# ---------------------------------------------------------------------------
+
+@st.composite
+def plans(draw) -> SchedulePlan:
+    """A random valid plan: per cycle, distinct writers on distinct
+    channels; readers matched to written channels with globally unique
+    destination slots per processor; optional free local moves."""
+    p = draw(st.integers(2, 5))
+    k = draw(st.integers(1, min(3, p)))
+    slots = draw(st.integers(2, 4))
+    cycles = draw(st.integers(1, 4))
+    writes, reads, moves = [], [], []
+    dst_pool = {proc: list(range(slots)) for proc in range(p)}
+    for cy in range(cycles):
+        n_writers = draw(st.integers(0, min(p, k)))
+        writers = draw(st.permutations(range(p)))[:n_writers]
+        chans = draw(st.permutations(range(1, k + 1)))[:n_writers]
+        written = []
+        for proc, chan in zip(writers, chans):
+            src = draw(st.integers(0, slots - 1))
+            writes.append((cy, proc, chan, src))
+            written.append(chan)
+        if written:
+            n_readers = draw(st.integers(0, 2))
+            readers = draw(st.permutations(range(p)))[:n_readers]
+            for proc in readers:
+                if not dst_pool[proc]:
+                    continue
+                chan = draw(st.sampled_from(written))
+                at = draw(st.integers(0, len(dst_pool[proc]) - 1))
+                reads.append((cy, proc, chan, dst_pool[proc].pop(at)))
+    for _ in range(draw(st.integers(0, 2))):
+        proc = draw(st.integers(0, p - 1))
+        if not dst_pool[proc]:
+            continue
+        src = draw(st.integers(0, slots - 1))
+        at = draw(st.integers(0, len(dst_pool[proc]) - 1))
+        moves.append((proc, src, dst_pool[proc].pop(at)))
+    return SchedulePlan(
+        p=p, k=k, cycles=cycles, slots=slots,
+        writes=writes, reads=reads, moves=moves,
+    )
+
+
+elements = st.integers(-(10 ** 9), 10 ** 9)
+
+
+def run_reference(plan: SchedulePlan, rows):
+    net = ReferenceMCBNetwork(p=plan.p, k=plan.k)
+    out = net.run(plan.as_programs(rows), phase="plan")
+    return out, net.stats.to_dict()
+
+
+def run_vector(plan: SchedulePlan, rows):
+    stats = RunStats()
+    run = VectorRun(plan.p, plan.k, phase="plan", stats=stats)
+    state = run.execute_plan(plan, build_state(rows))
+    run.finish()
+    return state, stats.to_dict()
+
+
+@given(plans(), st.data())
+def test_vector_matches_reference_on_random_plans(plan, data):
+    rows = [
+        data.draw(
+            st.lists(elements, min_size=plan.slots, max_size=plan.slots)
+        )
+        for _ in range(plan.p)
+    ]
+    ref_out, ref_stats = run_reference(plan, rows)
+    state, vec_stats = run_vector(plan, rows)
+    assert vec_stats == ref_stats
+    got = state.tolist()
+    for proc in range(plan.p):
+        assert got[proc] == ref_out[proc + 1], proc
+
+
+@settings(max_examples=25)
+@given(plans(), st.integers(1, 3), st.data())
+def test_batched_execution_matches_solo_reference_runs(plan, b, data):
+    lanes = [
+        [
+            data.draw(
+                st.lists(elements, min_size=plan.slots, max_size=plan.slots)
+            )
+            for _ in range(plan.p)
+        ]
+        for _ in range(b)
+    ]
+    run = VectorRun(plan.p, plan.k, phase="plan", batch=b)
+    state = run.execute(plan.compile(), build_batched_state(lanes))
+    lane_phases = run.finish()
+    for lane in range(b):
+        ref_out, ref_stats = run_reference(plan, lanes[lane])
+        assert RunStats(phases=[lane_phases[lane]]).to_dict() == ref_stats
+        got = state[:, :, lane].tolist()
+        for proc in range(plan.p):
+            assert got[proc] == ref_out[proc + 1], (lane, proc)
+
+
+# ---------------------------------------------------------------------------
+# §2 simulation-lemma blocks
+# ---------------------------------------------------------------------------
+
+@st.composite
+def simulation_blocks(draw):
+    """One random virtual cycle: virtual-collision-free writes (distinct
+    virtual channels, one op per virtual processor) plus random reads.
+
+    Destination slots are host-local in the lowering, so co-hosted
+    virtual readers draw from a per-host pool of distinct slots."""
+    p = draw(st.integers(1, 3))
+    k = draw(st.integers(1, min(2, p)))
+    v = draw(st.integers(1, 3))
+    s = draw(st.integers(1, 3))
+    slots = draw(st.integers(1, 3))
+    vprocs = list(range(1, p * v + 1))
+    vchans = list(range(1, k * s + 1))
+    n_writes = draw(st.integers(0, min(len(vprocs), len(vchans))))
+    wq = draw(st.permutations(vprocs))[:n_writes]
+    wc = draw(st.permutations(vchans))[:n_writes]
+    writes = [
+        (q, c, draw(st.integers(0, slots - 1))) for q, c in zip(wq, wc)
+    ]
+    n_reads = draw(st.integers(0, len(vprocs)))
+    rq = draw(st.permutations(vprocs))[:n_reads]
+    dst_pool = {host: list(range(slots)) for host in range(1, p + 1)}
+    reads = []
+    for q in rq:
+        pool = dst_pool[(q - 1) // v + 1]
+        if not pool:
+            continue
+        at = draw(st.integers(0, len(pool) - 1))
+        reads.append((q, draw(st.sampled_from(vchans)), pool.pop(at)))
+    return p, k, v, s, slots, writes, reads
+
+
+@settings(max_examples=50)
+@given(simulation_blocks(), st.data())
+def test_simulation_block_matches_reference(block, data):
+    p, k, v, s, slots, writes, reads = block
+    plan = lower_simulation_block(p, k, v, s, writes, reads, slots=slots)
+    assert plan.cycles == v * v * s
+    assert len(plan.writes) == v * len(writes)
+    rows = [
+        data.draw(st.lists(elements, min_size=slots, max_size=slots))
+        for _ in range(p)
+    ]
+    ref_out, ref_stats = run_reference(plan, rows)
+    state, vec_stats = run_vector(plan, rows)
+    assert vec_stats == ref_stats
+    got = state.tolist()
+    for proc in range(p):
+        assert got[proc] == ref_out[proc + 1], proc
+
+
+# ---------------------------------------------------------------------------
+# Compile-time collision detection (satellite: pinned error + partial stats)
+# ---------------------------------------------------------------------------
+
+COLLIDING = SchedulePlan(
+    p=3, k=2, cycles=3, slots=2,
+    writes=[(0, 0, 1, 0), (2, 1, 2, 0), (2, 2, 2, 1)],
+    reads=[(0, 1, 1, 1)],
+)
+COLLISION_MSG = (
+    "write collision on channel C2 at cycle 2: processors ['P2', 'P3']"
+)
+
+
+def test_collision_detected_at_compile_time():
+    with pytest.raises(CollisionError) as err:
+        COLLIDING.compile()
+    assert str(err.value) == COLLISION_MSG
+    assert err.value.cycle == 2
+    assert err.value.channel == 2
+    assert err.value.writers == [2, 3]
+
+
+def test_collision_partial_stats_match_reference():
+    """The vector abort commits exactly the partial phase the generator
+    engine commits: costs of the cycles before the collision only."""
+    rows = [[5, 9], [7, 1], [3, 4]]
+
+    ref = ReferenceMCBNetwork(p=3, k=2)
+    with pytest.raises(CollisionError) as ref_err:
+        ref.run(COLLIDING.as_programs(rows), phase="plan")
+
+    stats = RunStats()
+    run = VectorRun(3, 2, phase="plan", stats=stats)
+    with pytest.raises(CollisionError) as vec_err:
+        run.execute_plan(COLLIDING, build_state(rows))
+
+    assert str(vec_err.value) == str(ref_err.value) == COLLISION_MSG
+    assert stats.to_dict() == ref.stats.to_dict()
+    ph = stats.phases[-1]
+    assert ph.cycles == 2
+    assert ph.collisions == 1
+    assert ph.messages == 1  # only the cycle-0 write delivered
+    assert ph.bits == Message("elem", 5).bit_size()
+
+
+@pytest.mark.parametrize(
+    "plan, fragment",
+    [
+        (
+            SchedulePlan(
+                p=2, k=1, cycles=1, slots=1,
+                writes=[(0, 0, 2, 0)], reads=[],
+            ),
+            "invalid channel C2",
+        ),
+        (
+            SchedulePlan(
+                p=2, k=2, cycles=1, slots=1,
+                writes=[(0, 0, 1, 0), (0, 0, 2, 0)], reads=[],
+            ),
+            "P1 writes twice in cycle 0",
+        ),
+        (
+            SchedulePlan(
+                p=2, k=2, cycles=1, slots=1,
+                writes=[(0, 0, 1, 0), (0, 1, 2, 0)],
+                reads=[(0, 1, 1, 0), (0, 1, 2, 0)],
+            ),
+            "P2 reads twice in cycle 0",
+        ),
+        (
+            SchedulePlan(
+                p=2, k=1, cycles=1, slots=1,
+                writes=[], reads=[(0, 1, 1, 0)],
+            ),
+            "reads silent channel C1",
+        ),
+        (
+            SchedulePlan(
+                p=2, k=1, cycles=2, slots=2,
+                writes=[(0, 0, 1, 0), (1, 0, 1, 1)],
+                reads=[(0, 1, 1, 0), (1, 1, 1, 0)],
+            ),
+            "two events deliver into slot 0 of P2",
+        ),
+    ],
+)
+def test_compile_rejects_invalid_plans(plan, fragment):
+    with pytest.raises(ConfigurationError) as err:
+        plan.compile()
+    assert fragment in str(err.value)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized bit accounting == Message.bit_size
+# ---------------------------------------------------------------------------
+
+@given(
+    st.lists(
+        st.one_of(
+            st.integers(-(2 ** 61), 2 ** 61),
+            st.floats(allow_nan=False, allow_infinity=False),
+            st.booleans(),
+            st.tuples(st.integers(-100, 100), st.integers(-100, 100)),
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_message_bits_matches_scalar_rule(values):
+    arr = np.empty(len(values), dtype=object)
+    for i, v in enumerate(values):
+        arr[i] = v
+    got = message_bits(arr)
+    for v, bits in zip(values, got):
+        fields = v if isinstance(v, tuple) else (v,)
+        assert bits == Message("elem", *fields).bit_size(), v
+
+
+def test_message_bits_numeric_dtypes():
+    ints = np.array([0, 1, -1, 5, -5, 1023, -(2 ** 40)], dtype=np.int64)
+    for v, bits in zip(ints.tolist(), message_bits(ints)):
+        assert bits == Message("elem", v).bit_size(), v
+    floats = np.array([0.0, -1.5, 3.14], dtype=np.float64)
+    assert (message_bits(floats) == Message("elem", 0.5).bit_size()).all()
+    bools = np.array([True, False])
+    assert (message_bits(bools) == Message("elem", True).bit_size()).all()
+
+
+# ---------------------------------------------------------------------------
+# Rebalance lowering: same layout as the generator rebalance
+# ---------------------------------------------------------------------------
+
+def test_rebalance_lowering_matches_generator_layout():
+    lengths = [5, 1, 0, 2]
+    k = 2
+    plan, targets = lower_rebalance_movement(lengths, k)
+    assert sum(targets) == sum(lengths)
+
+    rows = []
+    for src, length in enumerate(lengths):
+        row = [src * 100 + off for off in range(length)]
+        row += [-1] * (plan.slots - length)
+        rows.append(row)
+    stats = RunStats()
+    run = VectorRun(plan.p, k, phase="move", stats=stats)
+    state = run.execute_plan(plan, build_state(rows))
+    run.finish()
+
+    net = ReferenceMCBNetwork(p=len(lengths), k=k)
+    res = rebalance(
+        net,
+        {
+            src + 1: [src * 100 + off for off in range(length)]
+            for src, length in enumerate(lengths)
+        },
+    )
+    got = state.tolist()
+    for d in range(plan.p):
+        assert tuple(got[d][: targets[d]]) == res.output[d + 1], d
