@@ -93,6 +93,64 @@ def test_obs_zero_overhead_when_unobserved(benchmark, emit, record):
     )
 
 
+def test_obs_vector_engine_unobserved_builds_no_events(emit, record):
+    # The vector executor shares the zero-overhead contract: with no
+    # dispatcher, the batched hot loop must construct zero event
+    # objects.  Count constructions directly by wrapping the event
+    # classes in the executor's own namespace.
+    import repro.mcb.vector.executor as vex
+    from repro.obs import TraceBuilder
+
+    dist = Distribution.even(48, 4, seed=3)
+
+    counts = {"message": 0, "phase_start": 0}
+    real_mb, real_ps = vex.MessageBroadcast, vex.PhaseStarted
+
+    def counting(cls, key):
+        def make(*a, **kw):
+            counts[key] += 1
+            return cls(*a, **kw)
+        return make
+
+    vex.MessageBroadcast = counting(real_mb, "message")
+    vex.PhaseStarted = counting(real_ps, "phase_start")
+    try:
+        net = MCBNetwork(p=4, k=4)
+        assert net._dispatch is None
+        mcb_sort(net, dist, engine="vector")
+        assert counts == {"message": 0, "phase_start": 0}, (
+            f"unobserved vector run constructed events: {counts}"
+        )
+        unobserved_stats = (net.stats.cycles, net.stats.messages)
+
+        # Sanity: the same run *with* an observer does construct events
+        # (otherwise the counter above proves nothing).
+        onet = MCBNetwork(p=4, k=4)
+        onet.attach_observer(TraceBuilder())
+        mcb_sort(onet, dist, engine="vector")
+        assert counts["message"] > 0 and counts["phase_start"] > 0
+        assert (onet.stats.cycles, onet.stats.messages) == unobserved_stats
+    finally:
+        vex.MessageBroadcast = real_mb
+        vex.PhaseStarted = real_ps
+
+    emit(
+        "E-OBS3  Vector engine unobserved path: sort n=48 on MCB(4,4)",
+        ["variant", "events built", "cycles", "messages"],
+        [
+            ["no observers", 0, unobserved_stats[0], unobserved_stats[1]],
+            ["trace observer", counts["message"] + counts["phase_start"],
+             unobserved_stats[0], unobserved_stats[1]],
+        ],
+        notes="unobserved vector runs must construct zero event objects",
+    )
+    record(
+        config={"p": 4, "k": 4, "n": 48, "engine": "vector"},
+        events_unobserved=0,
+        events_observed=counts["message"] + counts["phase_start"],
+    )
+
+
 def test_obs_full_instrumentation_cost(benchmark, emit, record):
     # Informational: what the *full* stack (metrics + pipeline + memory
     # sink) costs relative to unobserved — useful for deciding whether

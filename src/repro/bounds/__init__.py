@@ -6,6 +6,8 @@ from .formulas import (
     cor2_selection_cycles_lb,
     cor3_sorting_cycles_lb,
     filtering_phases_bound,
+    partial_sums_cycles_theta,
+    partial_sums_messages_theta,
     selection_cycles_theta,
     selection_messages_theta,
     sorting_cycles_lb,
@@ -16,6 +18,7 @@ from .formulas import (
     thm3_sorting_messages_lb,
     thm5_sorting_cycles_lb,
 )
+from .overlay import PhasePrediction, overlay_phases, phase_prediction, run_prediction
 from .worst_case import (
     holder_of,
     theorem3_neighbors_separated,
@@ -24,12 +27,18 @@ from .worst_case import (
 
 __all__ = [
     "Pair",
+    "PhasePrediction",
     "SelectionAdversary",
     "cor1_selection_cycles_lb",
     "cor2_selection_cycles_lb",
     "cor3_sorting_cycles_lb",
     "filtering_phases_bound",
     "holder_of",
+    "overlay_phases",
+    "partial_sums_cycles_theta",
+    "partial_sums_messages_theta",
+    "phase_prediction",
+    "run_prediction",
     "selection_cycles_theta",
     "selection_messages_theta",
     "sorting_cycles_lb",

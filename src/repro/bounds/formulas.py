@@ -121,6 +121,17 @@ def selection_cycles_theta(n: int, p: int, k: int) -> float:
     return (p / k) * max(1.0, _log2(k * n / p))
 
 
+def partial_sums_cycles_theta(p: int, k: int) -> float:
+    """§7.1: partial sums of ``p`` values over ``k`` channels take
+    ``Theta(p/k + log k)`` cycles (pipelined tree sweep)."""
+    return p / k + _log2(k)
+
+
+def partial_sums_messages_theta(p: int) -> float:
+    """§7.1: partial sums broadcast ``Theta(p)`` messages."""
+    return float(p)
+
+
 def filtering_phases_bound(n: int, m_star: int) -> float:
     """Each phase purges >= 1/4 of the candidates, so
     ``log_{4/3}(n/m*)`` phases suffice (§8.2)."""

@@ -1,0 +1,173 @@
+"""Theory overlay: the paper's closed forms, mapped onto measured phases.
+
+The profiler and the timeline exporter show *measured* per-phase cycles
+and messages; this module pairs each phase with the *predicted* value
+from :mod:`repro.bounds.formulas` so tightness is visible in the report
+itself, not only in the offline bench sweeps.
+
+Two prediction scopes exist, recorded in
+:attr:`PhasePrediction.scope`:
+
+* ``"phase"`` — a closed form exists for this sub-protocol itself
+  (partial-sums stages via §7.1, median sorting via Corollary 6, the
+  per-round share of Corollary 7 for filtering rounds).  The
+  measured/predicted ratio is the usual tightness constant.
+* ``"run"`` — no per-phase form exists; the phase is compared against
+  the *whole run's* bound (Corollary 6 for sorting, Corollary 7 for
+  selection).  The ratio then reads as "this phase's share of the run
+  budget"; the ratios of all ``run``-scoped phases plus the
+  ``phase``-scoped ones sum to the total's ratio.
+
+Every prediction names its source theorem, so reports stay auditable
+against PAPER_MAP.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+from .formulas import (
+    filtering_phases_bound,
+    partial_sums_cycles_theta,
+    partial_sums_messages_theta,
+    selection_cycles_theta,
+    selection_messages_theta,
+    sorting_cycles_theta,
+    sorting_messages_theta,
+)
+
+
+@dataclass(frozen=True)
+class PhasePrediction:
+    """Predicted cycle/message cost for one phase (or a whole run)."""
+
+    cycles: float
+    messages: float
+    source: str  # e.g. "Corollary 6"
+    scope: str  # "phase" | "run"
+
+    def as_fields(self) -> dict[str, Any]:
+        """The overlay fields merged into reports/trace args."""
+        return {
+            "predicted_cycles": round(self.cycles, 3),
+            "predicted_messages": round(self.messages, 3),
+            "bound_source": self.source,
+            "bound_scope": self.scope,
+        }
+
+    def with_ratios(self, cycles: float, messages: float) -> dict[str, Any]:
+        """Overlay fields plus measured/predicted ratios."""
+        out = self.as_fields()
+        out["cycles_ratio"] = (
+            round(cycles / self.cycles, 4) if self.cycles > 0 else None
+        )
+        out["messages_ratio"] = (
+            round(messages / self.messages, 4) if self.messages > 0 else None
+        )
+        return out
+
+
+def run_prediction(
+    algorithm: str,
+    *,
+    n: int,
+    p: int,
+    k: int,
+    n_max: Optional[int] = None,
+) -> Optional[PhasePrediction]:
+    """The whole-run Theta bound for ``sort`` (Cor. 6) / ``select`` (Cor. 7)."""
+    if algorithm == "sort":
+        return PhasePrediction(
+            cycles=sorting_cycles_theta(n, k, n_max if n_max else n // p),
+            messages=sorting_messages_theta(n),
+            source="Corollary 6",
+            scope="run",
+        )
+    if algorithm == "select":
+        return PhasePrediction(
+            cycles=selection_cycles_theta(n, p, k),
+            messages=selection_messages_theta(n, p, k),
+            source="Corollary 7",
+            scope="run",
+        )
+    return None
+
+
+def phase_prediction(
+    name: str,
+    run_pred: Optional[PhasePrediction],
+    *,
+    n: int,
+    p: int,
+    k: int,
+) -> Optional[PhasePrediction]:
+    """Best-available prediction for one phase, by protocol shape.
+
+    Phase names are hierarchical (``select/filter-2/prefix``); the last
+    path segment identifies the sub-protocol.  Segments with their own
+    closed form get a ``"phase"``-scoped prediction; everything else
+    falls back to the run-level bound (``"run"`` scope).
+    """
+    seg = name.rsplit("/", 1)[-1]
+    if seg.endswith("prefix") or "ge" in seg.split("-") or "eq" in seg.split("-"):
+        # Partial sums / total sums over p values (§7.1): the ge/eq count
+        # reductions are one-value-per-processor sum trees too.
+        return PhasePrediction(
+            cycles=partial_sums_cycles_theta(p, k),
+            messages=partial_sums_messages_theta(p),
+            source="Section 7.1",
+            scope="phase",
+        )
+    if seg == "sort-medians":
+        # Sorting p (median, count) pairs, one per processor: Cor. 6 with
+        # n = p and n_max = 1.
+        return PhasePrediction(
+            cycles=sorting_cycles_theta(p, k, 1),
+            messages=sorting_messages_theta(p),
+            source="Corollary 6 (n=p pairs)",
+            scope="phase",
+        )
+    if seg == "announce":
+        # One processor broadcasts the pivot verdict to everyone.
+        return PhasePrediction(
+            cycles=1.0,
+            messages=1.0,
+            source="Section 8.1 (single broadcast)",
+            scope="phase",
+        )
+    if seg.startswith("filter-") and run_pred is not None:
+        # One filtering round: the §8.2 argument caps rounds at
+        # log_{4/3}(n/m*) with m* = max(p/k, 1) survivors at termination,
+        # so each round gets an equal share of the Cor. 7 budget.
+        rounds = max(1.0, filtering_phases_bound(n, max(1, p // k)))
+        return PhasePrediction(
+            cycles=run_pred.cycles / rounds,
+            messages=run_pred.messages / rounds,
+            source="Corollary 7 / Section 8.2 round share",
+            scope="phase",
+        )
+    return run_pred
+
+
+def overlay_phases(
+    algorithm: str,
+    phase_names: Iterable[str],
+    *,
+    n: int,
+    p: int,
+    k: int,
+    n_max: Optional[int] = None,
+) -> tuple[dict[str, PhasePrediction], Optional[PhasePrediction]]:
+    """Predictions for every phase plus the run-level total.
+
+    Returns ``(by_phase, total)``; phases with no applicable bound are
+    absent from ``by_phase`` (only possible for unknown algorithms).
+    """
+    total = run_prediction(algorithm, n=n, p=p, k=k, n_max=n_max)
+    by_phase: dict[str, PhasePrediction] = {}
+    for name in phase_names:
+        pred = phase_prediction(name, total, n=n, p=p, k=k)
+        if pred is not None:
+            by_phase[name] = pred
+    return by_phase, total

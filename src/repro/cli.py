@@ -21,7 +21,7 @@ from .analysis import format_table
 from .core import Distribution
 from .core.problem import is_sorted_output
 from .mcb import MCBNetwork
-from .obs.cli import add_profile_parser
+from .obs.cli import add_profile_parser, add_timeline_parser
 from .select import mcb_select
 from .select.multi import mcb_quantiles
 from .sort import mcb_sort
@@ -214,6 +214,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.set_defaults(fn=cmd_max)
 
     add_profile_parser(sub)
+    add_timeline_parser(sub)
 
     return parser
 

@@ -33,6 +33,17 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from ..obs.events import (
+    CollisionDetected,
+    FastForward,
+    ListenParked,
+    ListenWoken,
+    MessageBroadcast,
+    PhaseEnded,
+    PhaseStarted,
+    ProcessorSlept,
+)
+from ..obs.hooks import ObservableMixin
 from .errors import CollisionError, ConfigurationError, ProtocolError
 from .message import EMPTY, Message
 from .program import CycleOp, Listen, ProcContext, Sleep
@@ -51,7 +62,7 @@ class _CrewListenState:
         self.buf: list = []
 
 
-class CREWMemory:
+class CREWMemory(ObservableMixin):
     """A CREW PRAM with ``cells`` shared memory cells.
 
     Programs are the same generators as for :class:`MCBNetwork` —
@@ -64,15 +75,28 @@ class CREWMemory:
     buffers that value on *every* step of the window (cells persist,
     unlike memoryless channels), and ``until_nonempty`` completes on the
     first step in which the cell has ever been written.
+
+    The engine shares the :mod:`repro.obs` hooks of the MCB engines
+    (:meth:`attach_observer` / :meth:`detach_observer`); events report
+    ``k = cells`` and ``channel`` means *cell*.  ``readers`` of a
+    ``message`` event are the processors reading the cell in the step it
+    was written — later reads of the persisted value are not broadcasts.
     """
 
-    def __init__(self, p: int, cells: int):
+    def __init__(self, p: int, cells: int, *, record_trace: bool = False):
         if p < 1 or cells < 1:
             raise ConfigurationError(f"invalid CREW shape p={p}, cells={cells}")
         self.p = p
         self.cells = cells
         self.stats = RunStats()
         self.cells_used: set[int] = set()
+        self._init_observability(record_trace=record_trace)
+
+    def reset_stats(self) -> None:
+        """Forget accumulated statistics/cells and detach every observer."""
+        self.stats = RunStats()
+        self.cells_used = set()
+        self._reset_observability()
 
     def run(self, programs, *, phase: str = "crew", max_cycles: int = 10_000_000):
         """Execute one synchronized stage; same contract as
@@ -90,7 +114,10 @@ class CREWMemory:
         memory: dict[int, Message] = {}
         listening: dict[int, _CrewListenState] = {}
         until_parked = 0
-        ph = PhaseStats(name=phase)
+        ph = PhaseStats(name=phase, k=self.cells)
+        dispatch = self._dispatch
+        if dispatch is not None:
+            dispatch.dispatch(PhaseStarted(phase=phase, p=self.p, k=self.cells))
         step = 0
         while gens:
             if until_parked and until_parked == len(gens) and not any(
@@ -106,7 +133,16 @@ class CREWMemory:
                 break
             acting = [pid for pid in gens if wake[pid] <= step]
             if not acting:
-                step = min(wake[pid] for pid in gens)
+                # All-asleep skip: desugared listeners always act next
+                # step, so a jump means every live processor slept.  The
+                # skipped steps still elapse, as in the MCB engines.
+                target = min(wake[pid] for pid in gens)
+                ph.fast_forward_cycles += target - step
+                if dispatch is not None:
+                    dispatch.dispatch(
+                        FastForward(phase=phase, from_cycle=step, to_cycle=target)
+                    )
+                step = target
                 continue
             if step >= max_cycles:
                 raise ProtocolError(f"exceeded max_cycles={max_cycles}")
@@ -131,6 +167,16 @@ class CREWMemory:
                         del listening[pid]
                         until_parked -= 1
                         inbox[pid] = (off, got)
+                        if dispatch is not None:
+                            dispatch.dispatch(
+                                ListenWoken(
+                                    phase=phase,
+                                    cycle=step,
+                                    pid=pid,
+                                    channel=st.cell,
+                                    heard=1,
+                                )
+                            )
                     else:
                         if got is not EMPTY and got is not None:
                             st.buf.append((off, got))
@@ -142,6 +188,16 @@ class CREWMemory:
                             continue
                         del listening[pid]
                         inbox[pid] = st.buf
+                        if dispatch is not None:
+                            dispatch.dispatch(
+                                ListenWoken(
+                                    phase=phase,
+                                    cycle=step,
+                                    pid=pid,
+                                    channel=st.cell,
+                                    heard=len(st.buf),
+                                )
+                            )
                 try:
                     op = gens[pid].send(inbox[pid])
                 except StopIteration as stop:
@@ -152,7 +208,17 @@ class CREWMemory:
                     inbox[pid] = None
                 any_op = True
                 if isinstance(op, Sleep):
-                    wake[pid] = step + max(1, op.cycles)
+                    w = max(1, op.cycles)
+                    wake[pid] = step + w
+                    if w > 1 and dispatch is not None:
+                        dispatch.dispatch(
+                            ProcessorSlept(
+                                phase=phase,
+                                cycle=step,
+                                pid=pid,
+                                until_cycle=step + w,
+                            )
+                        )
                     continue
                 if isinstance(op, Listen):
                     if not 1 <= op.channel <= self.cells:
@@ -182,6 +248,16 @@ class CREWMemory:
                     listening[pid] = _CrewListenState(op.channel, window)
                     wake[pid] = step + 1
                     reads.append((pid, op.channel))
+                    if dispatch is not None:
+                        dispatch.dispatch(
+                            ListenParked(
+                                phase=phase,
+                                cycle=step,
+                                pid=pid,
+                                channel=op.channel,
+                                window=window,
+                            )
+                        )
                     continue
                 if not isinstance(op, CycleOp):
                     raise ProtocolError(f"P{pid} yielded {op!r}")
@@ -194,6 +270,16 @@ class CREWMemory:
                     if not isinstance(op.payload, Message):
                         raise ProtocolError(f"P{pid}: write without Message")
                     if op.write in writes:
+                        if dispatch is not None:
+                            dispatch.dispatch(
+                                CollisionDetected(
+                                    phase=phase,
+                                    cycle=step,
+                                    channel=op.write,
+                                    writers=(writes[op.write][0], pid),
+                                    resolution="abort",
+                                )
+                            )
                         # Keep the partial phase (exclusive-write abort):
                         # costs up to this step stay queryable.
                         ph.cycles = step
@@ -220,15 +306,54 @@ class CREWMemory:
                 ph.messages += 1
                 ph.bits += msg.bit_size()
                 ph.channel_writes[cell] = ph.channel_writes.get(cell, 0) + 1
+            readers_by_cell: Optional[dict[int, list[int]]] = (
+                {} if dispatch is not None and writes else None
+            )
             for pid, cell in reads:
                 if pid in gens:
                     inbox[pid] = memory.get(cell, EMPTY)
+                    if readers_by_cell is not None and cell in writes:
+                        readers_by_cell.setdefault(cell, []).append(pid)
+            if dispatch is not None:
+                for cell, (wpid, msg) in writes.items():
+                    dispatch.dispatch(
+                        MessageBroadcast(
+                            phase=phase,
+                            cycle=step,
+                            channel=cell,
+                            writer=wpid,
+                            readers=tuple(
+                                readers_by_cell.get(cell, ())
+                                if readers_by_cell is not None
+                                else ()
+                            ),
+                            msg_kind=msg.kind,
+                            fields=msg.fields,
+                            bits=msg.bit_size(),
+                        )
+                    )
             if any_op:
                 step += 1
         ph.cycles = step
         for pid, ctx in contexts.items():
             ph.aux_peak[pid] = ctx.aux_peak
         self.stats.add(ph)
+        if dispatch is not None:
+            dispatch.dispatch(
+                PhaseEnded(
+                    phase=phase,
+                    p=self.p,
+                    k=self.cells,
+                    cycles=ph.cycles,
+                    messages=ph.messages,
+                    bits=ph.bits,
+                    channel_writes=dict(ph.channel_writes),
+                    max_aux_peak=ph.max_aux_peak,
+                    fast_forward_cycles=ph.fast_forward_cycles,
+                    collisions=ph.collisions,
+                    utilization=ph.channel_utilization(),
+                )
+            )
         return results
 
 

@@ -45,9 +45,12 @@ from typing import Any, Literal, Optional, Sequence, Union
 from ..obs.events import (
     CollisionDetected,
     FastForward,
+    ListenParked,
+    ListenWoken,
     MessageBroadcast,
     PhaseEnded,
     PhaseStarted,
+    ProcessorSlept,
 )
 from ..obs.hooks import ObservableMixin
 from .errors import CollisionError, ConfigurationError, ProtocolError
@@ -219,6 +222,16 @@ class ExtendedNetwork(ObservableMixin):
                         del listening[pid]
                         until_parked -= 1
                         inbox[pid] = (off, got)
+                        if dispatch is not None:
+                            dispatch.dispatch(
+                                ListenWoken(
+                                    phase=phase,
+                                    cycle=cycle,
+                                    pid=pid,
+                                    channel=st.channel,
+                                    heard=1,
+                                )
+                            )
                     else:
                         if got is not EMPTY and got is not None:
                             st.buf.append((off, got))
@@ -230,6 +243,16 @@ class ExtendedNetwork(ObservableMixin):
                             continue
                         del listening[pid]
                         inbox[pid] = st.buf
+                        if dispatch is not None:
+                            dispatch.dispatch(
+                                ListenWoken(
+                                    phase=phase,
+                                    cycle=cycle,
+                                    pid=pid,
+                                    channel=st.channel,
+                                    heard=len(st.buf),
+                                )
+                            )
                 try:
                     op = gens[pid].send(inbox[pid])
                 except StopIteration as stop:
@@ -240,7 +263,17 @@ class ExtendedNetwork(ObservableMixin):
                     inbox[pid] = None
                 any_op = True
                 if isinstance(op, Sleep):
-                    wake[pid] = cycle + max(1, op.cycles)
+                    w = max(1, op.cycles)
+                    wake[pid] = cycle + w
+                    if w > 1 and dispatch is not None:
+                        dispatch.dispatch(
+                            ProcessorSlept(
+                                phase=phase,
+                                cycle=cycle,
+                                pid=pid,
+                                until_cycle=cycle + w,
+                            )
+                        )
                     continue
                 if isinstance(op, Listen):
                     if not 1 <= op.channel <= self.k:
@@ -270,6 +303,16 @@ class ExtendedNetwork(ObservableMixin):
                     listening[pid] = _ExtListenState(op.channel, window)
                     wake[pid] = cycle + 1
                     reads.append((pid, op.channel))
+                    if dispatch is not None:
+                        dispatch.dispatch(
+                            ListenParked(
+                                phase=phase,
+                                cycle=cycle,
+                                pid=pid,
+                                channel=op.channel,
+                                window=window,
+                            )
+                        )
                     continue
                 if not isinstance(op, ExtOp):
                     raise ProtocolError(

@@ -70,9 +70,12 @@ from typing import Any, Optional, Sequence
 from ..obs.events import (
     CollisionDetected,
     FastForward,
+    ListenParked,
+    ListenWoken,
     MessageBroadcast,
     PhaseEnded,
     PhaseStarted,
+    ProcessorSlept,
 )
 from ..obs.hooks import ObservableMixin
 from .errors import (
@@ -390,6 +393,16 @@ class MCBNetwork(ObservableMixin):
                         listening[slot] = None
                         until_parked -= 1
                         inbox[slot] = (off, got)
+                        # Desugaring only runs observed, so dispatch is set.
+                        dispatch.dispatch(
+                            ListenWoken(
+                                phase=phase,
+                                cycle=cycle,
+                                pid=pids[slot],
+                                channel=st.channel,
+                                heard=1,
+                            )
+                        )
                     else:
                         if got is not EMPTY_ and got is not None:
                             st.buf.append((off, got))
@@ -401,6 +414,15 @@ class MCBNetwork(ObservableMixin):
                             continue
                         listening[slot] = None
                         inbox[slot] = st.buf
+                        dispatch.dispatch(
+                            ListenWoken(
+                                phase=phase,
+                                cycle=cycle,
+                                pid=pids[slot],
+                                channel=st.channel,
+                                heard=len(st.buf),
+                            )
+                        )
                 try:
                     op = sends[slot](inbox[slot])
                 except StopIteration as stop:
@@ -425,6 +447,15 @@ class MCBNetwork(ObservableMixin):
                             keep(slot)
                         else:
                             heappush(sleep_heap, (cycle + c, slot))
+                            if dispatch is not None:
+                                dispatch.dispatch(
+                                    ProcessorSlept(
+                                        phase=phase,
+                                        cycle=cycle,
+                                        pid=pids[slot],
+                                        until_cycle=cycle + c,
+                                    )
+                                )
                         continue
                     if cls is Listen_ or isinstance(op, Listen_):
                         ch = op.channel
@@ -453,6 +484,15 @@ class MCBNetwork(ObservableMixin):
                             keep(slot)
                             add_read_slot(slot)
                             add_read_chan(ch)
+                            dispatch.dispatch(
+                                ListenParked(
+                                    phase=phase,
+                                    cycle=cycle,
+                                    pid=pids[slot],
+                                    channel=ch,
+                                    window=window,
+                                )
+                            )
                         continue
                     if not isinstance(op, CycleOp_):
                         raise ProtocolError(

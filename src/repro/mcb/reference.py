@@ -58,9 +58,12 @@ from typing import Any, Optional, Sequence
 from ..obs.events import (
     CollisionDetected,
     FastForward,
+    ListenParked,
+    ListenWoken,
     MessageBroadcast,
     PhaseEnded,
     PhaseStarted,
+    ProcessorSlept,
 )
 from ..obs.hooks import ObservableMixin
 from .errors import (
@@ -262,6 +265,16 @@ class ReferenceMCBNetwork(ObservableMixin):
                         del listening[pid]
                         until_parked -= 1
                         inbox[pid] = (off, got)
+                        if dispatch is not None:
+                            dispatch.dispatch(
+                                ListenWoken(
+                                    phase=phase,
+                                    cycle=cycle,
+                                    pid=pid,
+                                    channel=st.channel,
+                                    heard=1,
+                                )
+                            )
                     else:
                         if got is not EMPTY and got is not None:
                             st.buf.append((off, got))
@@ -273,6 +286,16 @@ class ReferenceMCBNetwork(ObservableMixin):
                             continue
                         del listening[pid]
                         inbox[pid] = st.buf
+                        if dispatch is not None:
+                            dispatch.dispatch(
+                                ListenWoken(
+                                    phase=phase,
+                                    cycle=cycle,
+                                    pid=pid,
+                                    channel=st.channel,
+                                    heard=len(st.buf),
+                                )
+                            )
                 try:
                     op = gens[pid].send(inbox[pid])
                 except StopIteration as stop:
@@ -287,7 +310,17 @@ class ReferenceMCBNetwork(ObservableMixin):
                         raise ProtocolError(
                             f"P{pid} requested a negative sleep ({op.cycles})"
                         )
-                    wake[pid] = cycle + max(1, op.cycles)
+                    w = max(1, op.cycles)
+                    wake[pid] = cycle + w
+                    if w > 1 and dispatch is not None:
+                        dispatch.dispatch(
+                            ProcessorSlept(
+                                phase=phase,
+                                cycle=cycle,
+                                pid=pid,
+                                until_cycle=cycle + w,
+                            )
+                        )
                     continue
                 if isinstance(op, Listen):
                     window = self._validate_listen(pid, op)
@@ -296,6 +329,16 @@ class ReferenceMCBNetwork(ObservableMixin):
                         until_parked += 1
                     wake[pid] = cycle + 1
                     reads.append((pid, op.channel))
+                    if dispatch is not None:
+                        dispatch.dispatch(
+                            ListenParked(
+                                phase=phase,
+                                cycle=cycle,
+                                pid=pid,
+                                channel=op.channel,
+                                window=window,
+                            )
+                        )
                     continue
                 if not isinstance(op, CycleOp_):
                     raise ProtocolError(

@@ -11,6 +11,9 @@ into an operable pipeline instead of process-local state:
 * :mod:`repro.obs.pipeline` — events -> ring -> sinks plumbing;
 * :mod:`repro.obs.metrics` — counters/gauges/histograms + snapshots;
 * :mod:`repro.obs.hooks` — the observer API the engines dispatch into;
+* :mod:`repro.obs.trace` — cycle-accurate processor/channel timelines
+  with Chrome Trace Event / Perfetto export
+  (``python -m repro timeline``);
 * :mod:`repro.obs.profile` — the profiler report used by
   ``python -m repro profile`` (:mod:`repro.obs.cli`).
 
@@ -31,10 +34,13 @@ from .events import (
     EVENT_TYPES,
     CollisionDetected,
     FastForward,
+    ListenParked,
+    ListenWoken,
     MessageBroadcast,
     ObsEvent,
     PhaseEnded,
     PhaseStarted,
+    ProcessorSlept,
     from_dict,
 )
 from .hooks import (
@@ -50,6 +56,7 @@ from .pipeline import DEFAULT_CAPACITY, EventPipeline
 from .profile import PhaseProfile, Profiler, ProfileReport
 from .ring import RingBuffer
 from .sinks import CsvSink, FanOutSink, JsonlSink, MemorySink, NullSink, Sink
+from .trace import TraceBuilder, chrome_trace_phase_totals, to_chrome_trace
 
 __all__ = [
     "CollisionDetected",
@@ -64,6 +71,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "JsonlSink",
+    "ListenParked",
+    "ListenWoken",
     "MemorySink",
     "MessageBroadcast",
     "MetricsObserver",
@@ -76,11 +85,15 @@ __all__ = [
     "PhaseProfile",
     "PhaseStarted",
     "PipelineObserver",
+    "ProcessorSlept",
     "Profiler",
     "ProfileReport",
     "RingBuffer",
     "Sink",
+    "TraceBuilder",
     "TraceObserver",
+    "chrome_trace_phase_totals",
     "from_dict",
     "global_registry",
+    "to_chrome_trace",
 ]

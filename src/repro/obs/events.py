@@ -6,8 +6,16 @@ event stream makes that accounting *observable while it happens* instead
 of only as post-hoc :class:`~repro.mcb.trace.RunStats`: each
 :meth:`MCBNetwork.run` stage emits one :class:`PhaseStarted`, zero or
 more :class:`MessageBroadcast` / :class:`CollisionDetected` /
-:class:`FastForward` events, and one :class:`PhaseEnded` carrying the
+:class:`FastForward` / :class:`ProcessorSlept` / :class:`ListenParked` /
+:class:`ListenWoken` events, and one :class:`PhaseEnded` carrying the
 final phase totals.
+
+The sleep/listen events are *state transitions*, not per-cycle samples:
+one event opens a multi-cycle span and (for listens) one closes it, so
+event volume stays proportional to protocol activity even for windows
+thousands of cycles long — the property the trace layer
+(:mod:`repro.obs.trace`) relies on to reconstruct full per-processor
+timelines without unbounded streams.
 
 Events are frozen dataclasses with a stable ``kind`` discriminator and a
 ``to_dict()`` projection, so any sink (JSONL, CSV, in-memory) can
@@ -116,6 +124,70 @@ class CollisionDetected(ObsEvent):
 
 
 @dataclass(frozen=True)
+class ProcessorSlept(ObsEvent):
+    """A processor yielded :class:`~repro.mcb.program.Sleep` for more than
+    the minimum one cycle.
+
+    Emitted once at the yield cycle (which the yield itself consumes);
+    the processor acts again at ``until_cycle``.  One-cycle sleeps are
+    indistinguishable from an empty ``CycleOp`` and emit nothing, exactly
+    as the engines treat them.
+    """
+
+    kind = "sleep"
+
+    phase: str
+    cycle: int
+    pid: int
+    until_cycle: int
+
+    @property
+    def duration(self) -> int:
+        return self.until_cycle - self.cycle
+
+
+@dataclass(frozen=True)
+class ListenParked(ObsEvent):
+    """A processor yielded :class:`~repro.mcb.program.Listen` and entered
+    its window at ``cycle``.
+
+    ``window is None`` marks an ``until_nonempty`` listen (open-ended —
+    it closes with a :class:`ListenWoken`, or never, if the phase ends
+    with the listener orphaned).  Emitted at the yield cycle on both the
+    parked fast path's desugared twin and the reference engine, so the
+    streams stay bit-identical.
+    """
+
+    kind = "listen_park"
+
+    phase: str
+    cycle: int
+    pid: int
+    channel: int
+    window: Any  # int | None (None = until_nonempty)
+
+
+@dataclass(frozen=True)
+class ListenWoken(ObsEvent):
+    """An in-flight :class:`~repro.mcb.program.Listen` completed at
+    ``cycle`` and the generator resumed with its bulk result.
+
+    ``heard`` counts the non-empty reads delivered: exactly 1 for an
+    ``until_nonempty`` listen, 0..window for a bounded one.  Listeners
+    orphaned at phase end (every live processor waiting on silence) are
+    closed without this event.
+    """
+
+    kind = "listen_wake"
+
+    phase: str
+    cycle: int
+    pid: int
+    channel: int
+    heard: int
+
+
+@dataclass(frozen=True)
 class FastForward(ObsEvent):
     """The engine skipped ``to_cycle - from_cycle`` cycles because every
     live processor was sleeping.  The skipped cycles still elapse in the
@@ -142,6 +214,9 @@ EVENT_TYPES: dict[str, type[ObsEvent]] = {
         MessageBroadcast,
         CollisionDetected,
         FastForward,
+        ProcessorSlept,
+        ListenParked,
+        ListenWoken,
     )
 }
 

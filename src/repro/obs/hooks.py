@@ -3,11 +3,14 @@
 An :class:`Observer` receives typed events at four (plus one) points of
 an engine's lifecycle::
 
-    on_phase_start(PhaseStarted)    one per run() stage
-    on_message(MessageBroadcast)    one per delivered broadcast
-    on_collision(CollisionDetected) concurrent writers on one channel
-    on_fast_forward(FastForward)    all-asleep cycle skips
-    on_phase_end(PhaseEnded)        one per run() stage
+    on_phase_start(PhaseStarted)     one per run() stage
+    on_message(MessageBroadcast)     one per delivered broadcast
+    on_collision(CollisionDetected)  concurrent writers on one channel
+    on_fast_forward(FastForward)     all-asleep cycle skips
+    on_processor_slept(ProcessorSlept) multi-cycle Sleep started
+    on_listen_parked(ListenParked)   a Listen window opened
+    on_listen_woken(ListenWoken)     a Listen window completed
+    on_phase_end(PhaseEnded)         one per run() stage
 
 Design constraints, in order:
 
@@ -31,10 +34,13 @@ from typing import Any, Optional
 from .events import (
     CollisionDetected,
     FastForward,
+    ListenParked,
+    ListenWoken,
     MessageBroadcast,
     ObsEvent,
     PhaseEnded,
     PhaseStarted,
+    ProcessorSlept,
 )
 from .metrics import MetricsRegistry
 from .pipeline import EventPipeline
@@ -58,6 +64,15 @@ class Observer:
     def on_fast_forward(self, event: FastForward) -> None:
         """Called when the engine skips cycles with all processors asleep."""
 
+    def on_processor_slept(self, event: ProcessorSlept) -> None:
+        """Called when a processor starts a multi-cycle sleep."""
+
+    def on_listen_parked(self, event: ListenParked) -> None:
+        """Called when a processor enters a ``Listen`` window."""
+
+    def on_listen_woken(self, event: ListenWoken) -> None:
+        """Called when an in-flight ``Listen`` completes and resumes."""
+
 
 _HOOK_BY_KIND = {
     "phase_start": "on_phase_start",
@@ -65,6 +80,9 @@ _HOOK_BY_KIND = {
     "message": "on_message",
     "collision": "on_collision",
     "fast_forward": "on_fast_forward",
+    "sleep": "on_processor_slept",
+    "listen_park": "on_listen_parked",
+    "listen_wake": "on_listen_woken",
 }
 
 
@@ -190,7 +208,9 @@ class MetricsObserver(Observer):
     * ``mcb_fast_forward_cycles_total`` — cycles skipped while all
       processors slept;
     * ``mcb_aux_peak_slots`` — gauge, running max per run;
-    * ``mcb_phase_cycles`` — histogram of per-stage lengths.
+    * ``mcb_phase_cycles`` — histogram of per-stage lengths;
+    * ``mcb_sleeps_total`` / ``mcb_listen_parks_total`` /
+      ``mcb_listen_wakes_total`` — sparse-cycle protocol activity.
     """
 
     def __init__(self, registry: Optional[MetricsRegistry] = None):
@@ -214,6 +234,9 @@ class MetricsObserver(Observer):
         )
         self._aux = r.gauge("mcb_aux_peak_slots", "max aux slots of any processor")
         self._phase_hist = r.histogram("mcb_phase_cycles", "stage length in cycles")
+        self._sleeps = r.counter("mcb_sleeps_total", "multi-cycle sleeps started")
+        self._parks = r.counter("mcb_listen_parks_total", "Listen windows opened")
+        self._wakes = r.counter("mcb_listen_wakes_total", "Listen windows completed")
 
     def on_message(self, event: MessageBroadcast) -> None:
         """Count the write against its channel."""
@@ -226,6 +249,18 @@ class MetricsObserver(Observer):
     def on_fast_forward(self, event: FastForward) -> None:
         """Accumulate the number of skipped all-asleep cycles."""
         self._ff.inc(event.to_cycle - event.from_cycle)
+
+    def on_processor_slept(self, event: ProcessorSlept) -> None:
+        """Count a multi-cycle sleep."""
+        self._sleeps.inc()
+
+    def on_listen_parked(self, event: ListenParked) -> None:
+        """Count an opened Listen window against its channel."""
+        self._parks.inc(channel=event.channel)
+
+    def on_listen_woken(self, event: ListenWoken) -> None:
+        """Count a completed Listen window against its channel."""
+        self._wakes.inc(channel=event.channel)
 
     def on_phase_end(self, event: PhaseEnded) -> None:
         """Fold the finished stage's totals into every metric family."""
@@ -266,6 +301,18 @@ class PipelineObserver(Observer):
         self.pipeline.publish(event)
 
     def on_fast_forward(self, event: FastForward) -> None:
+        """Publish the event into the pipeline's ring buffer."""
+        self.pipeline.publish(event)
+
+    def on_processor_slept(self, event: ProcessorSlept) -> None:
+        """Publish the event into the pipeline's ring buffer."""
+        self.pipeline.publish(event)
+
+    def on_listen_parked(self, event: ListenParked) -> None:
+        """Publish the event into the pipeline's ring buffer."""
+        self.pipeline.publish(event)
+
+    def on_listen_woken(self, event: ListenWoken) -> None:
         """Publish the event into the pipeline's ring buffer."""
         self.pipeline.publish(event)
 

@@ -28,6 +28,33 @@ def _label_key(labels: dict[str, Any]) -> LabelKey:
     return tuple(sorted(labels.items()))
 
 
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: Any) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _fmt_labels(labels: dict[str, Any]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label(v)}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _fmt_value(value: Any) -> str:
+    f = float(value)
+    return str(int(f)) if f.is_integer() else repr(f)
+
+
 class _Metric:
     """Shared naming/labelling plumbing for all metric families."""
 
@@ -227,6 +254,46 @@ class MetricsRegistry:
             }
             for name, metric in sorted(self._metrics.items())
         }
+
+    def render_prometheus(self) -> str:
+        """Render the registry in the Prometheus text exposition format.
+
+        ``# HELP`` / ``# TYPE`` headers per family; counters and gauges
+        emit one sample line per label set; histograms emit cumulative
+        ``_bucket{le="..."}`` series plus ``_sum`` and ``_count``.  The
+        output ends with a newline, as scrapers expect.
+        """
+        lines: list[str] = []
+        for name, metric in sorted(self._metrics.items()):
+            if metric.help:
+                lines.append(f"# HELP {name} {_escape_help(metric.help)}")
+            lines.append(f"# TYPE {name} {metric.metric_type}")
+            if isinstance(metric, Histogram):
+                for key, state in sorted(metric._samples.items(), key=repr):
+                    labels = dict(key)
+                    running = 0
+                    for bound, n in zip(metric.bounds, state["counts"]):
+                        running += n
+                        lines.append(
+                            f"{name}_bucket"
+                            f"{_fmt_labels({**labels, 'le': f'{bound:g}'})}"
+                            f" {running}"
+                        )
+                    total = running + state["counts"][-1]
+                    lines.append(
+                        f"{name}_bucket{_fmt_labels({**labels, 'le': '+Inf'})}"
+                        f" {total}"
+                    )
+                    lines.append(
+                        f"{name}_sum{_fmt_labels(labels)} {_fmt_value(state['sum'])}"
+                    )
+                    lines.append(f"{name}_count{_fmt_labels(labels)} {total}")
+            else:
+                for key, value in sorted(metric._samples.items(), key=repr):
+                    lines.append(
+                        f"{name}{_fmt_labels(dict(key))} {_fmt_value(value)}"
+                    )
+        return "\n".join(lines) + "\n" if lines else ""
 
 
 _GLOBAL_REGISTRY: Optional[MetricsRegistry] = None

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from ..bounds.overlay import overlay_phases
 from .events import MessageBroadcast, PhaseEnded, PhaseStarted
 from .hooks import MetricsObserver, PipelineObserver
 from .metrics import MetricsRegistry
@@ -34,7 +35,14 @@ _SPARK = "▁▂▃▄▅▆▇█"
 
 @dataclass
 class PhaseProfile:
-    """One (name-merged) phase's cost summary."""
+    """One (name-merged) phase's cost summary.
+
+    The ``predicted_*`` / ``*_ratio`` / ``bound_*`` fields carry the
+    theory overlay (see :mod:`repro.bounds.overlay`) when the profiler
+    was given a ``theory`` config; they stay ``None`` otherwise.  A
+    ``bound_scope`` of ``"run"`` means the ratio is this phase's share
+    of the whole-run bound, not a per-phase tightness constant.
+    """
 
     name: str
     cycles: int
@@ -47,10 +55,16 @@ class PhaseProfile:
     max_aux_peak: int
     fast_forward_cycles: int
     collisions: int
+    predicted_cycles: Optional[float] = None
+    predicted_messages: Optional[float] = None
+    cycles_ratio: Optional[float] = None
+    messages_ratio: Optional[float] = None
+    bound_source: Optional[str] = None
+    bound_scope: Optional[str] = None
 
     def to_dict(self) -> dict[str, Any]:
         """Project to a JSON-serializable dict (utilization rounded)."""
-        return {
+        out = {
             "name": self.name,
             "cycles": self.cycles,
             "messages": self.messages,
@@ -63,6 +77,14 @@ class PhaseProfile:
             "fast_forward_cycles": self.fast_forward_cycles,
             "collisions": self.collisions,
         }
+        if self.predicted_cycles is not None:
+            out["predicted_cycles"] = self.predicted_cycles
+            out["predicted_messages"] = self.predicted_messages
+            out["cycles_ratio"] = self.cycles_ratio
+            out["messages_ratio"] = self.messages_ratio
+            out["bound_source"] = self.bound_source
+            out["bound_scope"] = self.bound_scope
+        return out
 
 
 @dataclass
@@ -75,6 +97,7 @@ class ProfileReport:
     timeline: dict[str, Any]
     metrics: dict[str, Any] = field(default_factory=dict)
     pipeline: dict[str, Any] = field(default_factory=dict)
+    observer_errors: dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         """Project the whole report to a JSON-serializable dict."""
@@ -85,7 +108,18 @@ class ProfileReport:
             "timeline": self.timeline,
             "metrics": self.metrics,
             "pipeline": self.pipeline,
+            "observer_errors": dict(self.observer_errors),
         }
+
+    def warnings(self) -> list[str]:
+        """Human-readable warnings (observer failures, dropped events)."""
+        out = []
+        for name, count in sorted(self.observer_errors.items()):
+            out.append(
+                f"observer {name} raised {count} time(s) and was disabled "
+                "for the rest of its phase; metrics/timeline may undercount"
+            )
+        return out
 
     # ------------------------------------------------------------------
     def render(self) -> str:
@@ -94,24 +128,51 @@ class ProfileReport:
         cfg = " ".join(f"{k}={v}" for k, v in self.config.items())
         if cfg:
             lines.append(f"profile: {cfg}")
+        overlay = any(ph.predicted_cycles is not None for ph in self.phases)
         header = (
             f"{'phase':<28}{'cycles':>9}{'messages':>10}{'bits':>12}"
             f"{'util':>8}{'hot-ch':>8}{'aux':>6}"
         )
+        if overlay:
+            header += f"{'pred-cyc':>10}{'c-ratio':>9}"
         lines.append(header)
         lines.append("-" * len(header))
         for ph in self.phases:
             hot = f"C{ph.hottest_channel}" if ph.hottest_channel else "-"
-            lines.append(
+            row = (
                 f"{ph.name:<28}{ph.cycles:>9}{ph.messages:>10}{ph.bits:>12}"
                 f"{ph.utilization:>8.3f}{hot:>8}{ph.max_aux_peak:>6}"
             )
+            if overlay:
+                if ph.predicted_cycles is not None:
+                    mark = "" if ph.bound_scope == "phase" else "*"
+                    ratio = (
+                        f"{ph.cycles_ratio:.2f}{mark}"
+                        if ph.cycles_ratio is not None else "-"
+                    )
+                    row += f"{ph.predicted_cycles:>10.1f}{ratio:>9}"
+                else:
+                    row += f"{'-':>10}{'-':>9}"
+            lines.append(row)
         lines.append("-" * len(header))
         t = self.totals
-        lines.append(
+        total_row = (
             f"{'TOTAL':<28}{t['cycles']:>9}{t['messages']:>10}{t['bits']:>12}"
             f"{t['utilization']:>8.3f}{'':>8}{t['max_aux_peak']:>6}"
         )
+        if overlay and t.get("predicted_cycles") is not None:
+            ratio = t.get("cycles_ratio")
+            total_row += (
+                f"{t['predicted_cycles']:>10.1f}"
+                f"{(f'{ratio:.2f}' if ratio is not None else '-'):>9}"
+            )
+        lines.append(total_row)
+        if overlay:
+            src = t.get("bound_source", "the run bound")
+            lines.append(
+                f"  (pred-cyc: theory overlay; * = phase's share of {src}, "
+                "unmarked = per-phase closed form)"
+            )
         util = self.timeline.get("utilization", [])
         if util:
             peak = max(util)
@@ -130,6 +191,12 @@ class ProfileReport:
                 f"note: event ring dropped {self.pipeline['dropped']} events; "
                 "timeline is a lower bound"
             )
+        warns = self.warnings()
+        if warns:
+            lines.append("")
+            lines.append("WARNING: observer failures detected")
+            for w in warns:
+                lines.append(f"  - {w}")
         return "\n".join(lines)
 
 
@@ -154,15 +221,20 @@ class Profiler:
         capacity: int = 1 << 20,
         timeline_buckets: int = 60,
         registry: Optional[MetricsRegistry] = None,
+        theory: Optional[dict[str, Any]] = None,
     ):
         self.net = net
         self.config = dict(config or {})
+        self.theory = dict(theory) if theory else None
         self.timeline_buckets = timeline_buckets
         self.sink = MemorySink()
         self.events_pipeline = EventPipeline([self.sink], capacity=capacity)
         self.metrics_observer = MetricsObserver(registry)
         self.pipeline_observer = PipelineObserver(self.events_pipeline)
         self._attached = False
+        self._observer_errors: dict[str, int] = {}
+        self._err_disp: Any = None
+        self._err_seen: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "Profiler":
@@ -178,25 +250,57 @@ class Profiler:
         """Flush the pipeline and remove both observers (idempotent)."""
         if self._attached:
             self.events_pipeline.flush()
+            self._capture_observer_errors()
             self.net.detach_observer(self.pipeline_observer)
             self.net.detach_observer(self.metrics_observer)
             self._attached = False
+
+    def _capture_observer_errors(self) -> None:
+        """Fold ``Dispatcher.errors`` into the running tally.
+
+        Detach rebuilds the network's dispatcher, so the tally must be
+        saved *before* the observers are removed.  Captures are
+        delta-based per dispatcher instance, so calling ``report()``
+        repeatedly while attached never double-counts.
+        """
+        disp = getattr(self.net, "_dispatch", None)
+        if disp is None:
+            return
+        if disp is not self._err_disp:
+            self._err_disp = disp
+            self._err_seen = {}
+        for name, count in disp.errors.items():
+            delta = count - self._err_seen.get(name, 0)
+            if delta > 0:
+                self._observer_errors[name] = (
+                    self._observer_errors.get(name, 0) + delta
+                )
+                self._err_seen[name] = count
 
     # ------------------------------------------------------------------
     def report(self) -> ProfileReport:
         """Build the report from ``net.stats`` + the captured events."""
         self.events_pipeline.flush()
+        if self._attached:
+            self._capture_observer_errors()
         stats = self.net.stats
         k = getattr(self.net, "k", 0)
 
+        names = stats.phase_names()
+        predictions, run_pred = self._predictions(names, k)
+
         phases: list[PhaseProfile] = []
-        for name in stats.phase_names():
+        for name in names:
             ph = stats.phase(name)
             if ph.channel_writes:
                 hot = max(ph.channel_writes, key=lambda c: (ph.channel_writes[c], -c))
                 hot_writes = ph.channel_writes[hot]
             else:
                 hot, hot_writes = None, 0
+            overlay: dict[str, Any] = {}
+            pred = predictions.get(name)
+            if pred is not None:
+                overlay = pred.with_ratios(ph.cycles, ph.messages)
             phases.append(
                 PhaseProfile(
                     name=name,
@@ -210,6 +314,7 @@ class Profiler:
                     max_aux_peak=ph.max_aux_peak,
                     fast_forward_cycles=ph.fast_forward_cycles,
                     collisions=ph.collisions,
+                    **overlay,
                 )
             )
 
@@ -222,6 +327,8 @@ class Profiler:
             "max_aux_peak": stats.max_aux_peak,
             "utilization": round(stats.messages / denom, 6) if denom else 0.0,
         }
+        if run_pred is not None:
+            totals.update(run_pred.with_ratios(total_cycles, stats.messages))
 
         return ProfileReport(
             config=self.config,
@@ -230,6 +337,26 @@ class Profiler:
             timeline=self._timeline(total_cycles, k),
             metrics=self.metrics_observer.snapshot(),
             pipeline=self.events_pipeline.stats(),
+            observer_errors=dict(self._observer_errors),
+        )
+
+    def _predictions(self, names, k):
+        """Theory-overlay predictions keyed by phase name (may be empty).
+
+        Driven by the ``theory`` config: ``{"algorithm": "sort"|"select",
+        "n": ..., "p": ..., "k": ..., "n_max": ...}``; ``p``/``k``
+        default to the network's own dimensions.
+        """
+        th = self.theory
+        if not th or "algorithm" not in th or "n" not in th:
+            return {}, None
+        p = int(th.get("p", getattr(self.net, "p", 0)) or 0)
+        kk = int(th.get("k", k) or 0)
+        if p <= 0 or kk <= 0:
+            return {}, None
+        return overlay_phases(
+            th["algorithm"], names, n=int(th["n"]), p=p, k=kk,
+            n_max=th.get("n_max"),
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,516 @@
+"""Cycle-accurate run timelines: reconstruction, Perfetto export, lane views.
+
+The paper's cost statements are *per-cycle* statements — Section 2 charges
+every synchronized cycle and every broadcast — yet aggregate
+:class:`~repro.mcb.trace.RunStats` cannot say **where** a phase spent its
+cycles: which channel was hot, which processors idled in ``Sleep``, how
+long a ``Listen`` window stayed silent, where the engine fast-forwarded.
+This module rebuilds that picture from the structured event stream:
+
+* :class:`TraceBuilder` — an :class:`~repro.obs.hooks.Observer` that
+  folds the event stream into one :class:`PhaseTrace` per ``run()``
+  stage: per-channel message placements, per-processor sleep and listen
+  spans, collision instants and fast-forward windows, all on a *global*
+  cycle axis (stages laid end to end, like the profiler timeline).
+* :func:`to_chrome_trace` — export as a Chrome Trace Event / Perfetto
+  JSON document (``{"traceEvents": [...]}``): one lane (thread) per
+  processor, one per channel, plus a phase/engine lane.  Load the file
+  at https://ui.perfetto.dev or ``chrome://tracing``; one cycle maps to
+  one microsecond of trace time.
+* :func:`render_lane_summary` — the same data as a terminal view:
+  per-channel occupancy sparklines and per-processor activity shares.
+* :func:`chrome_trace_phase_totals` — recompute per-phase cycle/message
+  totals *from an exported document*, so tests can reconcile the export
+  against ``RunStats.to_dict()`` exactly.
+
+Because sleep/listen events are state transitions (one event opens a
+span), a processor parked for 10,000 cycles costs two events, not
+10,000 — the builder never needs per-cycle sampling.  Attaching any
+observer puts the fast engine on its desugared (per-cycle read) path, so
+the reconstructed timeline is bit-identical across engines; unobserved
+runs construct no trace objects at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from .events import (
+    CollisionDetected,
+    FastForward,
+    ListenParked,
+    ListenWoken,
+    MessageBroadcast,
+    PhaseEnded,
+    PhaseStarted,
+    ProcessorSlept,
+)
+from .hooks import Observer
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+#: synthetic thread ids in the "run" process of the exported trace
+_TID_PHASES = 1
+_TID_ENGINE = 2
+#: process ids of the three lane groups
+_PID_PROCESSORS = 1
+_PID_CHANNELS = 2
+_PID_RUN = 3
+
+
+@dataclass
+class _ListenSpan:
+    """One processor's listen window inside a phase (end=None while open;
+    spans still open at phase end stay None — the listener was orphaned
+    or the phase was aborted, and the span runs to the phase boundary)."""
+
+    pid: int
+    channel: int
+    start: int
+    window: Optional[int]
+    end: Optional[int] = None
+    heard: int = 0
+
+
+@dataclass
+class PhaseTrace:
+    """Everything one ``run()`` stage contributed to the timeline.
+
+    ``offset`` is the stage's start on the global cycle axis;
+    per-event ``cycle`` values stay phase-local (add ``offset`` to
+    globalize).  Totals mirror the ``phase_end`` event; for a stage
+    aborted by a collision (no ``phase_end``), ``cycles`` is the abort
+    cycle — matching the partial :class:`~repro.mcb.trace.PhaseStats`
+    the engines record before raising.
+    """
+
+    name: str
+    p: int
+    k: int
+    offset: int
+    cycles: int = 0
+    messages: int = 0
+    bits: int = 0
+    fast_forward_cycles: int = 0
+    collision_count: int = 0
+    utilization: float = 0.0
+    ended: bool = False
+    message_events: list[MessageBroadcast] = field(default_factory=list)
+    collisions: list[CollisionDetected] = field(default_factory=list)
+    fast_forwards: list[tuple[int, int]] = field(default_factory=list)
+    sleeps: list[tuple[int, int, int]] = field(default_factory=list)  # pid, from, until
+    listens: list[_ListenSpan] = field(default_factory=list)
+
+
+class TraceBuilder(Observer):
+    """Fold the event stream into per-phase timelines.
+
+    Attach to any engine (all four generator engines and the vector
+    executor emit the stream), run, then export::
+
+        net = MCBNetwork(p=16, k=4)
+        tb = TraceBuilder()
+        net.attach_observer(tb)
+        mcb_sort(net, dist)
+        json.dump(to_chrome_trace(tb), open("run.trace.json", "w"))
+        print(render_lane_summary(tb))
+    """
+
+    def __init__(self) -> None:
+        self.phases: list[PhaseTrace] = []
+        self._open: Optional[PhaseTrace] = None
+        self._open_listens: dict[int, _ListenSpan] = {}
+        self._cursor = 0  # global cycle offset of the next stage
+
+    # -- hook implementations ------------------------------------------
+    def on_phase_start(self, event: PhaseStarted) -> None:
+        """Open a new PhaseTrace at the current global offset."""
+        if self._open is not None:
+            self._close_partial()
+        self._open = PhaseTrace(
+            name=event.phase, p=event.p, k=event.k, offset=self._cursor
+        )
+        self._open_listens = {}
+        self.phases.append(self._open)
+
+    def on_message(self, event: MessageBroadcast) -> None:
+        """Record a delivered broadcast in the open phase."""
+        if self._open is not None:
+            self._open.message_events.append(event)
+
+    def on_collision(self, event: CollisionDetected) -> None:
+        """Record a collision instant in the open phase."""
+        if self._open is not None:
+            self._open.collisions.append(event)
+
+    def on_fast_forward(self, event: FastForward) -> None:
+        """Record an all-asleep window the engine skipped."""
+        if self._open is not None:
+            self._open.fast_forwards.append((event.from_cycle, event.to_cycle))
+
+    def on_processor_slept(self, event: ProcessorSlept) -> None:
+        """Record a multi-cycle sleep span."""
+        if self._open is not None:
+            self._open.sleeps.append((event.pid, event.cycle, event.until_cycle))
+
+    def on_listen_parked(self, event: ListenParked) -> None:
+        """Open a listen span for the parking processor."""
+        if self._open is None:
+            return
+        span = _ListenSpan(
+            pid=event.pid, channel=event.channel,
+            start=event.cycle, window=event.window,
+        )
+        self._open.listens.append(span)
+        self._open_listens[event.pid] = span
+
+    def on_listen_woken(self, event: ListenWoken) -> None:
+        """Close the processor's open listen span."""
+        span = self._open_listens.pop(event.pid, None)
+        if span is not None:
+            span.end = event.cycle
+            span.heard = event.heard
+
+    def on_phase_end(self, event: PhaseEnded) -> None:
+        """Stamp the phase totals and advance the global cursor."""
+        pt = self._open
+        if pt is None:
+            return
+        pt.cycles = event.cycles
+        pt.messages = event.messages
+        pt.bits = event.bits
+        pt.fast_forward_cycles = event.fast_forward_cycles
+        pt.collision_count = event.collisions
+        pt.utilization = event.utilization
+        pt.ended = True
+        self._cursor += event.cycles
+        self._open = None
+        self._open_listens = {}
+
+    # -- internal -------------------------------------------------------
+    def _close_partial(self) -> None:
+        """Close a stage that never saw ``phase_end`` (collision abort).
+
+        The abort cycle is known from the collision event; the engines
+        record the partial :class:`PhaseStats` with exactly that cycle
+        count, so the timeline stays reconciled even for aborted runs.
+        """
+        pt = self._open
+        assert pt is not None
+        if pt.collisions:
+            pt.cycles = pt.collisions[-1].cycle
+        elif pt.message_events:
+            pt.cycles = pt.message_events[-1].cycle + 1
+        pt.messages = len(pt.message_events)
+        pt.bits = sum(ev.bits for ev in pt.message_events)
+        self._cursor += pt.cycles
+        self._open = None
+        self._open_listens = {}
+
+    # -- aggregate views ------------------------------------------------
+    def finish(self) -> None:
+        """Close a trailing aborted stage, if any (idempotent)."""
+        if self._open is not None:
+            self._close_partial()
+
+    @property
+    def total_cycles(self) -> int:
+        self.finish()
+        return sum(pt.cycles for pt in self.phases)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(len(pt.message_events) for pt in self.phases)
+
+    def shape(self) -> tuple[int, int]:
+        """``(p, k)`` — the widest network seen across stages."""
+        p = max((pt.p for pt in self.phases), default=0)
+        k = max((pt.k for pt in self.phases), default=0)
+        return p, k
+
+    def phase_totals(self) -> dict[str, dict[str, int]]:
+        """Name-merged ``{phase: {cycles, messages}}`` for reconciliation
+        against ``RunStats.to_dict()["phases"]``."""
+        self.finish()
+        out: dict[str, dict[str, int]] = {}
+        for pt in self.phases:
+            tot = out.setdefault(pt.name, {"cycles": 0, "messages": 0})
+            tot["cycles"] += pt.cycles
+            tot["messages"] += len(pt.message_events)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Chrome Trace Event / Perfetto export
+# ---------------------------------------------------------------------------
+
+def to_chrome_trace(
+    builder: TraceBuilder,
+    *,
+    config: Optional[Mapping[str, Any]] = None,
+    predictions: Optional[Mapping[str, Mapping[str, Any]]] = None,
+) -> dict[str, Any]:
+    """Project a :class:`TraceBuilder` to a Chrome Trace Event document.
+
+    Layout (three trace "processes", one lane per thread):
+
+    * ``processors`` — thread ``i`` is processor ``P_i``; ``X`` slices
+      mark writes/reads (1 cycle) and sleep/listen spans;
+    * ``channels`` — thread ``j`` is channel ``C_j``; every delivered
+      broadcast is a 1-cycle slice, collisions are instants;
+    * ``run`` — one lane of phase spans (with measured totals and, when
+      ``predictions`` has an entry for the phase name, the theory
+      overlay in ``args``) and one lane of fast-forward spans.
+
+    ``ts``/``dur`` are in trace microseconds with 1 cycle = 1 us.  The
+    document loads in https://ui.perfetto.dev and ``chrome://tracing``.
+    """
+    builder.finish()
+    p, k = builder.shape()
+    events: list[dict[str, Any]] = []
+
+    def meta(pid: int, name: str, tid: Optional[int] = None,
+             thread_name: Optional[str] = None) -> None:
+        if tid is None:
+            events.append({
+                "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+                "args": {"name": name},
+            })
+            events.append({
+                "ph": "M", "pid": pid, "tid": 0, "name": "process_sort_index",
+                "args": {"sort_index": pid},
+            })
+        else:
+            events.append({
+                "ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+                "args": {"name": thread_name},
+            })
+            events.append({
+                "ph": "M", "pid": pid, "tid": tid, "name": "thread_sort_index",
+                "args": {"sort_index": tid},
+            })
+
+    meta(_PID_PROCESSORS, "processors")
+    for i in range(1, p + 1):
+        meta(_PID_PROCESSORS, "", tid=i, thread_name=f"P{i}")
+    meta(_PID_CHANNELS, "channels")
+    for j in range(1, k + 1):
+        meta(_PID_CHANNELS, "", tid=j, thread_name=f"C{j}")
+    meta(_PID_RUN, "run")
+    meta(_PID_RUN, "", tid=_TID_PHASES, thread_name="phases")
+    meta(_PID_RUN, "", tid=_TID_ENGINE, thread_name="engine")
+
+    for pt in builder.phases:
+        off = pt.offset
+        phase_args: dict[str, Any] = {
+            "phase": pt.name,
+            "cycles": pt.cycles,
+            "messages": pt.messages,
+            "bits": pt.bits,
+            "fast_forward_cycles": pt.fast_forward_cycles,
+            "collisions": pt.collision_count,
+            "utilization": round(pt.utilization, 6),
+            "aborted": not pt.ended,
+        }
+        if predictions and pt.name in predictions:
+            phase_args.update(predictions[pt.name])
+        events.append({
+            "ph": "X", "pid": _PID_RUN, "tid": _TID_PHASES,
+            "ts": off, "dur": pt.cycles, "name": pt.name, "cat": "phase",
+            "args": phase_args,
+        })
+        for a, b in pt.fast_forwards:
+            events.append({
+                "ph": "X", "pid": _PID_RUN, "tid": _TID_ENGINE,
+                "ts": off + a, "dur": b - a, "name": "fast-forward",
+                "cat": "fast_forward", "args": {"phase": pt.name},
+            })
+        for ev in pt.message_events:
+            args = {
+                "phase": pt.name, "writer": ev.writer,
+                "readers": list(ev.readers), "bits": ev.bits,
+            }
+            events.append({
+                "ph": "X", "pid": _PID_CHANNELS, "tid": ev.channel,
+                "ts": off + ev.cycle, "dur": 1, "name": ev.msg_kind,
+                "cat": "message", "args": args,
+            })
+            events.append({
+                "ph": "X", "pid": _PID_PROCESSORS, "tid": ev.writer,
+                "ts": off + ev.cycle, "dur": 1, "name": f"write C{ev.channel}",
+                "cat": "write", "args": {"phase": pt.name, "channel": ev.channel},
+            })
+            for r in ev.readers:
+                events.append({
+                    "ph": "X", "pid": _PID_PROCESSORS, "tid": r,
+                    "ts": off + ev.cycle, "dur": 1,
+                    "name": f"read C{ev.channel}", "cat": "read",
+                    "args": {"phase": pt.name, "channel": ev.channel},
+                })
+        for pid_, start, until in pt.sleeps:
+            events.append({
+                "ph": "X", "pid": _PID_PROCESSORS, "tid": pid_,
+                "ts": off + start, "dur": until - start, "name": "sleep",
+                "cat": "sleep", "args": {"phase": pt.name},
+            })
+        for span in pt.listens:
+            end = span.end if span.end is not None else pt.cycles
+            name = (
+                f"listen C{span.channel}"
+                if span.window is not None
+                else f"listen C{span.channel} (until)"
+            )
+            events.append({
+                "ph": "X", "pid": _PID_PROCESSORS, "tid": span.pid,
+                "ts": off + span.start, "dur": max(1, end - span.start),
+                "name": name, "cat": "listen",
+                "args": {
+                    "phase": pt.name, "channel": span.channel,
+                    "window": span.window, "heard": span.heard,
+                    "completed": span.end is not None,
+                },
+            })
+        for cev in pt.collisions:
+            events.append({
+                "ph": "I", "pid": _PID_CHANNELS, "tid": cev.channel,
+                "ts": off + cev.cycle, "name": "collision", "cat": "collision",
+                "s": "t",
+                "args": {
+                    "phase": pt.name, "writers": list(cev.writers),
+                    "resolution": cev.resolution,
+                },
+            })
+
+    doc: dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "p": p,
+            "k": k,
+            "total_cycles": builder.total_cycles,
+            "total_messages": builder.total_messages,
+            "cycle_time_unit": "1 cycle = 1 us of trace time",
+        },
+    }
+    if config:
+        doc["otherData"]["config"] = dict(config)
+    return doc
+
+
+def chrome_trace_phase_totals(doc: Mapping[str, Any]) -> dict[str, dict[str, int]]:
+    """Recompute name-merged per-phase totals from an exported document.
+
+    Cycles come from the ``cat="phase"`` span durations, messages from
+    counting ``cat="message"`` slices by their ``args["phase"]`` — i.e.
+    purely from what a Perfetto user sees, so a reconciliation test
+    against ``RunStats.to_dict()`` validates the export end to end.
+    """
+    out: dict[str, dict[str, int]] = {}
+    for ev in doc["traceEvents"]:
+        cat = ev.get("cat")
+        if cat == "phase":
+            tot = out.setdefault(ev["name"], {"cycles": 0, "messages": 0})
+            tot["cycles"] += ev["dur"]
+        elif cat == "message":
+            tot = out.setdefault(
+                ev["args"]["phase"], {"cycles": 0, "messages": 0}
+            )
+            tot["messages"] += 1
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Terminal lane summary
+# ---------------------------------------------------------------------------
+
+def render_lane_summary(
+    builder: TraceBuilder,
+    *,
+    width: int = 64,
+    max_lanes: int = 32,
+) -> str:
+    """Render per-channel occupancy and per-processor activity as text.
+
+    Channel lanes are bucketed message-count sparklines over the global
+    cycle axis; processor rows show the share of total cycles each
+    processor spent writing / reading / listening / sleeping (states may
+    overlap — a cycle can hold one write *and* one read).  Only the
+    busiest ``max_lanes`` processors are listed for large networks.
+    """
+    builder.finish()
+    p, k = builder.shape()
+    total = builder.total_cycles
+    lines: list[str] = []
+    lines.append(
+        f"trace: {len(builder.phases)} stage(s), {total} cycles, "
+        f"{builder.total_messages} messages, p={p}, k={k}"
+    )
+    if total <= 0 or not builder.phases:
+        return "\n".join(lines)
+
+    # --- channel occupancy lanes --------------------------------------
+    buckets = min(width, total)
+    bw = total / buckets
+    chan_counts: dict[int, list[int]] = {j: [0] * buckets for j in range(1, k + 1)}
+    chan_msgs = {j: 0 for j in range(1, k + 1)}
+    writes_by_pid: dict[int, int] = {}
+    reads_by_pid: dict[int, int] = {}
+    for pt in builder.phases:
+        for ev in pt.message_events:
+            g = pt.offset + ev.cycle
+            lane = chan_counts.get(ev.channel)
+            if lane is not None:
+                lane[min(buckets - 1, int(g / bw))] += 1
+                chan_msgs[ev.channel] += 1
+            writes_by_pid[ev.writer] = writes_by_pid.get(ev.writer, 0) + 1
+            for r in ev.readers:
+                reads_by_pid[r] = reads_by_pid.get(r, 0) + 1
+
+    lines.append(f"channel occupancy ({buckets} buckets of ~{bw:.1f} cycles):")
+    for j in range(1, k + 1):
+        lane = chan_counts[j]
+        peak = max(lane)
+        spark = "".join(
+            _SPARK[min(len(_SPARK) - 1, int(c / peak * (len(_SPARK) - 1)))]
+            if peak else _SPARK[0]
+            for c in lane
+        )
+        util = chan_msgs[j] / total
+        lines.append(f"  C{j:<3}|{spark}| {chan_msgs[j]} msgs (util {util:.3f})")
+
+    # --- per-processor state shares -----------------------------------
+    listen_by_pid: dict[int, int] = {}
+    sleep_by_pid: dict[int, int] = {}
+    for pt in builder.phases:
+        for pid_, start, until in pt.sleeps:
+            sleep_by_pid[pid_] = sleep_by_pid.get(pid_, 0) + (until - start)
+        for span in pt.listens:
+            end = span.end if span.end is not None else pt.cycles
+            listen_by_pid[span.pid] = (
+                listen_by_pid.get(span.pid, 0) + max(1, end - span.start)
+            )
+
+    def busyness(pid_: int) -> int:
+        return (
+            writes_by_pid.get(pid_, 0)
+            + reads_by_pid.get(pid_, 0)
+            + listen_by_pid.get(pid_, 0)
+            + sleep_by_pid.get(pid_, 0)
+        )
+
+    pids = sorted(range(1, p + 1), key=lambda x: (-busyness(x), x))
+    shown = pids[:max_lanes]
+    lines.append("processor activity (% of run cycles; states can overlap):")
+    for pid_ in sorted(shown):
+        wr = writes_by_pid.get(pid_, 0) / total * 100
+        rd = reads_by_pid.get(pid_, 0) / total * 100
+        li = listen_by_pid.get(pid_, 0) / total * 100
+        sl = sleep_by_pid.get(pid_, 0) / total * 100
+        lines.append(
+            f"  P{pid_:<4} write {wr:5.1f}%  read {rd:5.1f}%  "
+            f"listen {li:5.1f}%  sleep {sl:5.1f}%"
+        )
+    if len(pids) > max_lanes:
+        lines.append(f"  ... {len(pids) - max_lanes} more processors omitted")
+    return "\n".join(lines)

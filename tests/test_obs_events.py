@@ -8,9 +8,12 @@ from repro.obs import (
     CollisionDetected,
     EVENT_TYPES,
     FastForward,
+    ListenParked,
+    ListenWoken,
     MessageBroadcast,
     PhaseEnded,
     PhaseStarted,
+    ProcessorSlept,
     RingBuffer,
     from_dict,
 )
@@ -28,6 +31,10 @@ def _sample_events():
             resolution="garbled",
         ),
         FastForward(phase="p1", from_cycle=2, to_cycle=7),
+        ProcessorSlept(phase="p1", cycle=2, pid=3, until_cycle=7),
+        ListenParked(phase="p1", cycle=3, pid=2, channel=1, window=4),
+        ListenParked(phase="p1", cycle=3, pid=4, channel=2, window=None),
+        ListenWoken(phase="p1", cycle=6, pid=2, channel=1, heard=2),
         PhaseEnded(
             phase="p1", p=4, k=2, cycles=8, messages=1, bits=10,
             channel_writes={1: 1}, max_aux_peak=3, fast_forward_cycles=5,
@@ -39,7 +46,8 @@ def _sample_events():
 class TestEventSchema:
     def test_kinds_are_stable(self):
         assert set(EVENT_TYPES) == {
-            "phase_start", "phase_end", "message", "collision", "fast_forward"
+            "phase_start", "phase_end", "message", "collision", "fast_forward",
+            "sleep", "listen_park", "listen_wake",
         }
 
     def test_to_dict_carries_kind_and_fields(self):

@@ -102,3 +102,47 @@ class TestRegistry:
         r.reset()
         assert r.names() == []
         assert r.counter("a").get() == 0
+
+
+class TestPrometheusRendering:
+    def test_counter_gauge_histogram_exposition(self):
+        r = MetricsRegistry()
+        c = r.counter("mcb_messages_total", "Broadcast messages")
+        c.inc(5, channel=1)
+        c.inc(3, channel=2)
+        r.gauge("mcb_util", "Utilization").set(0.75)
+        h = r.histogram("mcb_bits", "Message bits", buckets=[1, 10, 100])
+        h.observe(4)
+        h.observe(50)
+        h.observe(500)
+        text = r.render_prometheus()
+        assert "# HELP mcb_messages_total Broadcast messages" in text
+        assert "# TYPE mcb_messages_total counter" in text
+        assert 'mcb_messages_total{channel="1"} 5' in text
+        assert "# TYPE mcb_util gauge" in text
+        assert "mcb_util 0.75" in text
+        assert "# TYPE mcb_bits histogram" in text
+        assert 'mcb_bits_bucket{le="10"} 1' in text
+        assert 'mcb_bits_bucket{le="+Inf"} 3' in text
+        assert "mcb_bits_sum 554" in text
+        assert "mcb_bits_count 3" in text
+        assert text.endswith("\n")
+
+    def test_label_values_are_escaped(self):
+        r = MetricsRegistry()
+        r.counter("c").inc(1, phase='we"ird\nname')
+        text = r.render_prometheus()
+        assert '\\"' in text and "\\n" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+    def test_labelled_histogram_series(self):
+        r = MetricsRegistry()
+        h = r.histogram("lat", buckets=[1, 2])
+        h.observe(0.5, phase="a")
+        h.observe(1.5, phase="b")
+        text = r.render_prometheus()
+        assert 'lat_bucket{le="1",phase="a"} 1' in text
+        assert 'lat_bucket{le="1",phase="b"} 0' in text
+        assert 'lat_count{phase="a"} 1' in text

@@ -133,3 +133,135 @@ class TestProfileCli:
         with pytest.raises(SystemExit):
             main(["profile", "select", "--n", "64", "--p", "4", "--k", "2",
                   "--rank", "1000"])
+
+    def test_json_has_theory_overlay_fields(self, capsys):
+        # Acceptance: `repro profile sort --json` includes predicted
+        # cycles/messages and measured/predicted ratios per phase,
+        # sourced from repro.bounds.formulas.
+        rc = main(["profile", "sort", "--n", "128", "--p", "8", "--k", "2",
+                   "--json"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        for ph in report["phases"]:
+            assert ph["predicted_cycles"] > 0
+            assert ph["predicted_messages"] > 0
+            assert ph["cycles_ratio"] is not None
+            assert ph["messages_ratio"] is not None
+            assert ph["bound_source"]
+            assert ph["bound_scope"] in ("phase", "run")
+        t = report["totals"]
+        assert t["predicted_cycles"] > 0
+        assert t["bound_source"] == "Corollary 6"
+        assert t["cycles_ratio"] == pytest.approx(
+            t["cycles"] / t["predicted_cycles"], rel=1e-3
+        )
+
+    def test_select_overlay_uses_per_phase_forms(self, capsys):
+        rc = main(["profile", "select", "--n", "128", "--p", "8", "--k", "2",
+                   "--rank", "64", "--json"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        by_scope = {}
+        for ph in report["phases"]:
+            by_scope.setdefault(ph["bound_scope"], []).append(ph["name"])
+        # Partial-sums stages get their own §7.1 closed form.
+        assert any(
+            "prefix" in n or "count" in n for n in by_scope.get("phase", [])
+        )
+        assert report["totals"]["bound_source"] == "Corollary 7"
+
+    def test_engine_reference_matches_fast(self, capsys):
+        rc = main(["profile", "sort", "--n", "128", "--p", "8", "--k", "2",
+                   "--engine", "reference", "--json"])
+        assert rc == 0
+        ref_report = json.loads(capsys.readouterr().out)
+        assert ref_report["config"]["engine"] == "reference"
+
+        rc = main(["profile", "sort", "--n", "128", "--p", "8", "--k", "2",
+                   "--json"])
+        assert rc == 0
+        fast_report = json.loads(capsys.readouterr().out)
+        assert fast_report["config"]["engine"] == "fast"
+        assert ref_report["totals"] == fast_report["totals"]
+        assert ref_report["phases"] == fast_report["phases"]
+
+    def test_engine_vector_sort(self, capsys):
+        rc = main(["profile", "sort", "--n", "48", "--p", "4", "--k", "4",
+                   "--engine", "vector", "--json"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["config"]["engine"] == "vector"
+        assert report["config"]["verified"] is True
+        assert report["totals"]["cycles"] > 0
+
+    def test_engine_vector_select_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "select", "--n", "64", "--p", "4", "--k", "2",
+                  "--engine", "vector"])
+
+    def test_prom_export(self, tmp_path, capsys):
+        prom = tmp_path / "run.prom"
+        rc = main(["profile", "sort", "--n", "64", "--p", "4", "--k", "2",
+                   "--prom", str(prom)])
+        assert rc == 0
+        text = prom.read_text()
+        assert "# TYPE mcb_messages_total counter" in text
+        assert "# TYPE mcb_phase_cycles histogram" in text
+        assert 'le="+Inf"' in text
+        # The counter value agrees with an uninstrumented rerun.
+        net = MCBNetwork(p=4, k=2)
+        mcb_sort(net, Distribution.even(64, 4, seed=0))
+        line = next(
+            ln for ln in text.splitlines()
+            if ln.startswith("mcb_messages_total{")
+        )
+        assert line.endswith(str(net.stats.messages))
+
+
+class TestObserverErrorSurfacing:
+    class _Boom:
+        """Observer whose on_message always raises."""
+
+        def on_phase_start(self, ev): pass
+        def on_phase_end(self, ev): pass
+        def on_collision(self, ev): pass
+        def on_fast_forward(self, ev): pass
+        def on_processor_slept(self, ev): pass
+        def on_listen_parked(self, ev): pass
+        def on_listen_woken(self, ev): pass
+
+        def on_message(self, ev):
+            raise RuntimeError("boom")
+
+    def test_report_surfaces_dispatcher_errors(self):
+        net = MCBNetwork(p=4, k=2)
+        with Profiler(net) as prof:
+            net.attach_observer(self._Boom())
+            mcb_sort(net, Distribution.even(32, 4, seed=2))
+            report = prof.report()
+        assert report.observer_errors.get("_Boom", 0) >= 1
+        assert any("_Boom" in w for w in report.warnings())
+        text = report.render()
+        assert "WARNING: observer failures detected" in text
+        assert "_Boom" in text
+
+    def test_errors_survive_detach(self):
+        # detach() rebuilds the dispatcher; the tally must be captured
+        # before that and reported after.
+        net = MCBNetwork(p=4, k=2)
+        prof = Profiler(net)
+        with prof:
+            net.attach_observer(self._Boom())
+            mcb_sort(net, Distribution.even(32, 4, seed=2))
+        report = prof.report()  # after detach
+        assert report.observer_errors.get("_Boom", 0) >= 1
+        assert report.to_dict()["observer_errors"]["_Boom"] >= 1
+
+    def test_clean_run_has_no_warnings(self):
+        net = MCBNetwork(p=4, k=2)
+        with Profiler(net) as prof:
+            mcb_sort(net, Distribution.even(32, 4, seed=2))
+        report = prof.report()
+        assert report.observer_errors == {}
+        assert report.warnings() == []
+        assert "WARNING" not in report.render()
