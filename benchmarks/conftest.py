@@ -38,7 +38,12 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: baselines (``BENCH_<name>.json`` next to ROADMAP.md): the canonical
 #: copy is synced from ``benchmarks/results/`` on every recorder flush,
 #: so the repo always carries the latest published trajectory.
-CANONICAL_BENCHES = ("engine_hotpath", "sparse_cycle", "vector_engine")
+CANONICAL_BENCHES = (
+    "engine_hotpath",
+    "sparse_cycle",
+    "vector_engine",
+    "service",
+)
 
 
 class BenchRecorder:

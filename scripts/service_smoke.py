@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""Black-box smoke test for ``python -m repro serve`` (CI service job).
+
+Boots the real server as a subprocess on a free port, then checks the
+operational contract end to end with nothing but stdlib HTTP:
+
+1. ``/healthz`` answers once the server prints its address;
+2. a sort job and a select job are admitted (202), polled to ``done``,
+   and carry totals + theory-overlay bounds;
+3. ``/metrics`` exposes the queue/cache series
+   (``service_queue_depth``, ``bench_result_cache_total``);
+4. resubmitting the identical sort hits the result cache — the
+   ``result="hit"`` counter grows and the job reports ``cache_hits``;
+5. SIGTERM drains gracefully (``drained; bye`` on stdout, exit 0).
+
+Run from the repo root:
+
+    PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+STARTUP_DEADLINE_S = 30.0
+JOB_DEADLINE_S = 60.0
+
+SORT = {"algorithm": "sort", "p": 4, "k": 4, "n": 64, "seed": 1}
+SELECT = {"algorithm": "select", "p": 8, "k": 2, "n": 64, "seed": 0}
+
+
+def http(method: str, url: str, body=None):
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(url, data=data, method=method)
+    with urllib.request.urlopen(req, timeout=10) as resp:
+        raw = resp.read()
+        ctype = resp.headers.get("Content-Type", "")
+        return json.loads(raw) if ctype.startswith("application/json") else (
+            raw.decode()
+        )
+
+
+def wait_for_port(proc) -> int:
+    """Read the server banner; return the bound port."""
+    deadline = time.monotonic() + STARTUP_DEADLINE_S
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise SystemExit(
+                f"server exited before binding (rc={proc.poll()})"
+            )
+        sys.stdout.write(f"[server] {line}")
+        match = re.search(r"http://[\d.]+:(\d+)", line)
+        if match:
+            return int(match.group(1))
+    raise SystemExit("server did not print its address in time")
+
+
+def wait_healthy(base: str) -> None:
+    deadline = time.monotonic() + STARTUP_DEADLINE_S
+    while time.monotonic() < deadline:
+        try:
+            health = http("GET", f"{base}/healthz")
+        except (urllib.error.URLError, OSError):
+            time.sleep(0.2)
+            continue
+        assert health["status"] == "ok", health
+        return
+    raise SystemExit("/healthz never became reachable")
+
+
+def run_job(base: str, spec: dict) -> dict:
+    accepted = http("POST", f"{base}/jobs", spec)
+    assert accepted["state"] == "queued", accepted
+    deadline = time.monotonic() + JOB_DEADLINE_S
+    while time.monotonic() < deadline:
+        job = http("GET", f"{base}{accepted['status_url']}")
+        if job["state"] in ("done", "failed", "aborted"):
+            assert job["state"] == "done", job
+            return job
+        time.sleep(0.2)
+    raise SystemExit(f"job {accepted['id']} never finished")
+
+
+def cache_hits(metrics_text: str) -> float:
+    for line in metrics_text.splitlines():
+        if line.startswith('bench_result_cache_total{result="hit"}'):
+            return float(line.split()[-1])
+    return 0.0
+
+
+def main() -> int:
+    cache_dir = tempfile.mkdtemp(prefix="mcb-smoke-cache-")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--workers", "2",
+            "--queue-size", "16",
+            "--cache-dir", cache_dir,
+        ],
+        cwd=REPO,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        port = wait_for_port(proc)
+        base = f"http://127.0.0.1:{port}"
+        wait_healthy(base)
+
+        sort_job = run_job(base, SORT)
+        assert sort_job["result"]["totals"]["cycles"] > 0, sort_job
+        assert sort_job["result"]["bounds"]["bound_source"] == "Corollary 6"
+        print(f"[smoke] sort done: {sort_job['result']['totals']}")
+
+        select_job = run_job(base, SELECT)
+        assert select_job["result"]["bounds"]["bound_source"] == "Corollary 7"
+        print(f"[smoke] select done: {select_job['result']['totals']}")
+
+        metrics = http("GET", f"{base}/metrics")
+        for series in (
+            "service_queue_depth",
+            "service_jobs_in_flight",
+            'service_jobs_total{status="done"}',
+            "bench_result_cache_total",
+            "service_request_seconds_bucket",
+        ):
+            assert series in metrics, f"missing metrics series: {series}"
+        hits_before = cache_hits(metrics)
+
+        rerun = run_job(base, SORT)
+        assert rerun["cache_hits"] == 1, rerun
+        assert rerun["result"]["totals"] == sort_job["result"]["totals"]
+        hits_after = cache_hits(http("GET", f"{base}/metrics"))
+        assert hits_after > hits_before, (hits_before, hits_after)
+        print(f"[smoke] cache hits {hits_before:.0f} -> {hits_after:.0f}")
+
+        proc.send_signal(signal.SIGTERM)
+        tail = proc.communicate(timeout=STARTUP_DEADLINE_S)[0]
+        sys.stdout.write("".join(f"[server] {l}\n" for l in tail.splitlines()))
+        assert "drained; bye" in tail, tail
+        assert proc.returncode == 0, proc.returncode
+        print("[smoke] graceful drain OK — service smoke passed")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

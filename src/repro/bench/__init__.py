@@ -17,13 +17,20 @@ This package supplies both halves:
 """
 
 from .cache import CacheKey, ResultCache
-from .runner import ALGORITHMS, BenchSpec, run_config, run_grid
+from .runner import (
+    ALGORITHMS,
+    BenchSpec,
+    resolve_max_workers,
+    run_config,
+    run_grid,
+)
 
 __all__ = [
     "ALGORITHMS",
     "BenchSpec",
     "CacheKey",
     "ResultCache",
+    "resolve_max_workers",
     "run_config",
     "run_grid",
 ]

@@ -23,6 +23,20 @@ from typing import Any, NamedTuple, Optional
 CACHE_VERSION = 2
 
 
+def _cache_counter(hit: bool) -> None:
+    # Same observability pattern as the columnsort schedule caches
+    # (src/repro/columnsort/schedule.py): every lookup lands on one
+    # global counter with a result label, so any consumer — the bench
+    # harness or the job service's /metrics endpoint — sees hit rates
+    # without plumbing a registry through.
+    from ..obs.metrics import global_registry
+
+    global_registry().counter(
+        "bench_result_cache_total",
+        "bench result-cache lookups by result",
+    ).inc(result="hit" if hit else "miss")
+
+
 class CacheKey(NamedTuple):
     """The identity of one benchmark configuration."""
 
@@ -43,6 +57,12 @@ class CacheKey(NamedTuple):
 
 class ResultCache:
     """Directory of per-configuration JSON results.
+
+    Every :meth:`get` is counted on the ``bench_result_cache_total``
+    counter of :func:`repro.obs.metrics.global_registry` with a
+    ``result=hit|miss`` label (in addition to the per-instance
+    ``hits``/``misses`` attributes), so cache efficiency shows up in any
+    Prometheus exposition for free.
 
     Parameters
     ----------
@@ -69,6 +89,7 @@ class ResultCache:
             payload = json.loads(path.read_text())
         except (OSError, ValueError):
             self.misses += 1
+            _cache_counter(hit=False)
             return None
         if (
             not isinstance(payload, dict)
@@ -76,8 +97,10 @@ class ResultCache:
             or payload.get("key") != list(key)
         ):
             self.misses += 1
+            _cache_counter(hit=False)
             return None
         self.hits += 1
+        _cache_counter(hit=True)
         return payload["result"]
 
     def put(self, key: CacheKey, result: dict[str, Any]) -> Path:

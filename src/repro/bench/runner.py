@@ -54,6 +54,34 @@ def _fingerprint(value: Any) -> str:
     return hashlib.sha256(repr(value).encode()).hexdigest()[:16]
 
 
+def resolve_max_workers(max_workers: Optional[int] = None) -> Optional[int]:
+    """Effective worker-pool width for this process.
+
+    One resolution rule shared by every pool owner (:func:`run_grid`,
+    ``repro serve --workers``, ``repro experiments --max-workers``): an
+    explicit argument wins, else the ``REPRO_BENCH_MAX_WORKERS``
+    environment variable applies — also when called as a library, not
+    only through the CLI — else ``None`` (caller's default, usually
+    ``os.cpu_count()``).  ``0`` means "in-process, no pool".
+
+    Raises ``ValueError`` on a non-integer or negative setting instead
+    of silently spawning an unbounded pool.
+    """
+    if max_workers is None:
+        env = os.environ.get("REPRO_BENCH_MAX_WORKERS")
+        if env is not None:
+            try:
+                max_workers = int(env)
+            except ValueError:
+                raise ValueError(
+                    "REPRO_BENCH_MAX_WORKERS must be an integer, "
+                    f"got {env!r}"
+                ) from None
+    if max_workers is not None and max_workers < 0:
+        raise ValueError(f"max_workers must be >= 0, got {max_workers}")
+    return max_workers
+
+
 def _run_sort(net: MCBNetwork, spec: BenchSpec) -> str:
     from ..sort import mcb_sort
 
@@ -142,10 +170,7 @@ def run_grid(
         the number of cache misses, and is not spawned at all when the
         whole grid is served from cache or fits one in-process run.
     """
-    if max_workers is None:
-        env = os.environ.get("REPRO_BENCH_MAX_WORKERS")
-        if env is not None:
-            max_workers = int(env)
+    max_workers = resolve_max_workers(max_workers)
     results: dict[BenchSpec, dict[str, Any]] = {}
     todo: list[BenchSpec] = []
     for spec in specs:

@@ -6,6 +6,7 @@
     python -m repro figure1   [--m 6 --k 3]
     python -m repro max       --p 64 --k 4 [--model detect]
     python -m repro profile   sort --n 1024 --p 16 --k 4 [--json]
+    python -m repro serve     --port 8577 --workers 4 --queue-size 64
 
 Every command prints the result summary plus the cycle/message
 accounting, so the CLI doubles as a quick cost explorer for the model.
@@ -22,6 +23,7 @@ from .core import Distribution
 from .core.problem import is_sorted_output
 from .mcb import MCBNetwork
 from .obs.cli import add_profile_parser, add_timeline_parser
+from .service.cli import add_serve_parser
 from .select import mcb_select
 from .select.multi import mcb_quantiles
 from .sort import mcb_sort
@@ -215,6 +217,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_profile_parser(sub)
     add_timeline_parser(sub)
+    add_serve_parser(sub)
 
     return parser
 

@@ -34,6 +34,12 @@ from .events import (
     EVENT_TYPES,
     CollisionDetected,
     FastForward,
+    JobAborted,
+    JobFailed,
+    JobFinished,
+    JobQueued,
+    JobRejected,
+    JobStarted,
     ListenParked,
     ListenWoken,
     MessageBroadcast,
@@ -70,6 +76,12 @@ __all__ = [
     "FastForward",
     "Gauge",
     "Histogram",
+    "JobAborted",
+    "JobFailed",
+    "JobFinished",
+    "JobQueued",
+    "JobRejected",
+    "JobStarted",
     "JsonlSink",
     "ListenParked",
     "ListenWoken",

@@ -205,6 +205,106 @@ class FastForward(ObsEvent):
         return self.to_cycle - self.from_cycle
 
 
+# ----------------------------------------------------------------------
+# Job lifecycle events (repro.service).  The MCB service treats every
+# sort/select request as a *job*; these events make the queue observable
+# the same way the engine events make a run observable.  One event per
+# state transition, so sustained load produces O(jobs) events, never
+# O(cycles).
+
+
+@dataclass(frozen=True)
+class JobQueued(ObsEvent):
+    """A job passed validation and entered the bounded service queue.
+
+    ``queue_depth`` is the depth *after* enqueueing — the backpressure
+    signal a capacity planner watches.
+    """
+
+    kind = "job_queued"
+
+    job_id: str
+    algorithm: str
+    p: int
+    k: int
+    n: int
+    seed: int
+    engine: str
+    batch: int
+    queue_depth: int
+
+
+@dataclass(frozen=True)
+class JobStarted(ObsEvent):
+    """A worker picked the job up; ``queue_wait_s`` is its queue time."""
+
+    kind = "job_started"
+
+    job_id: str
+    worker: int
+    queue_wait_s: float
+
+
+@dataclass(frozen=True)
+class JobFinished(ObsEvent):
+    """The job completed; carries headline totals plus cache accounting.
+
+    ``cache_hits``/``cache_misses`` count result-cache lookups at lane
+    granularity (a batch job has one lane per seed), so a fully cached
+    re-submission shows ``cache_misses == 0``.
+    """
+
+    kind = "job_finished"
+
+    job_id: str
+    cache_hits: int
+    cache_misses: int
+    wall_s: float
+    cycles: int
+    messages: int
+
+
+@dataclass(frozen=True)
+class JobFailed(ObsEvent):
+    """The job raised; ``error`` is the stringified exception."""
+
+    kind = "job_failed"
+
+    job_id: str
+    error: str
+
+
+@dataclass(frozen=True)
+class JobRejected(ObsEvent):
+    """The bounded queue was full; the job was refused, never stored.
+
+    The HTTP layer maps this to ``429`` with a ``Retry-After`` of
+    ``retry_after_s`` — rejection is the backpressure contract, queue
+    growth is not.
+    """
+
+    kind = "job_rejected"
+
+    job_id: str
+    queue_depth: int
+    retry_after_s: float
+
+
+@dataclass(frozen=True)
+class JobAborted(ObsEvent):
+    """The job was terminated without running to completion.
+
+    ``reason`` is ``"shutdown"`` for queued-but-unstarted jobs dropped
+    by a graceful drain, ``"deadline"`` for in-flight jobs cut off when
+    the drain deadline expired.
+    """
+
+    kind = "job_aborted"
+
+    job_id: str
+    reason: str
+
+
 #: kind -> event class, for deserialization and schema introspection.
 EVENT_TYPES: dict[str, type[ObsEvent]] = {
     cls.kind: cls
@@ -217,6 +317,12 @@ EVENT_TYPES: dict[str, type[ObsEvent]] = {
         ProcessorSlept,
         ListenParked,
         ListenWoken,
+        JobQueued,
+        JobStarted,
+        JobFinished,
+        JobFailed,
+        JobRejected,
+        JobAborted,
     )
 }
 

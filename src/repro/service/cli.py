@@ -1,0 +1,115 @@
+"""``python -m repro serve`` — run the MCB job service.
+
+Examples::
+
+    python -m repro serve                               # 127.0.0.1:8577
+    python -m repro serve --port 0                      # free port, printed
+    python -m repro serve --workers 8 --queue-size 256
+    python -m repro serve --cache-dir /var/tmp/mcb-cache \
+        --events-jsonl jobs.jsonl --drain-deadline 10
+
+Submit work and read results with any HTTP client::
+
+    curl -s -X POST localhost:8577/jobs \
+        -d '{"algorithm": "sort", "p": 4, "k": 4, "n": 64, "seed": 1}'
+    curl -s localhost:8577/jobs/job-000001
+    curl -s localhost:8577/metrics
+
+The server drains gracefully on SIGINT/SIGTERM: in-flight jobs get
+``--drain-deadline`` seconds to finish, queued-but-unstarted jobs are
+aborted and reported.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import sys
+
+from ..bench.cache import ResultCache
+from .app import EXECUTOR_MODES, ServiceApp
+from .http import ServiceServer
+from .sinks import build_sink
+
+
+def add_serve_parser(sub) -> None:
+    """Register the ``serve`` subcommand on the top-level CLI."""
+    sp = sub.add_parser(
+        "serve",
+        help="run the async sort/select job server (HTTP API + /metrics)",
+    )
+    sp.add_argument("--host", default="127.0.0.1", help="bind address")
+    sp.add_argument("--port", type=int, default=8577,
+                    help="bind port (0 = pick a free port)")
+    sp.add_argument("--workers", type=int, default=None,
+                    help="worker count / pool width (default: "
+                    "REPRO_BENCH_MAX_WORKERS, else min(4, cpus))")
+    sp.add_argument("--queue-size", type=int, default=64,
+                    help="bounded job-queue capacity (backpressure bound)")
+    sp.add_argument("--executor", choices=EXECUTOR_MODES, default="process",
+                    help="where simulations run (process pool by default)")
+    sp.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="result-cache directory (omit to disable caching)")
+    sp.add_argument("--events-jsonl", default=None, metavar="PATH",
+                    help="append job lifecycle events to this JSONL file")
+    sp.add_argument("--keep-finished", type=int, default=1024,
+                    help="terminal jobs retained for GET /jobs/{id}")
+    sp.add_argument("--drain-deadline", type=float, default=30.0,
+                    help="seconds granted to in-flight jobs on shutdown")
+    sp.add_argument("--allow-shutdown", action="store_true",
+                    help="enable POST /shutdown for remote graceful drains")
+    sp.set_defaults(fn=cmd_serve)
+
+
+def build_app(args) -> ServiceApp:
+    """Construct the :class:`ServiceApp` an argparse namespace describes."""
+    sink = None
+    if args.events_jsonl:
+        sink = build_sink(
+            {"kind": "jsonl", "path": args.events_jsonl, "mode": "a"}
+        )
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    return ServiceApp(
+        queue_size=args.queue_size,
+        workers=args.workers,
+        executor=args.executor,
+        cache=cache,
+        sink=sink,
+        keep_finished=args.keep_finished,
+    )
+
+
+async def _serve(args) -> int:
+    app = build_app(args)
+    server = ServiceServer(
+        app,
+        host=args.host,
+        port=args.port,
+        allow_shutdown=args.allow_shutdown,
+        drain_deadline=args.drain_deadline,
+    )
+    await server.start()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError, ValueError):
+            loop.add_signal_handler(sig, server.request_shutdown)
+    print(
+        f"serving MCB jobs on http://{server.host}:{server.port} "
+        f"(workers={app.workers}, queue={app.queue_size}, "
+        f"executor={app.executor_mode}, "
+        f"cache={'on' if app.cache is not None else 'off'})",
+        flush=True,
+    )
+    await server.serve_until_shutdown()
+    print("drained; bye", flush=True)
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Entry point for ``python -m repro serve``."""
+    try:
+        return asyncio.run(_serve(args))
+    except KeyboardInterrupt:  # signal handler unavailable (rare platforms)
+        print("interrupted", file=sys.stderr)
+        return 130

@@ -1,0 +1,72 @@
+"""Picklable job executors: what actually runs in the worker pool.
+
+The event loop never simulates anything.  Workers hand these
+module-level functions (picklable, stdlib-``ProcessPoolExecutor``-safe)
+to the configured executor:
+
+* :func:`run_lane` — one ``(algorithm, p, k, n, seed, engine)``
+  configuration, delegated to the benchmark harness's
+  :func:`repro.bench.runner.run_config` so service results are
+  byte-identical to bench results (same payload shape, same cache
+  entries).
+* :func:`run_batch_lanes` — the uncached lanes of one vector batch job,
+  executed through :func:`repro.sort.vector.sort_even_pk_batch` as a
+  single columnar pass; returns one ``run_config``-shaped payload per
+  lane so batch lanes and solo runs share the result cache.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Sequence
+
+from ..bench.runner import BenchSpec, run_config, _fingerprint
+
+
+def run_lane(spec_fields: Sequence[Any]) -> dict[str, Any]:
+    """Run one configuration; ``spec_fields`` is a ``BenchSpec`` tuple."""
+    return run_config(BenchSpec(*spec_fields))
+
+
+def run_batch_lanes(
+    spec_fields: Sequence[Any], seeds: Sequence[int]
+) -> list[dict[str, Any]]:
+    """Sort ``len(seeds)`` independent instances in one vector pass.
+
+    ``spec_fields`` is the job's ``BenchSpec`` tuple (its own seed is
+    ignored; ``seeds`` names the lanes to run — the cache misses of a
+    possibly partially-warm batch).  Each returned payload matches
+    :func:`repro.bench.runner.run_config` for the corresponding solo
+    spec, except ``wall_s`` is the *shared* pass time divided evenly
+    across lanes (lanes have no individual wall clock by construction).
+    """
+    from ..core.distribution import Distribution
+    from ..sort.vector import sort_even_pk_batch
+
+    spec = BenchSpec(*spec_fields)
+    lanes = [
+        {
+            pid: list(part)
+            for pid, part in Distribution.even(
+                spec.n, spec.p, seed=seed
+            ).parts.items()
+        }
+        for seed in seeds
+    ]
+    start = time.perf_counter()
+    batch = sort_even_pk_batch(spec.k, lanes, phase="sort")
+    wall = (time.perf_counter() - start) / max(1, len(seeds))
+    payloads = []
+    for seed, result, stats in zip(seeds, batch.results, batch.stats):
+        lane_spec = spec._replace(seed=seed)
+        payload = {
+            "spec": list(lane_spec),
+            "stats": stats.to_dict(),
+            "fingerprint": _fingerprint(sorted(result.output.items())),
+            "wall_s": round(wall, 6),
+        }
+        # JSON-canonical, matching run_config, so cache round-trips
+        # compare equal.
+        payloads.append(json.loads(json.dumps(payload)))
+    return payloads

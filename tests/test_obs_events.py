@@ -8,6 +8,12 @@ from repro.obs import (
     CollisionDetected,
     EVENT_TYPES,
     FastForward,
+    JobAborted,
+    JobFailed,
+    JobFinished,
+    JobQueued,
+    JobRejected,
+    JobStarted,
     ListenParked,
     ListenWoken,
     MessageBroadcast,
@@ -40,6 +46,18 @@ def _sample_events():
             channel_writes={1: 1}, max_aux_peak=3, fast_forward_cycles=5,
             collisions=1, utilization=1 / 16,
         ),
+        JobQueued(
+            job_id="job-1", algorithm="sort", p=4, k=4, n=64, seed=1,
+            engine="vector", batch=2, queue_depth=1,
+        ),
+        JobStarted(job_id="job-1", worker=0, queue_wait_s=0.002),
+        JobFinished(
+            job_id="job-1", cache_hits=1, cache_misses=1, wall_s=0.1,
+            cycles=96, messages=384,
+        ),
+        JobFailed(job_id="job-2", error="CollisionError: ..."),
+        JobRejected(job_id="job-3", queue_depth=8, retry_after_s=1.0),
+        JobAborted(job_id="job-4", reason="shutdown"),
     ]
 
 
@@ -48,6 +66,8 @@ class TestEventSchema:
         assert set(EVENT_TYPES) == {
             "phase_start", "phase_end", "message", "collision", "fast_forward",
             "sleep", "listen_park", "listen_wake",
+            "job_queued", "job_started", "job_finished", "job_failed",
+            "job_rejected", "job_aborted",
         }
 
     def test_to_dict_carries_kind_and_fields(self):
