@@ -12,10 +12,18 @@ gated:
   same state.  Required: **>= 5x**.
 * ``batch`` — aggregate sort throughput (instances/second): the vector
   engine sorts ``B = 64`` independent instances as one ``(k, m, B)``
-  pass, compared against full generator ``sort_even_pk`` runs (sampled
-  at ``GEN_SAMPLE`` instances — one generator instance costs ~1s at
+  pass (warmed, best of three — sub-second walls are noisy), compared
+  against full generator ``sort_even_pk`` runs (sampled at
+  ``GEN_SAMPLE`` instances — one generator instance costs ~1s at
   this size, so timing all 64 would only slow the suite without
-  changing the per-instance rate).  Required: **>= 10x**.
+  changing the per-instance rate).  Required: **>= 40x**.
+
+A third, ungated leg reruns the same batch with ``shards=2`` (the
+shared-memory lane-sharding path) and asserts every lane's output and
+``RunStats`` are bit-identical to the inline pass; its throughput is
+recorded so multi-core hosts can watch the scaling (on a single-core
+runner the spawn overhead makes it slower — correctness is the gate,
+the speedup is the batch leg's).
 
 The speedup is not allowed to buy accounting drift: both legs assert
 bit-identical outputs and identical per-phase stats between engines,
@@ -52,7 +60,9 @@ B = 64
 GEN_SAMPLE = 4
 TRANSFORM_PHASES = (2, 4, 6, 8)
 REQUIRED_TRANSFORM_SPEEDUP = 5.0
-REQUIRED_BATCH_SPEEDUP = 10.0
+REQUIRED_BATCH_SPEEDUP = 40.0
+#: Lane shards for the sharding-parity leg (correctness, not speed).
+SHARDS = 2
 
 
 def make_columns(k: int, m: int, seed: int) -> dict[int, list[int]]:
@@ -125,15 +135,31 @@ def test_vector_engine_speedup(benchmark, emit, record):
         gen_stat_dicts.append(net.stats.to_dict())
     gen_throughput = GEN_SAMPLE / gen_total
 
-    start = time.perf_counter()
-    batch = sort_even_pk_batch(K, lanes)
-    batch_wall = time.perf_counter() - start
+    # Warm the batched path's one-time machinery (ufunc loops, parse
+    # caches) the way leg 1 already warmed the generator's, then take
+    # the best of three passes: sub-second walls on a shared host are
+    # noisy, and the gate compares steady-state throughput.
+    sort_even_pk_batch(K, lanes[:2])
+    batch_wall = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        batch = sort_even_pk_batch(K, lanes)
+        batch_wall = min(batch_wall, time.perf_counter() - start)
     batch_throughput = B / batch_wall
 
     for b in range(GEN_SAMPLE):
         assert batch.results[b].output == gen_results[b].output, b
         assert batch.stats[b].to_dict() == gen_stat_dicts[b], b
     batch_speedup = batch_throughput / gen_throughput
+
+    # ---- leg 3: shared-memory lane sharding, parity + throughput --------
+    start = time.perf_counter()
+    sharded = sort_even_pk_batch(K, lanes, shards=SHARDS)
+    shard_wall = time.perf_counter() - start
+    shard_throughput = B / shard_wall
+    for b in range(B):
+        assert sharded.results[b].output == batch.results[b].output, b
+        assert sharded.stats[b].to_dict() == batch.stats[b].to_dict(), b
 
     record(
         bench="vector_engine",
@@ -146,9 +172,11 @@ def test_vector_engine_speedup(benchmark, emit, record):
         transform_wall_s={
             "generator": round(gen_wall, 6), "vector": round(vec_wall, 6),
         },
+        shards=SHARDS,
         sorts_per_s={
             "generator": round(gen_throughput, 3),
             "vector_batched": round(batch_throughput, 3),
+            "vector_sharded": round(shard_throughput, 3),
         },
         speedup={
             "transform": round(transform_speedup, 3),
@@ -173,6 +201,12 @@ def test_vector_engine_speedup(benchmark, emit, record):
                 f"{gen_throughput:.2f}",
                 f"{batch_throughput:.2f}",
                 f"{batch_speedup:.1f}x",
+            ],
+            [
+                f"sharded x{SHARDS} (sorts/s)",
+                f"{gen_throughput:.2f}",
+                f"{shard_throughput:.2f}",
+                "parity-gated",
             ],
         ],
         notes=f"schedule compile: {compile_s:.3f}s (cached per (m, k))",

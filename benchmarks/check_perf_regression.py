@@ -4,7 +4,7 @@
 The engine benchmarks append one record per session to their JSONL
 result files (``benchmarks/results/BENCH_engine_hotpath.json``,
 ``BENCH_sparse_cycle.json``, ``BENCH_vector_engine.json``,
-``BENCH_service.json``), so each
+``BENCH_vector_select.json``, ``BENCH_service.json``), so each
 file is a history: the *first*
 record per configuration is the committed baseline, the *last* is the
 freshest run.  This script compares the two on the **speedup ratios**
@@ -49,6 +49,11 @@ CHECKS = {
         else None
     ),
     "BENCH_vector_engine.json": lambda row: (
+        {f"speedup[{w}]": s for w, s in row["speedup"].items()}
+        if "speedup" in row
+        else None
+    ),
+    "BENCH_vector_select.json": lambda row: (
         {f"speedup[{w}]": s for w, s in row["speedup"].items()}
         if "speedup" in row
         else None

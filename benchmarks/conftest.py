@@ -42,6 +42,7 @@ CANONICAL_BENCHES = (
     "engine_hotpath",
     "sparse_cycle",
     "vector_engine",
+    "vector_select",
     "service",
 )
 

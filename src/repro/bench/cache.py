@@ -1,8 +1,10 @@
 """Deterministic on-disk cache for benchmark results.
 
 One JSON file per configuration, keyed on the exact
-``(algorithm, p, k, n, seed, engine)`` tuple.  Engine runs are deterministic for
-a fixed seed, so a cache hit is exactly as good as a re-run — grids can
+``(algorithm, p, k, n, seed, engine, shards)`` tuple.  Engine runs are
+deterministic for a fixed seed (sharded batch runs are bit-identical to
+inline ones by construction, but the shard count still keys the entry so
+wall-clock comparisons never alias), so a cache hit is exactly as good as a re-run — grids can
 be resumed, extended, or re-plotted without re-simulating configurations
 that already have results on disk.
 
@@ -20,7 +22,8 @@ from typing import Any, NamedTuple, Optional
 #: Bump when the stored payload shape changes incompatibly; mismatched
 #: entries read as misses and are overwritten on the next put().
 #: v2: keys grew an ``engine`` field (generator vs vector execution).
-CACHE_VERSION = 2
+#: v3: keys grew a ``shards`` field (multi-core batch sharding).
+CACHE_VERSION = 3
 
 
 def _cache_counter(hit: bool) -> None:
@@ -46,12 +49,13 @@ class CacheKey(NamedTuple):
     n: int
     seed: int
     engine: str = "generator"
+    shards: int = 1
 
     def filename(self) -> str:
         """Deterministic, human-scannable file name for this key."""
         return (
             f"{self.algorithm}_p{self.p}_k{self.k}_n{self.n}"
-            f"_seed{self.seed}_{self.engine}.json"
+            f"_seed{self.seed}_{self.engine}_sh{self.shards}.json"
         )
 
 

@@ -31,8 +31,10 @@ class BenchSpec(NamedTuple):
     """One point of a benchmark grid (picklable, hashable).
 
     ``engine`` selects the execution engine for algorithms that support
-    it (``mcb_sort``'s ``"generator"`` / ``"vector"``); it is part of
-    the cache identity so engine comparisons never alias.
+    it (``mcb_sort``'s / ``mcb_select``'s ``"generator"`` /
+    ``"vector"``); ``shards`` is the multi-core batch shard count for
+    vector batch runs (``1`` = inline, ``0`` = auto).  Both are part of
+    the cache identity so engine and sharding comparisons never alias.
     """
 
     algorithm: str
@@ -41,11 +43,13 @@ class BenchSpec(NamedTuple):
     n: int
     seed: int = 0
     engine: str = "generator"
+    shards: int = 1
 
     @property
     def key(self) -> CacheKey:
         return CacheKey(
-            self.algorithm, self.p, self.k, self.n, self.seed, self.engine
+            self.algorithm, self.p, self.k, self.n, self.seed, self.engine,
+            self.shards,
         )
 
 
@@ -93,13 +97,9 @@ def _run_sort(net: MCBNetwork, spec: BenchSpec) -> str:
 def _run_select(net: MCBNetwork, spec: BenchSpec) -> str:
     from ..select import mcb_select
 
-    if spec.engine != "generator":
-        raise ValueError(
-            f"selection has no {spec.engine!r} engine; it is adaptive"
-        )
     dist = Distribution.even(spec.n, spec.p, seed=spec.seed)
     d = (spec.n + 1) // 2  # median
-    res = mcb_select(net, dist, d)
+    res = mcb_select(net, dist, d, engine=spec.engine)
     return _fingerprint(res.value)
 
 

@@ -52,14 +52,18 @@ def untag(elements: Iterable[Triple]) -> list[float]:
 
 
 def has_duplicates(per_processor: dict[int, Sequence[float]]) -> bool:
-    """True if any value occurs more than once across the whole network."""
+    """True if any value occurs more than once across the whole network.
+
+    Bulk ``set.update`` per processor keeps the scan in C — same answer
+    as an element-by-element membership test, without the per-element
+    interpreter round trip.
+    """
     seen: set[float] = set()
+    total = 0
     for vals in per_processor.values():
-        for v in vals:
-            if v in seen:
-                return True
-            seen.add(v)
-    return False
+        seen.update(vals)
+        total += len(vals)
+    return len(seen) < total
 
 
 def rank_of(value: float, universe: Iterable[float]) -> int:

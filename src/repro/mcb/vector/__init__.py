@@ -20,7 +20,10 @@ from .executor import (
     VectorRun,
     build_batched_state,
     build_state,
+    compact_rows,
     detect_dtype,
+    detect_dtype_rows,
+    masked_reduce,
     message_bits,
 )
 from .lower import (
@@ -28,6 +31,7 @@ from .lower import (
     lower_paper_transpose,
     lower_rebalance_movement,
     lower_simulation_block,
+    lower_wrap_skip,
 )
 from .plan import CompiledPhase, SchedulePlan
 
@@ -37,10 +41,14 @@ __all__ = [
     "VectorRun",
     "build_batched_state",
     "build_state",
+    "compact_rows",
     "detect_dtype",
+    "detect_dtype_rows",
     "lower_broadcast_schedule",
     "lower_paper_transpose",
     "lower_rebalance_movement",
     "lower_simulation_block",
+    "lower_wrap_skip",
+    "masked_reduce",
     "message_bits",
 ]

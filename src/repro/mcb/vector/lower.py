@@ -25,8 +25,12 @@ from typing import Sequence
 
 import numpy as np
 
-from ...columnsort.matrix import transpose_perm
-from ...columnsort.schedule import BroadcastSchedule, paper_transpose_schedule
+from ...columnsort.matrix import downshift_perm, transpose_perm
+from ...columnsort.schedule import (
+    BroadcastSchedule,
+    paper_transpose_schedule,
+    schedule_for_phase,
+)
 from ..errors import ConfigurationError
 from ..routing import alltoall_schedule
 from ..simulate import host_index, host_of, real_channel, subslot
@@ -57,6 +61,92 @@ def lower_broadcast_schedule(sched: BroadcastSchedule) -> SchedulePlan:
         p=k, k=k, cycles=sched.num_cycles(), slots=m,
         writes=writes, reads=reads, moves=moves,
     )
+
+
+def lower_wrap_skip(m: int, k: int) -> tuple[SchedulePlan, SchedulePlan]:
+    """Phases 6 and 8 with the §5.2 wrap-around optimization as plans.
+
+    Column ``k`` *parks* its wrap-around elements in ``half = m // 2``
+    extra local slots ``m .. m + half - 1`` during the up-shift (no
+    broadcast) and *unparks* them during the down-shift in place of the
+    column-1 -> column-``k`` traffic, mirroring
+    :func:`repro.sort.even_pk.shift_phases_with_wrap_skip` exactly — the
+    same broadcasts, the same reads, the same final rows — saving
+    ``2 * floor(m/2)`` messages per sort.  Both plans use
+    ``slots = m + half``; the local sort between them (phase 7, columns
+    2..k over slots ``0 .. m-1`` only) stays with the caller.
+
+    Ghost rows of column 1 (rows ``0 .. half-1`` after the up-shift,
+    whose elements stayed parked at column ``k``) keep *stale* values in
+    the plan where the generator tracks ``None``: they are never
+    broadcast — their phase-8 transfers target column ``k`` and are
+    dropped here — and phase 8 overwrites every column-1 row, so the
+    plan outputs match the generator bit for bit.
+    """
+    if k < 2:
+        raise ConfigurationError(
+            f"wrap_skip needs k >= 2 (nothing wraps with k={k})"
+        )
+    half = m // 2
+    last = k - 1
+    slots = m + half
+
+    # ---- phase 6: up-shift, parking the wrap-around ------------------
+    sched6 = schedule_for_phase(6, m, k)
+    writes6: list[WriteEvent] = []
+    reads6: list[ReadEvent] = []
+    moves6: list[MoveEvent] = []
+    parked: list[int] = []  # src_row of each parked element, cycle order
+    for j, cycle in enumerate(sched6.cycles):
+        for c, tr in enumerate(cycle):
+            if tr is None:
+                continue
+            if tr.dst_col == c:
+                moves6.append((c, tr.src_row, tr.dst_row))
+            elif c == last and tr.dst_col == 0:
+                moves6.append((last, tr.src_row, m + len(parked)))
+                parked.append(tr.src_row)
+            else:
+                writes6.append((j, c, c + 1, tr.src_row))
+                reads6.append((j, tr.dst_col, c + 1, tr.dst_row))
+    plan6 = SchedulePlan(
+        p=k, k=k, cycles=sched6.num_cycles(), slots=slots,
+        writes=writes6, reads=reads6, moves=moves6,
+    )
+
+    # ---- phase 8: down-shift, unparking instead of col1->colk --------
+    sched8 = schedule_for_phase(8, m, k)
+    perm8 = downshift_perm(m, k)
+    writes8: list[WriteEvent] = []
+    reads8: list[ReadEvent] = []
+    moves8: list[MoveEvent] = []
+    for i, src_row6 in enumerate(parked):
+        # Phase-6 position of parked element i: (column 1, row
+        # (src_row6 + half) % m) — the wrap sent rows [m-half, m) of
+        # column k to rows [0, half) of column 1.
+        row1 = (last * m + src_row6 + half) % (m * k) % m
+        dest = int(perm8[row1])
+        assert dest // m == last, "wrap elements come home to column k"
+        moves8.append((last, m + i, dest % m))
+    for j, cycle in enumerate(sched8.cycles):
+        for c, tr in enumerate(cycle):
+            if tr is None:
+                continue
+            if tr.dst_col == c:
+                # Column 1's ghosts all wrap to column k, so its
+                # self-transfers never source a ghost row.
+                assert c != 0 or tr.src_row >= half
+                moves8.append((c, tr.src_row, tr.dst_row))
+            elif c == 0 and tr.dst_col == last:
+                continue  # ghost row: its element never left column k
+            else:
+                writes8.append((j, c, c + 1, tr.src_row))
+                reads8.append((j, tr.dst_col, c + 1, tr.dst_row))
+    plan8 = SchedulePlan(
+        p=k, k=k, cycles=sched8.num_cycles(), slots=slots,
+        writes=writes8, reads=reads8, moves=moves8,
+    )
+    return plan6, plan8
 
 
 def lower_paper_transpose(m: int, k: int) -> SchedulePlan:

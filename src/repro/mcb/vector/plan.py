@@ -327,6 +327,50 @@ class SchedulePlan:
                 channel, pids = next(iter(collided.items()))
                 raise CollisionError(cy, channel, pids)
 
+    def masked(self, write_mask: Sequence[bool]) -> "SchedulePlan":
+        """The plan with masked-out writes (and their reads) removed.
+
+        ``write_mask`` aligns with the *compiled* write order — writes
+        sorted by ``(cycle, proc)``, the same convention
+        :meth:`VectorRun.execute <repro.mcb.vector.executor.VectorRun.execute>`
+        applies to its ``write_mask`` argument.  A masked-out write
+        broadcasts nothing, so any read matched to it is dropped too
+        (its destination slot keeps the prior contents — the generator
+        programs of the masked plan simply never touch it).  This is the
+        parity oracle for predicated execution: running
+        ``plan.masked(mask).as_programs(state)`` on a generator engine
+        must equal ``VectorRun.execute(plan.compile(), state, mask)``
+        up to the dropped cycles' silence.
+
+        Masking never *introduces* collisions (it only removes writers),
+        so a compilable plan stays compilable under any mask.
+        """
+        writes = sorted(self.writes, key=lambda w: (w[0], w[1]))
+        if len(write_mask) != len(writes):
+            raise ConfigurationError(
+                f"write_mask has {len(write_mask)} entries for "
+                f"{len(writes)} write events"
+            )
+        kept = [w for w, keep in zip(writes, write_mask) if keep]
+        live = {(cy, chan) for cy, _, chan, _ in kept}
+        if self.allow_empty_reads:
+            # Reads of channels silent in the *unmasked* plan stay (the
+            # schedule scans for possibly-absent writers); reads whose
+            # writer was masked out are dropped — the executor delivers
+            # nothing for them either.
+            written = {(cy, chan) for cy, _, chan, _ in writes}
+            reads = [
+                r for r in self.reads
+                if (r[0], r[2]) in live or (r[0], r[2]) not in written
+            ]
+        else:
+            reads = [r for r in self.reads if (r[0], r[2]) in live]
+        return SchedulePlan(
+            p=self.p, k=self.k, cycles=self.cycles, slots=self.slots,
+            writes=kept, reads=reads, moves=list(self.moves),
+            kind=self.kind, allow_empty_reads=self.allow_empty_reads,
+        )
+
     def matched_readers(self) -> dict[tuple[int, int], tuple[int, ...]]:
         """1-based reader pids per written ``(cycle, channel)`` (lenient).
 

@@ -54,7 +54,8 @@ def _add_run_arguments(sp) -> None:
                     help="selection rank (default: median)")
     sp.add_argument("--engine", choices=_ENGINES, default="fast",
                     help="execution engine: fast (generator), reference "
-                    "(per-cycle oracle), vector (batched executor; sort only)")
+                    "(per-cycle oracle), vector (compiled columnsort for "
+                    "sort, vectorized data plane for select)")
 
 
 def add_profile_parser(sub) -> None:
@@ -125,13 +126,12 @@ def _run_algorithm(net, dist, args, config: dict[str, Any]):
         ok = is_sorted_output(dist, result.output)
         config["verified"] = bool(ok)
         return ok
-    if args.engine == "vector":
-        raise SystemExit("--engine vector only supports sort")
     rank = args.rank if args.rank is not None else math.ceil(dist.n / 2)
     if not 1 <= rank <= dist.n:
         raise SystemExit(f"--rank must lie in 1..{dist.n}")
     config["rank"] = rank
-    res = mcb_select(net, dist, rank)
+    engine = "vector" if args.engine == "vector" else "generator"
+    res = mcb_select(net, dist, rank, engine=engine)
     config["selected"] = res.value
     return True
 

@@ -28,6 +28,7 @@ def mcb_select(
     *,
     threshold: int | None = None,
     phase: str = "select",
+    engine: str = "generator",
 ) -> SelectionResult:
     """Select the d-th largest element of a distributed set on the network.
 
@@ -43,6 +44,12 @@ def mcb_select(
         ``d = ceil(n/2)`` the median.
     threshold:
         Termination threshold ``m*`` (defaults to the paper's ``p/k``).
+    engine:
+        ``"generator"`` (default) or ``"vector"``: the vector engine
+        keeps the network control plane identical (same cycles,
+        messages, ``RunStats``) but runs the candidate data plane —
+        medians, rank counts, purges — as whole-matrix NumPy operations
+        (:class:`repro.select.vector.VectorCandidates`).
 
     Returns
     -------
@@ -67,7 +74,7 @@ def mcb_select(
         d = n - d + 1
 
     result = mcb_select_descending(
-        net, parts, d, threshold=threshold, phase=phase
+        net, parts, d, threshold=threshold, phase=phase, engine=engine
     )
     value = result.value
     if reflected:

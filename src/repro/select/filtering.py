@@ -31,6 +31,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from ..mcb.errors import ConfigurationError
 from ..mcb.message import Message
 from ..mcb.network import MCBNetwork
 from ..mcb.program import CycleOp, Listen, ProcContext, Sleep
@@ -39,6 +40,48 @@ from ..sort.common import pack_elem, unpack_elem
 from ..sort.ones import sort_ones
 from ..sort.uneven import sort_uneven
 from .local_select import local_median, select_kth_largest
+
+
+class _ListCandidates:
+    """Candidate store of the generator engine: plain per-pid lists.
+
+    The store owns the selection loop's *data plane* — medians,
+    ``>= med*`` counts, purges — all free local computation.  The vector
+    engine swaps in :class:`repro.select.vector.VectorCandidates`, which
+    implements the same surface over a ``(p, cap)`` NumPy matrix; the
+    network control plane is shared by both.
+    """
+
+    def __init__(self, parts, p: int):
+        self._cands: dict[int, list] = {
+            i: list(parts[i]) for i in range(1, p + 1)
+        }
+
+    def total(self) -> int:
+        return sum(len(v) for v in self._cands.values())
+
+    def count(self, pid: int) -> int:
+        return len(self._cands[pid])
+
+    def median(self, pid: int):
+        return local_median(self._cands[pid])
+
+    def row(self, pid: int) -> list:
+        return list(self._cands[pid])
+
+    def ge_counts(self, med_star) -> dict[int, int]:
+        return {
+            i: sum(1 for e in v if e >= med_star)
+            for i, v in self._cands.items()
+        }
+
+    def purge(self, med_star, keep_gt: bool) -> None:
+        for i, v in self._cands.items():
+            self._cands[i] = (
+                [e for e in v if e > med_star]
+                if keep_gt
+                else [e for e in v if e < med_star]
+            )
 
 
 
@@ -73,6 +116,7 @@ def mcb_select_descending(
     threshold: int | None = None,
     pair_sorter: str = "ones",
     phase: str = "select",
+    engine: str = "generator",
 ) -> SelectionResult:
     """Select the d-th largest element of a distributed set.
 
@@ -90,12 +134,28 @@ def mcb_select_descending(
         one-element-per-processor specialization of the §5 machinery;
         ``"uneven"`` uses the full §7.2 path verbatim (same asymptotics,
         ~2x the control traffic per phase).
+    engine:
+        ``"generator"`` (default) keeps candidates in per-pid lists;
+        ``"vector"`` stores them in a ``(p, cap)`` matrix and runs the
+        data plane (medians, rank counts, purges) as whole-matrix NumPy
+        operations.  The network control plane — and therefore every
+        cycle, message, and ``RunStats`` entry — is identical either
+        way.
     """
     p, k = net.p, net.k
     if sorted(parts) != list(range(1, p + 1)):
         raise ValueError("parts must cover processors 1..p")
-    candidates: dict[int, list[Any]] = {i: list(parts[i]) for i in parts}
-    n = sum(len(v) for v in candidates.values())
+    if engine == "vector":
+        from .vector import VectorCandidates
+
+        store: Any = VectorCandidates(parts, p)
+    elif engine == "generator":
+        store = _ListCandidates(parts, p)
+    else:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected 'generator' or 'vector'"
+        )
+    n = store.total()
     if not 1 <= d <= n:
         raise ValueError(f"rank d={d} out of range 1..{n}")
     m_star = threshold if threshold is not None else max(1, p // k)
@@ -111,10 +171,16 @@ def mcb_select_descending(
     med_arity = len(pack_elem(nonempty[0]))
 
     def flat_pair(i: int) -> tuple:
-        if candidates[i]:
-            med = local_median(candidates[i])
-            return tuple(pack_elem(med)) + (0, len(candidates[i]))
-        return (-math.inf,) * med_arity + (i, 0)
+        cnt = store.count(i)
+        if cnt:
+            med = store.median(i)
+            return tuple(pack_elem(med)) + (0, cnt)
+        # The leading -inf already sorts the pair below every real
+        # (finite) median; the tail must stay finite, or a tuple-element
+        # dummy pair would satisfy ``is_dummy`` and be dropped as
+        # padding by the pair sorters instead of travelling as a real
+        # element.
+        return (-math.inf,) + (0,) * (med_arity - 1) + (i, 0)
 
     trace = SelectionTrace()
     m = n
@@ -125,7 +191,7 @@ def mcb_select_descending(
         m_before = m
 
         # -- step 1: local medians (free) + step 2: sort the pairs -------
-        flat_pairs = {i: [flat_pair(i)] for i in candidates}
+        flat_pairs = {i: [flat_pair(i)] for i in range(1, p + 1)}
         pair_sort = sort_ones if pair_sorter == "ones" else sort_uneven
         sorted_pairs = pair_sort(net, flat_pairs, phase=f"{tag}/sort-medians")
         my_sorted = sorted_pairs.output  # pid -> ((med..., count),)
@@ -154,10 +220,7 @@ def mcb_select_descending(
         )[1]
 
         # -- step 4: count candidates >= med* -----------------------------
-        ge_counts = {
-            i: sum(1 for e in candidates[i] if e >= med_star)
-            for i in candidates
-        }
+        ge_counts = store.ge_counts(med_star)
         m_ge = mcb_total_sum(net, ge_counts, phase=f"{tag}/count-ge")[1]
 
         # -- step 5: the three cases (local, synchronized knowledge) ------
@@ -167,13 +230,11 @@ def mcb_select_descending(
             )
             return SelectionResult(value=med_star, trace=trace)
         if m_ge > d:
-            for i in candidates:
-                candidates[i] = [e for e in candidates[i] if e > med_star]
+            store.purge(med_star, keep_gt=True)
             m = m_ge - 1
             case = 2
         else:
-            for i in candidates:
-                candidates[i] = [e for e in candidates[i] if e < med_star]
+            store.purge(med_star, keep_gt=False)
             m = m - m_ge
             d = d - m_ge
             case = 3
@@ -183,13 +244,13 @@ def mcb_select_descending(
 
     # ---- termination phase ----------------------------------------------
     tag = f"{phase}/termination"
-    counts_now = {i: len(candidates[i]) for i in candidates}
+    counts_now = {i: store.count(i) for i in range(1, p + 1)}
     sums = mcb_partial_sums(net, counts_now, phase=f"{tag}/prefix")
     total = m
 
     def collect(ctx: ProcContext):
         pid = ctx.pid
-        mine = candidates[pid]
+        mine = store.row(pid)
         if pid == 1:
             # My own candidates (positions [0, n_1)) need no channel; the
             # corresponding cycles pass in silence.

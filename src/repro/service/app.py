@@ -51,7 +51,7 @@ from ..obs.events import (
 )
 from ..obs.metrics import MetricsRegistry, global_registry
 from ..obs.sinks import FanOutSink, Sink
-from .execution import run_batch_lanes, run_lane
+from .execution import prewarm_worker, run_batch_lanes, run_lane
 from .jobs import Job, JobSpec, JobState
 from .sinks import build_sink
 
@@ -118,6 +118,12 @@ class ServiceApp:
         How many terminal jobs to retain for ``GET /jobs/{id}`` before
         evicting the oldest — the bounded-memory guarantee under
         sustained load.
+    prewarm:
+        Optional sequence of ``(m, k[, paper_phase2[, wrap_skip]])``
+        tuples: vector-sort plan-cache configurations compiled in every
+        executor process at pool start
+        (:func:`repro.service.execution.prewarm_worker`), so the first
+        vector job never pays plan-compile latency.
     """
 
     def __init__(
@@ -130,6 +136,7 @@ class ServiceApp:
         registry: Optional[MetricsRegistry] = None,
         sink: Optional[Sink] = None,
         keep_finished: int = 1024,
+        prewarm: Optional[Any] = None,
     ):
         if queue_size < 1:
             raise ValueError(f"queue_size must be >= 1, got {queue_size}")
@@ -146,6 +153,7 @@ class ServiceApp:
         self.cache = cache
         self.registry = registry if registry is not None else global_registry()
         self.keep_finished = keep_finished
+        self.prewarm = tuple(tuple(c) for c in prewarm) if prewarm else ()
         self._sink = sink
         self._queue: Optional[asyncio.Queue[Job]] = None
         self._worker_tasks: list[asyncio.Task] = []
@@ -195,6 +203,10 @@ class ServiceApp:
         """Create the queue and spawn the worker tasks (idempotent)."""
         if self._started:
             return
+        if self.prewarm and self.executor_mode != "process":
+            # sync/thread executors share this process's plan cache; the
+            # process pool prewarms via its initializer instead.
+            prewarm_worker(self.prewarm)
         self._queue = asyncio.Queue(maxsize=self.queue_size)
         self._worker_tasks = [
             asyncio.create_task(self._worker(wid), name=f"mcb-worker-{wid}")
@@ -476,9 +488,14 @@ class ServiceApp:
         if self.executor_mode == "thread":
             return await loop.run_in_executor(None, fn, *args)
         if self._pool is None:
+            pool_kwargs: dict[str, Any] = {}
+            if self.prewarm:
+                pool_kwargs["initializer"] = prewarm_worker
+                pool_kwargs["initargs"] = (self.prewarm,)
             self._pool = ProcessPoolExecutor(
                 max_workers=max(1, self.workers),
                 mp_context=multiprocessing.get_context("spawn"),
+                **pool_kwargs,
             )
         return await loop.run_in_executor(self._pool, fn, *args)
 

@@ -59,7 +59,37 @@ def add_serve_parser(sub) -> None:
                     help="seconds granted to in-flight jobs on shutdown")
     sp.add_argument("--allow-shutdown", action="store_true",
                     help="enable POST /shutdown for remote graceful drains")
+    sp.add_argument("--prewarm", action="append", default=None,
+                    metavar="MxK[:wrap]",
+                    help="pre-compile the vector plan cache for this "
+                    "columnsort shape in every worker at pool start "
+                    "(e.g. --prewarm 1024x32 --prewarm 20x5:wrap); "
+                    "repeatable")
     sp.set_defaults(fn=cmd_serve)
+
+
+def parse_prewarm(entries) -> tuple:
+    """Parse ``--prewarm MxK[:wrap]`` entries into plan-cache tuples."""
+    configs = []
+    for entry in entries or ():
+        body, _, flag = entry.partition(":")
+        wrap = flag == "wrap"
+        if flag and not wrap:
+            raise SystemExit(
+                f"--prewarm: unknown flag {flag!r} in {entry!r} "
+                "(only ':wrap' is recognised)"
+            )
+        m_str, sep, k_str = body.partition("x")
+        try:
+            m, k = int(m_str), int(k_str)
+        except ValueError:
+            sep = ""
+        if not sep:
+            raise SystemExit(
+                f"--prewarm: expected MxK[:wrap], got {entry!r}"
+            )
+        configs.append((m, k, False, wrap))
+    return tuple(configs)
 
 
 def build_app(args) -> ServiceApp:
@@ -77,6 +107,7 @@ def build_app(args) -> ServiceApp:
         cache=cache,
         sink=sink,
         keep_finished=args.keep_finished,
+        prewarm=parse_prewarm(getattr(args, "prewarm", None)),
     )
 
 

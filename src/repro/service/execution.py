@@ -11,8 +11,14 @@ to the configured executor:
   entries).
 * :func:`run_batch_lanes` — the uncached lanes of one vector batch job,
   executed through :func:`repro.sort.vector.sort_even_pk_batch` as a
-  single columnar pass; returns one ``run_config``-shaped payload per
-  lane so batch lanes and solo runs share the result cache.
+  single columnar pass (optionally sharded across cores via shared
+  memory when the spec carries ``shards != 1``); returns one
+  ``run_config``-shaped payload per lane so batch lanes and solo runs
+  share the result cache.
+* :func:`prewarm_worker` — a process-pool *initializer* that compiles
+  the vector plan cache for a known set of ``(m, k)`` configurations
+  before the worker accepts jobs, so the first batch job never pays
+  compile latency inside its measured wall time.
 """
 
 from __future__ import annotations
@@ -55,7 +61,9 @@ def run_batch_lanes(
         for seed in seeds
     ]
     start = time.perf_counter()
-    batch = sort_even_pk_batch(spec.k, lanes, phase="sort")
+    batch = sort_even_pk_batch(
+        spec.k, lanes, phase="sort", shards=spec.shards
+    )
     wall = (time.perf_counter() - start) / max(1, len(seeds))
     payloads = []
     for seed, result, stats in zip(seeds, batch.results, batch.stats):
@@ -70,3 +78,18 @@ def run_batch_lanes(
         # compare equal.
         payloads.append(json.loads(json.dumps(payload)))
     return payloads
+
+
+def prewarm_worker(configs: Sequence[Sequence[Any]]) -> None:
+    """Compile the vector plan cache for ``configs`` in this process.
+
+    Passed as the ``initializer`` of the service's process pool (and run
+    inline for the ``sync``/``thread`` executors), with ``configs`` a
+    sequence of ``(m, k[, paper_phase2[, wrap_skip]])`` tuples — see
+    :func:`repro.sort.vector.prewarm_plan_cache`.  Compile time lands on
+    the ``vector_plan_compile_seconds`` counter at pool start instead of
+    inside the first job's wall clock.
+    """
+    from ..sort.vector import prewarm_plan_cache
+
+    prewarm_plan_cache(configs)

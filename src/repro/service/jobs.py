@@ -2,9 +2,9 @@
 
 A *job* is one sort/select workload — the paper's Θ(max{n/k, n_max})
 sort or O(n/k + log n · log log n) selection (§6–8) — expressed as the
-same ``(algorithm, p, k, n, seed, engine)`` tuple the benchmark harness
-uses, plus an optional ``batch`` width for the vector engine and an
-optional list of per-job sink configs for lifecycle events.
+same ``(algorithm, p, k, n, seed, engine, shards)`` tuple the benchmark
+harness uses, plus an optional ``batch`` width for the vector engine and
+an optional list of per-job sink configs for lifecycle events.
 
 Validation happens at admission (``POST /jobs``), with the same
 :class:`~repro.mcb.errors.ConfigurationError` rules the engines enforce
@@ -24,8 +24,10 @@ from ..bench.runner import ALGORITHMS
 from ..columnsort.matrix import dims_valid
 from ..mcb.errors import ConfigurationError
 
-#: Engines a job may request.  ``vector`` is restricted to the fully
-#: oblivious even p=k columnsort, exactly as ``mcb_sort`` enforces.
+#: Engines a job may request.  For sorting, ``vector`` is restricted to
+#: the fully oblivious even p=k columnsort, exactly as ``mcb_sort``
+#: enforces; for selection it vectorizes the data plane of the §8
+#: filtering loop and runs on any valid network.
 ENGINES = ("generator", "vector")
 
 
@@ -52,6 +54,12 @@ class JobSpec:
     pass (:func:`repro.sort.vector.sort_even_pk_batch`); each lane is
     cached individually under its own seed.
 
+    ``shards`` splits a batch job's lane axis across worker processes
+    backed by shared memory (:func:`repro.sort.vector.sort_even_pk_batch`):
+    ``1`` (default) runs inline, ``0`` auto-sizes to the machine, and
+    ``> 1`` forces that many shards.  Results and stats are bit-identical
+    to the inline run either way.
+
     ``sinks`` is a tuple of sink configs (see
     :func:`repro.service.sinks.build_sink`) that receive this job's
     lifecycle events in addition to the service-wide sink.
@@ -64,10 +72,14 @@ class JobSpec:
     seed: int = 0
     engine: str = "generator"
     batch: int = 1
+    shards: int = 1
     sinks: tuple = ()
 
     #: Fields accepted from a JSON payload (everything else is a 400).
-    FIELDS = ("algorithm", "p", "k", "n", "seed", "engine", "batch", "sinks")
+    FIELDS = (
+        "algorithm", "p", "k", "n", "seed", "engine", "batch", "shards",
+        "sinks",
+    )
 
     @classmethod
     def from_payload(cls, payload: Mapping[str, Any]) -> "JobSpec":
@@ -85,7 +97,7 @@ class JobSpec:
         if "algorithm" not in payload:
             raise ConfigurationError("job spec needs an 'algorithm' field")
         kwargs: dict[str, Any] = {"algorithm": str(payload["algorithm"])}
-        for name in ("p", "k", "n", "seed", "batch"):
+        for name in ("p", "k", "n", "seed", "batch", "shards"):
             if name in payload:
                 value = payload[name]
                 if isinstance(value, bool) or not isinstance(value, int):
@@ -143,12 +155,11 @@ class JobSpec:
             )
         if self.batch < 1:
             raise ConfigurationError(f"batch must be >= 1, got {self.batch}")
-        if self.engine == "vector":
-            if self.algorithm != "sort":
-                raise ConfigurationError(
-                    f"{self.algorithm!r} has no vector engine; it is "
-                    "adaptive — rerun with engine='generator'"
-                )
+        if self.shards < 0:
+            raise ConfigurationError(
+                f"shards must be >= 0 (0 = auto), got {self.shards}"
+            )
+        if self.engine == "vector" and self.algorithm == "sort":
             if self.p != self.k:
                 raise ConfigurationError(
                     "engine='vector' executes only the oblivious even-pk "
@@ -163,9 +174,15 @@ class JobSpec:
                 )
         elif self.batch > 1:
             raise ConfigurationError(
-                "batch > 1 is a vector-engine feature (one columnar pass "
-                "over all lanes); the generator engine runs one instance "
-                "per job"
+                "batch > 1 is a vector-sort feature (one columnar pass "
+                "over all lanes); other jobs run one instance per job"
+            )
+        if self.shards != 1 and not (
+            self.engine == "vector" and self.algorithm == "sort"
+        ):
+            raise ConfigurationError(
+                "shards != 1 is a vector-sort batch feature "
+                "(shared-memory lane sharding); this job runs inline"
             )
 
     def lane_keys(self) -> list[CacheKey]:
@@ -177,7 +194,7 @@ class JobSpec:
         """
         return [
             CacheKey(self.algorithm, self.p, self.k, self.n,
-                     self.seed + b, self.engine)
+                     self.seed + b, self.engine, self.shards)
             for b in range(self.batch)
         ]
 
@@ -191,6 +208,7 @@ class JobSpec:
             "seed": self.seed,
             "engine": self.engine,
             "batch": self.batch,
+            "shards": self.shards,
         }
 
 

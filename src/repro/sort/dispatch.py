@@ -74,10 +74,11 @@ def mcb_sort(
         single-channel §6.1 sorts on channel 1).
     engine:
         ``"generator"`` (default) or ``"vector"``.  The vector engine
-        executes only the fully oblivious even-pk columnsort; any other
-        strategy is adaptive (data-dependent or Listen-based), so
-        requesting it with ``engine="vector"`` raises a
-        :class:`~repro.mcb.errors.ConfigurationError` instead of
+        executes only the fully oblivious even-pk columnsort (including
+        its wrap/skip odd-k variant, which lowers to static park/unpark
+        moves); the remaining strategies are adaptive (data-dependent or
+        Listen-based), so requesting one with ``engine="vector"`` raises
+        a :class:`~repro.mcb.errors.ConfigurationError` instead of
         silently mis-executing.
 
     Returns
@@ -104,7 +105,9 @@ def mcb_sort(
     if engine == "vector" and strategy != "even-pk":
         raise ConfigurationError(
             "engine='vector' executes only the oblivious even-pk columnsort "
-            f"schedule; strategy {strategy!r} is adaptive/generator-driven — "
+            f"schedule (wrap/skip included); strategy {strategy!r} is one of "
+            "the adaptive strategies ('collect', 'virtual', 'virtual-merge', "
+            "'uneven', 'rank', 'merge') that remain generator-driven — "
             "rerun with engine='generator'"
         )
 

@@ -266,8 +266,9 @@ def sort_even_pk(
         ``"generator"`` (default) steps per-processor programs on the
         network's cycle loop; ``"vector"`` compiles the oblivious
         schedules and executes them as NumPy gather/scatter
-        (:mod:`repro.sort.vector`) — identical outputs and stats,
-        ``wrap_skip`` unsupported.
+        (:mod:`repro.sort.vector`) — identical outputs and stats;
+        ``wrap_skip`` lowers to static park/unpark moves and is fully
+        supported.
 
     Returns
     -------

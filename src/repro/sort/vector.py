@@ -3,31 +3,36 @@
 The even ``p = k`` columnsort is fully oblivious: phases 2/4/6/8 follow
 fixed broadcast schedules and phases 1/3/5/7/9 are free local sorts.
 This module compiles the four transformation schedules once per
-``(m, k, paper_phase2)`` (cached) and executes a whole sort as nine
-whole-matrix NumPy operations instead of ``4m`` generator dispatch
-rounds — with bit-identical outputs and identical
+``(m, k, paper_phase2, wrap_skip)`` (cached, with hit/miss and
+compile-time counters on the global metrics registry) and executes a
+whole sort as nine whole-matrix NumPy operations instead of ``4m``
+generator dispatch rounds — with bit-identical outputs and identical
 ``RunStats.to_dict()`` accounting to the generator engines, verified by
 ``tests/test_vector_columnsort.py``.
+
+``wrap_skip=True`` compiles too: the §5.2 wrap-around optimization is a
+*static* permutation once column ``k``'s wrapped elements are given
+``floor(m/2)`` parking slots beyond the column
+(:func:`repro.mcb.vector.lower.lower_wrap_skip`), so the vector engine
+runs it with the generator's exact message savings.  Only the adaptive
+``mcb_sort`` strategies (merge_sort, sample_partition, ...) remain
+generator-only — their traffic depends on run-time data.
 
 :func:`sort_even_pk_batch` adds the batch axis: ``B`` independent
 instances (same ``(k, m)``, different data) run through one compiled
 schedule as a single ``(k, m, B)`` pass, amortizing compilation and all
-per-phase Python overhead across the batch — one vectorized execution
-per grid-sweep configuration instead of ``B`` runs.
-
-Only the oblivious path is supported by design: ``wrap_skip=True``
-parks elements adaptively (data-dependent ghost rows) and the other
-``mcb_sort`` strategies drive adaptive/Listen-based programs, so both
-are rejected at compile/dispatch time with a
-:class:`~repro.mcb.errors.ConfigurationError` — never silently
-mis-executed.
+per-phase Python overhead across the batch.  ``shards > 1`` splits the
+batch axis across worker processes over one
+``multiprocessing.shared_memory`` state block — each worker owns a
+contiguous lane range, and the merged per-lane ``RunStats`` are
+bit-identical to the single-process run by construction.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -35,66 +40,183 @@ from ..columnsort.matrix import require_valid_dims
 from ..columnsort.schedule import schedule_for_phase
 from ..mcb.errors import ConfigurationError
 from ..mcb.network import MCBNetwork
-from ..mcb.trace import RunStats
+from ..mcb.trace import PhaseStats, RunStats
 from ..mcb.vector import (
     CompiledPhase,
     VectorRun,
     build_batched_state,
     build_state,
-    detect_dtype,
     lower_broadcast_schedule,
     lower_paper_transpose,
+    lower_wrap_skip,
 )
 from .even_pk import SortResult
 
+#: Compiled transformation phases per (m, k, paper_phase2, wrap_skip).
+#: A plain dict (not lru_cache) so service workers can pre-warm it at
+#: pool start and the metrics below can observe every lookup.
+_PLAN_CACHE: dict[
+    tuple[int, int, bool, bool], tuple[CompiledPhase, ...]
+] = {}
 
-@lru_cache(maxsize=64)
+
+def _plan_counter(hit: bool) -> None:
+    from ..obs.metrics import global_registry
+
+    global_registry().counter(
+        "vector_plan_cache_total",
+        "compiled columnsort plan-cache lookups by result",
+    ).inc(result="hit" if hit else "miss")
+
+
 def compiled_columnsort_phases(
-    m: int, k: int, paper_phase2: bool = False
+    m: int, k: int, paper_phase2: bool = False, wrap_skip: bool = False
 ) -> tuple[CompiledPhase, ...]:
     """The four compiled transformation phases for an ``m x k`` sort.
 
-    Cached per ``(m, k, paper_phase2)`` — compilation is the one-time
-    cost the vector engine amortizes over runs and over batch lanes.
+    Cached per ``(m, k, paper_phase2, wrap_skip)`` — compilation is the
+    one-time cost the vector engine amortizes over runs and over batch
+    lanes.  Every lookup counts on ``vector_plan_cache_total`` (labelled
+    ``result=hit|miss``) and each miss adds its wall time to the
+    ``vector_plan_compile_seconds`` counter, both on
+    :func:`repro.obs.metrics.global_registry`, so compile cost is
+    visible in ``/metrics``.  :func:`prewarm_plan_cache` fills the cache
+    ahead of the first job (service workers do this at pool start).
     """
-    first = (
-        lower_paper_transpose(m, k)
-        if paper_phase2
-        else lower_broadcast_schedule(schedule_for_phase(2, m, k))
-    )
-    return (
-        first.compile(),
-        lower_broadcast_schedule(schedule_for_phase(4, m, k)).compile(),
-        lower_broadcast_schedule(schedule_for_phase(6, m, k)).compile(),
-        lower_broadcast_schedule(schedule_for_phase(8, m, k)).compile(),
-    )
+    key = (m, k, bool(paper_phase2), bool(wrap_skip))
+    hit = key in _PLAN_CACHE
+    _plan_counter(hit)
+    if not hit:
+        from ..obs.metrics import global_registry
+
+        start = time.perf_counter()
+        first = (
+            lower_paper_transpose(m, k)
+            if paper_phase2
+            else lower_broadcast_schedule(schedule_for_phase(2, m, k))
+        )
+        fourth = lower_broadcast_schedule(schedule_for_phase(4, m, k))
+        if wrap_skip:
+            plan6, plan8 = lower_wrap_skip(m, k)
+        else:
+            plan6 = lower_broadcast_schedule(schedule_for_phase(6, m, k))
+            plan8 = lower_broadcast_schedule(schedule_for_phase(8, m, k))
+        _PLAN_CACHE[key] = (
+            first.compile(), fourth.compile(),
+            plan6.compile(), plan8.compile(),
+        )
+        global_registry().counter(
+            "vector_plan_compile_seconds",
+            "wall-clock seconds spent compiling columnsort schedule plans",
+        ).inc(time.perf_counter() - start)
+    return _PLAN_CACHE[key]
 
 
-def _descending(state: np.ndarray, skip_first: bool = False) -> np.ndarray:
+#: Mirror the functools.lru_cache surface the tests (and any cached
+#: callers) rely on.
+compiled_columnsort_phases.cache_clear = _PLAN_CACHE.clear  # type: ignore[attr-defined]
+
+
+def prewarm_plan_cache(configs: Iterable[Sequence]) -> int:
+    """Compile plans for every ``(m, k[, paper_phase2[, wrap_skip]])``.
+
+    Returns the number of configs warmed.  Intended as a worker-pool
+    initializer: spawn-context workers start with an empty module cache,
+    so without pre-warming every worker pays the full schedule compile
+    on its first job.
+    """
+    warmed = 0
+    for cfg in configs:
+        m, k, *rest = cfg
+        paper_phase2 = bool(rest[0]) if len(rest) > 0 else False
+        wrap_skip = bool(rest[1]) if len(rest) > 1 else False
+        compiled_columnsort_phases(int(m), int(k), paper_phase2, wrap_skip)
+        warmed += 1
+    return warmed
+
+
+def _descending(
+    state: np.ndarray, skip_first: bool = False, width: int | None = None
+) -> np.ndarray:
     """Sort every column (row of ``state``) descending, in place.
 
     Ties carry no hidden order: equal values are equal elements (bit
-    accounting is a function of the value), so ``np.sort`` matches the
-    generator's ``sorted(column, reverse=True)`` exactly.  Works on the
-    batch axis too — axis 1 is the slot axis in both layouts.
+    accounting is a function of the value), so an in-place sort matches
+    the generator's ``sorted(column, reverse=True)`` exactly.  Works on
+    the batch axis too — axis 1 is the slot axis in both layouts.
+    ``width`` restricts the sort to the first ``width`` slots (the
+    wrap-skip layout parks elements beyond the column proper).  Numeric
+    states sort via negate/sort/negate, which stays in place instead of
+    materializing a reversed-stride copy per phase.
     """
     lo = 1 if skip_first else 0
-    state[lo:] = np.sort(state[lo:], axis=1)[:, ::-1]
+    view = state[lo:] if width is None else state[lo:, :width]
+    if view.dtype == object:
+        view[...] = np.sort(view, axis=1)[:, ::-1]
+    else:
+        np.negative(view, out=view)
+        view.sort(axis=1)
+        np.negative(view, out=view)
     return state
 
 
-def _columnsort_pipeline(
-    run: VectorRun, state: np.ndarray, phases: tuple[CompiledPhase, ...]
+def _ascending(
+    state: np.ndarray, skip_first: bool = False, width: int | None = None
 ) -> np.ndarray:
-    state = _descending(state)                      # phase 1
-    state = run.execute(phases[0], state)           # phase 2
-    state = _descending(state)                      # phase 3
-    state = run.execute(phases[1], state)           # phase 4
-    state = _descending(state)                      # phase 5
-    state = run.execute(phases[2], state)           # phase 6
-    state = _descending(state, skip_first=True)     # phase 7 (col 1 skipped)
-    state = run.execute(phases[3], state)           # phase 8
-    return _descending(state)                       # phase 9
+    """Sort every column ascending, in place (negated-state pipeline)."""
+    lo = 1 if skip_first else 0
+    view = state[lo:] if width is None else state[lo:, :width]
+    view.sort(axis=1)
+    return state
+
+
+def _with_parking(state: np.ndarray, extra: int) -> np.ndarray:
+    """Append ``extra`` parking slots along the slot axis (wrap-skip)."""
+    shape = list(state.shape)
+    shape[1] += extra
+    out = np.empty(shape, dtype=state.dtype)
+    if state.dtype != object:
+        out[:, state.shape[1]:] = 0
+    out[:, : state.shape[1]] = state
+    return out
+
+
+def _columnsort_pipeline(
+    run: VectorRun,
+    state: np.ndarray,
+    phases: tuple[CompiledPhase, ...],
+    width: int | None = None,
+) -> np.ndarray:
+    # Every transform discards its input, so phases donate their state
+    # buffer to the executor (no per-phase defensive copy).
+    if state.dtype == object or run._dispatch is not None:
+        state = _descending(state, width=width)              # phase 1
+        state = run.execute(phases[0], state, donate=True)   # phase 2
+        state = _descending(state, width=width)              # phase 3
+        state = run.execute(phases[1], state, donate=True)   # phase 4
+        state = _descending(state, width=width)              # phase 5
+        state = run.execute(phases[2], state, donate=True)   # phase 6
+        state = _descending(state, skip_first=True, width=width)  # phase 7
+        state = run.execute(phases[3], state, donate=True)   # phase 8
+        return _descending(state, width=width)               # phase 9
+    # Numeric, unobserved runs: each descending sort is negate/sort/
+    # negate, and bit accounting is sign-invariant (ints charge
+    # ``bit_length(abs(v))``, floats a flat 64), so one global negation
+    # brackets the whole run and the five sorts go plain ascending —
+    # eight fewer full-matrix passes.  Observed runs stay on the
+    # descending path: dispatch events carry the actual values.
+    np.negative(state, out=state)
+    state = _ascending(state, width=width)                   # phase 1
+    state = run.execute(phases[0], state, donate=True)       # phase 2
+    state = _ascending(state, width=width)                   # phase 3
+    state = run.execute(phases[1], state, donate=True)       # phase 4
+    state = _ascending(state, width=width)                   # phase 5
+    state = run.execute(phases[2], state, donate=True)       # phase 6
+    state = _ascending(state, skip_first=True, width=width)  # phase 7
+    state = run.execute(phases[3], state, donate=True)       # phase 8
+    state = _ascending(state, width=width)                   # phase 9
+    np.negative(state, out=state)
+    return state
 
 
 def _validated_columns(k: int, columns: dict[int, list]) -> int:
@@ -111,15 +233,6 @@ def _validated_columns(k: int, columns: dict[int, list]) -> int:
     return m
 
 
-def _reject_wrap_skip(wrap_skip: bool) -> None:
-    if wrap_skip:
-        raise ConfigurationError(
-            "the vector engine compiles only the oblivious §5.2 schedules; "
-            "wrap_skip=True parks wrapped elements adaptively — run it on "
-            "the generator engine (engine='generator')"
-        )
-
-
 def sort_even_pk_vector(
     net: MCBNetwork,
     columns: dict[int, list],
@@ -133,22 +246,29 @@ def sort_even_pk_vector(
     Costs accumulate in ``net.stats`` and obs events flow through the
     network's attached observers, exactly as a generator run would —
     the network object stays the single accounting surface either way.
+    ``wrap_skip`` runs the compiled parking layout of
+    :func:`~repro.mcb.vector.lower.lower_wrap_skip`, matching the
+    generator's message savings broadcast for broadcast.
     """
     k = net.k
     if net.p != k:
         raise ValueError(
             f"sort_even_pk requires p == k, got p={net.p}, k={k}"
         )
-    _reject_wrap_skip(wrap_skip)
     m = _validated_columns(k, columns)
-    phases = compiled_columnsort_phases(m, k, paper_phase2)
+    wrap = wrap_skip and k > 1
+    phases = compiled_columnsort_phases(m, k, paper_phase2, wrap)
     state = build_state([list(columns[pid]) for pid in range(1, k + 1)])
+    if wrap:
+        state = _with_parking(state, m // 2)
     run = VectorRun(
         net.p, k, phase=phase, stats=net.stats, dispatch=net._dispatch
     )
-    state = _columnsort_pipeline(run, state, phases)
+    state = _columnsort_pipeline(
+        run, state, phases, width=m if wrap else None
+    )
     run.finish()
-    rows = state.tolist()
+    rows = state[:, :m].tolist()
     return SortResult(
         output={pid: tuple(rows[pid - 1]) for pid in range(1, k + 1)}
     )
@@ -162,12 +282,104 @@ class BatchSortResult:
     stats: list[RunStats]
 
 
+def resolve_shards(shards: int, lanes: int) -> int:
+    """Effective shard count: ``0`` = auto (all cores), capped by lanes."""
+    if shards < 0:
+        raise ConfigurationError(f"shards must be >= 0, got {shards}")
+    if shards == 0:
+        from ..bench.runner import resolve_max_workers
+
+        shards = resolve_max_workers()
+    return max(1, min(shards, lanes))
+
+
+def _shard_worker(job: tuple) -> list[PhaseStats]:
+    """Run one lane range of a sharded batch in a worker process.
+
+    Attaches to the parent's shared-memory state block, copies its
+    ``[lo, hi)`` lane slice into a private contiguous array, runs the
+    full columnsort pipeline on it, and writes the sorted lanes back in
+    place — lane ranges are disjoint, so writers never overlap.  The
+    returned per-lane :class:`PhaseStats` are exactly what the inline
+    run would have produced for those lanes.
+    """
+    (shm_name, shape, dtype_str, k, m, lo, hi,
+     paper_phase2, wrap_skip, phase) = job
+    from multiprocessing import shared_memory
+
+    try:
+        shm = shared_memory.SharedMemory(name=shm_name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13
+        shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        full = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=shm.buf)
+        state = np.ascontiguousarray(full[:, :, lo:hi])
+        phases = compiled_columnsort_phases(m, k, paper_phase2, wrap_skip)
+        run = VectorRun(k, k, phase=phase, batch=hi - lo)
+        state = _columnsort_pipeline(
+            run, state, phases, width=m if wrap_skip else None
+        )
+        full[:, :, lo:hi] = state
+        return run.finish()
+    finally:
+        shm.close()
+
+
+def _run_sharded(
+    state: np.ndarray,
+    k: int,
+    m: int,
+    shards: int,
+    paper_phase2: bool,
+    wrap_skip: bool,
+    phase: str,
+) -> tuple[np.ndarray, list[PhaseStats]]:
+    """Split the batch axis of ``state`` across a spawn-context pool."""
+    from concurrent.futures import ProcessPoolExecutor
+    from multiprocessing import get_context, shared_memory
+
+    lanes = state.shape[2]
+    shm = shared_memory.SharedMemory(create=True, size=state.nbytes)
+    try:
+        view = np.ndarray(state.shape, dtype=state.dtype, buffer=shm.buf)
+        view[...] = state
+        bounds = [i * lanes // shards for i in range(shards + 1)]
+        jobs = [
+            (shm.name, state.shape, state.dtype.str, k, m,
+             bounds[i], bounds[i + 1], paper_phase2, wrap_skip, phase)
+            for i in range(shards)
+        ]
+        with ProcessPoolExecutor(
+            max_workers=shards, mp_context=get_context("spawn")
+        ) as pool:
+            per_shard = list(pool.map(_shard_worker, jobs))
+        out = view.copy()
+    finally:
+        shm.close()
+        shm.unlink()
+    lane_phases = [ph for phs in per_shard for ph in phs]
+    first = lane_phases[0]
+    for ph in lane_phases[1:]:
+        # Structural counters are data-independent for an unmasked
+        # schedule: every lane of every shard must agree.
+        if (ph.cycles, ph.messages, ph.channel_writes) != (
+            first.cycles, first.messages, first.channel_writes
+        ):
+            raise RuntimeError(
+                "sharded lanes diverged structurally: "
+                f"{ph} != {first} — shards must be bit-identical"
+            )
+    return out, lane_phases
+
+
 def sort_even_pk_batch(
     k: int,
     batches: Sequence[dict[int, list]],
     *,
     paper_phase2: bool = False,
+    wrap_skip: bool = False,
     phase: str = "columnsort",
+    shards: int = 1,
 ) -> BatchSortResult:
     """Sort ``B`` independent even ``p = k`` instances in one pass.
 
@@ -177,6 +389,15 @@ def sort_even_pk_batch(
     ``RunStats`` a solo run of lane ``b`` would produce: structural
     counters (cycles, messages, channel writes) are shared by
     construction, bits are accounted per lane.
+
+    ``shards`` splits the batch axis across worker processes over one
+    shared-memory state block: ``1`` (default) runs inline, ``0`` uses
+    every core (:func:`repro.bench.runner.resolve_max_workers`), and
+    ``s > 1`` gives each of ``s`` spawn-context workers a contiguous
+    lane range.  Results and per-lane stats are bit-identical to the
+    inline run.  Object-dtype batches (tuples, mixed columns) cannot
+    ride a typed shared-memory block: ``shards=0`` degrades to inline
+    and an explicit ``shards > 1`` is refused.
     """
     if not batches:
         raise ConfigurationError("sort_even_pk_batch needs at least one lane")
@@ -184,25 +405,42 @@ def sort_even_pk_batch(
     for lane in batches[1:]:
         if _validated_columns(k, lane) != m:
             raise ValueError("all batch lanes must share the same (k, m)")
-    phases = compiled_columnsort_phases(m, k, paper_phase2)
-    dtype = detect_dtype(
-        v for lane in batches for col in lane.values() for v in col
-    )
+    lanes = len(batches)
+    wrap = wrap_skip and k > 1
     state = build_batched_state(
-        [[list(lane[pid]) for pid in range(1, k + 1)] for lane in batches],
-        dtype,
+        [[lane[pid] for pid in range(1, k + 1)] for lane in batches]
     )
-    run = VectorRun(k, k, phase=phase, batch=len(batches))
-    state = _columnsort_pipeline(run, state, phases)
-    lane_phases = run.finish()
-    results = []
-    for b in range(len(batches)):
-        rows = state[:, :, b].tolist()
-        results.append(
-            SortResult(
-                output={pid: tuple(rows[pid - 1]) for pid in range(1, k + 1)}
+    if shards != 1 and state.dtype == np.dtype(object):
+        if shards > 1:
+            raise ConfigurationError(
+                "shards > 1 runs lanes over a typed shared-memory state; "
+                "object-dtype batches (tuples, mixed columns) run "
+                f"single-process — got shards={shards}"
             )
+        shards = 1  # auto: object batches stay inline
+    else:
+        shards = resolve_shards(shards, lanes)
+    if wrap:
+        state = _with_parking(state, m // 2)
+    if shards > 1:
+        state, lane_phases = _run_sharded(
+            state, k, m, shards, paper_phase2, wrap, phase
         )
+    else:
+        phases = compiled_columnsort_phases(m, k, paper_phase2, wrap)
+        run = VectorRun(k, k, phase=phase, batch=lanes)
+        state = _columnsort_pipeline(
+            run, state, phases, width=m if wrap else None
+        )
+        lane_phases = run.finish()
+    # One contiguous (B, k, m) conversion instead of B strided slices,
+    # then C-level dict/tuple assembly per lane.
+    all_rows = np.ascontiguousarray(state[:, :m].transpose(2, 0, 1)).tolist()
+    pids = range(1, k + 1)
+    results = [
+        SortResult(output=dict(zip(pids, map(tuple, rows))))
+        for rows in all_rows
+    ]
     return BatchSortResult(
         results=results,
         stats=[RunStats(phases=[ph]) for ph in lane_phases],

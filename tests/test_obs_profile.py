@@ -194,10 +194,20 @@ class TestProfileCli:
         assert report["config"]["verified"] is True
         assert report["totals"]["cycles"] > 0
 
-    def test_engine_vector_select_rejected(self):
-        with pytest.raises(SystemExit):
-            main(["profile", "select", "--n", "64", "--p", "4", "--k", "2",
-                  "--engine", "vector"])
+    def test_engine_vector_select(self, capsys):
+        rc = main(["profile", "select", "--n", "64", "--p", "4", "--k", "2",
+                   "--engine", "vector", "--json"])
+        assert rc == 0
+        vec_report = json.loads(capsys.readouterr().out)
+        assert vec_report["config"]["engine"] == "vector"
+        rc = main(["profile", "select", "--n", "64", "--p", "4", "--k", "2",
+                   "--json"])
+        assert rc == 0
+        gen_report = json.loads(capsys.readouterr().out)
+        # The control plane is shared: identical costs and answer.
+        assert vec_report["totals"] == gen_report["totals"]
+        assert vec_report["config"]["selected"] == \
+            gen_report["config"]["selected"]
 
     def test_prom_export(self, tmp_path, capsys):
         prom = tmp_path / "run.prom"

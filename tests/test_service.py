@@ -48,6 +48,13 @@ class TestSpecValidation:
         JobSpec(**SORT).validate()
         JobSpec(**SELECT).validate()
         JobSpec(**{**SORT, "engine": "vector", "batch": 4}).validate()
+        JobSpec(**{**SELECT, "engine": "vector"}).validate()
+        JobSpec(
+            **{**SORT, "engine": "vector", "batch": 4, "shards": 2}
+        ).validate()
+        JobSpec(
+            **{**SORT, "engine": "vector", "batch": 4, "shards": 0}
+        ).validate()
 
     @pytest.mark.parametrize("bad", [
         {**SORT, "algorithm": "quicksort"},
@@ -59,9 +66,11 @@ class TestSpecValidation:
         {**SORT, "engine": "quantum"},
         {**SORT, "batch": 0},
         {**SORT, "batch": 2},                  # batch needs the vector engine
-        {**SELECT, "engine": "vector"},        # selection is adaptive
         {**SORT, "engine": "vector", "p": 8, "k": 4, "n": 64},  # p != k
         {**SORT, "engine": "vector", "n": 16},  # m=4 < k(k-1)=12
+        {**SORT, "shards": -1},                # negative shard count
+        {**SORT, "shards": 2},                 # sharding needs vector sort
+        {**SELECT, "engine": "vector", "shards": 2},  # sort-only feature
     ])
     def test_bad_specs_raise_configuration_error(self, bad):
         with pytest.raises(ConfigurationError):

@@ -2,9 +2,10 @@
 
 ``engine="vector"`` must be a pure execution-strategy switch: same
 outputs, same ``RunStats.to_dict()``, same obs event stream as the
-generator engine — and a loud :class:`ConfigurationError` for anything
-the compiled oblivious path cannot faithfully run (``wrap_skip``,
-adaptive strategies), never a silent mis-execution.
+generator engine — including ``wrap_skip`` (compiled through the
+parking-slot lowering) — and a loud :class:`ConfigurationError` for
+anything the compiled oblivious path cannot faithfully run (the
+adaptive ``mcb_sort`` strategies), never a silent mis-execution.
 """
 
 from __future__ import annotations
@@ -133,10 +134,77 @@ def test_vector_event_stream_matches_generator():
     assert gen_rec.events == vec_rec.events
 
 
-def test_wrap_skip_rejected_on_vector_engine():
-    net = ReferenceMCBNetwork(p=K, k=K)
-    with pytest.raises(ConfigurationError, match="wrap_skip"):
-        sort_even_pk(net, int_columns(1), engine="vector", wrap_skip=True)
+@pytest.mark.parametrize("kind", ["int", "float"])
+def test_wrap_skip_matches_generator(kind):
+    """The §5.2 wrap-around optimization compiles (parking slots) and
+    matches the generator's output, stats, and message savings."""
+    columns = int_columns(31) if kind == "int" else float_columns(31)
+    gen_net, gen, vec_net, vec = run_both(columns, wrap_skip=True)
+    assert gen.output == vec.output
+    assert gen_net.stats.to_dict() == vec_net.stats.to_dict()
+    # It actually saves the 2 * floor(m/2) messages vs the plain path.
+    plain_net, _, _, _ = run_both(columns)
+    saved = plain_net.stats.messages - gen_net.stats.messages
+    assert saved == 2 * (M // 2)
+
+
+def test_wrap_skip_event_stream_matches_generator():
+    columns = int_columns(33)
+    gen_rec, vec_rec = Recorder(), Recorder()
+    gen_net = ReferenceMCBNetwork(p=K, k=K)
+    gen_net.attach_observer(gen_rec)
+    sort_even_pk(
+        gen_net, {p: list(v) for p, v in columns.items()}, wrap_skip=True
+    )
+    vec_net = ReferenceMCBNetwork(p=K, k=K)
+    vec_net.attach_observer(vec_rec)
+    sort_even_pk(
+        vec_net, {p: list(v) for p, v in columns.items()},
+        engine="vector", wrap_skip=True,
+    )
+    assert gen_rec.events == vec_rec.events
+
+
+def test_batched_wrap_skip_matches_generator():
+    lanes = [int_columns(s) for s in (41, 42)]
+    batch = sort_even_pk_batch(K, lanes, wrap_skip=True)
+    for b, lane in enumerate(lanes):
+        net = ReferenceMCBNetwork(p=K, k=K)
+        gen = sort_even_pk(
+            net, {p: list(v) for p, v in lane.items()}, wrap_skip=True
+        )
+        assert batch.results[b].output == gen.output, b
+        assert batch.stats[b].to_dict() == net.stats.to_dict(), b
+
+
+@pytest.mark.parametrize("wrap_skip", [False, True])
+def test_sharded_batch_is_bit_identical_to_inline(wrap_skip):
+    """shards=2 splits the lanes over a shared-memory state; outputs and
+    per-lane stats must match the single-process run exactly."""
+    lanes = [int_columns(s) for s in (51, 52, 53, 54, 55)]
+    inline = sort_even_pk_batch(K, lanes, wrap_skip=wrap_skip)
+    sharded = sort_even_pk_batch(K, lanes, wrap_skip=wrap_skip, shards=2)
+    assert [r.output for r in inline.results] == [
+        r.output for r in sharded.results
+    ]
+    assert [s.to_dict() for s in inline.stats] == [
+        s.to_dict() for s in sharded.stats
+    ]
+
+
+def test_sharding_rejects_object_dtype_and_bad_counts():
+    lanes = [
+        {pid: [(v, pid, j) for j, v in enumerate(col)] for pid, col in
+         int_columns(s).items()}
+        for s in (61, 62)
+    ]
+    with pytest.raises(ConfigurationError, match="object-dtype"):
+        sort_even_pk_batch(K, lanes, shards=2)
+    # shards=0 (auto) degrades to inline for object batches.
+    out = sort_even_pk_batch(K, lanes, shards=0)
+    assert len(out.results) == 2
+    with pytest.raises(ConfigurationError, match="shards"):
+        sort_even_pk_batch(K, [int_columns(63)], shards=-1)
 
 
 def test_unknown_engine_rejected():
@@ -193,3 +261,40 @@ def test_schedule_cache_counters_track_compilation_reuse():
     # recomputes nothing.
     assert sched.get(result="miss") + bvn.get(result="miss") == misses
     assert sched.get(result="hit") >= 4
+
+
+def test_plan_cache_counters_and_compile_seconds():
+    """The compiled-plan cache reports hits/misses and compile wall time
+    on the global registry (the /metrics surface the service pre-warming
+    satellite relies on)."""
+    reg = global_registry()
+    reg.reset()
+    compiled_columnsort_phases.cache_clear()
+    plans = reg.counter("vector_plan_cache_total")
+    compiled_columnsort_phases(M, K)
+    assert plans.get(result="miss") == 1
+    assert plans.get(result="hit") == 0
+    seconds = reg.counter("vector_plan_compile_seconds")
+    first_cost = seconds.get()
+    assert first_cost > 0
+    compiled_columnsort_phases(M, K)
+    assert plans.get(result="hit") == 1
+    assert seconds.get() == first_cost  # hits compile nothing
+    # wrap_skip is a distinct plan identity, not a hit on the plain one.
+    compiled_columnsort_phases(M, K, wrap_skip=True)
+    assert plans.get(result="miss") == 2
+
+
+def test_prewarm_plan_cache():
+    from repro.sort.vector import prewarm_plan_cache
+
+    reg = global_registry()
+    reg.reset()
+    compiled_columnsort_phases.cache_clear()
+    warmed = prewarm_plan_cache([(M, K), (M, K, False, True)])
+    assert warmed == 2
+    plans = reg.counter("vector_plan_cache_total")
+    assert plans.get(result="miss") == 2
+    # Warm cache: the next sort's plan lookup is a hit.
+    compiled_columnsort_phases(M, K)
+    assert plans.get(result="hit") == 1

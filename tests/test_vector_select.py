@@ -1,0 +1,157 @@
+"""``mcb_select(engine="vector")`` vs the generator engine: exact parity.
+
+The vector selection keeps the network control plane untouched and swaps
+only the candidate data plane (:class:`repro.select.vector.VectorCandidates`
+for the per-pid lists), so the bar is bit-identity: same selected value
+(type included), same per-phase trace, same ``RunStats.to_dict()``.  The
+sweep covers every rank of small configurations — hitting all three
+pivot cases, the reflection device, §3 tagging via duplicates, and both
+pair sorters — plus float and tuple payloads.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.mcb.errors import ConfigurationError
+from repro.mcb.network import MCBNetwork
+from repro.select import mcb_select
+from repro.select.filtering import mcb_select_descending
+from repro.select.vector import VectorCandidates
+
+
+def run_both(parts, d, p, k, **kwargs):
+    gen_net = MCBNetwork(p=p, k=k)
+    gen = mcb_select(gen_net, parts, d, **kwargs)
+    vec_net = MCBNetwork(p=p, k=k)
+    vec = mcb_select(vec_net, parts, d, engine="vector", **kwargs)
+    assert vec.value == gen.value
+    assert type(vec.value) is type(gen.value)
+    assert vec.trace.phases == gen.trace.phases
+    assert vec_net.stats.to_dict() == gen_net.stats.to_dict()
+    return gen
+
+
+def even_parts(n, p, seed, kind="int"):
+    rng = random.Random(seed)
+    if kind == "int":
+        pool = rng.sample(range(-10 * n, 10 * n), n)
+    elif kind == "float":
+        pool = [rng.uniform(-100, 100) for _ in range(n)]
+    else:  # duplicates force §3 tagging
+        pool = [rng.randrange(max(2, n // 3)) for _ in range(n)]
+    size = n // p
+    return {
+        i + 1: pool[i * size:(i + 1) * size] for i in range(p)
+    }
+
+
+@pytest.mark.parametrize("p,k", [(4, 2), (5, 5), (6, 3), (2, 2)])
+@pytest.mark.parametrize("kind", ["int", "dup"])
+def test_every_rank_matches_generator(p, k, kind):
+    """Exhaustive over d: every rank of a small set, both engines."""
+    n = 4 * p
+    parts = even_parts(n, p, seed=p * 31 + k, kind=kind)
+    pool = sorted(
+        (e for v in parts.values() for e in v), reverse=True
+    )
+    for d in range(1, n + 1):
+        res = run_both(parts, d, p, k)
+        assert res.value == pool[d - 1], d
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_float_median_matches_generator(seed):
+    p, k, n = 8, 4, 48
+    parts = even_parts(n, p, seed=seed, kind="float")
+    run_both(parts, (n + 1) // 2, p, k)
+
+
+@pytest.mark.parametrize("pair_sorter", ["ones", "uneven"])
+def test_pair_sorters_match_generator(pair_sorter):
+    p, k, n = 4, 2, 16
+    parts = even_parts(n, p, seed=9)
+    gen_net = MCBNetwork(p=p, k=k)
+    gen = mcb_select_descending(
+        gen_net, parts, 3, pair_sorter=pair_sorter
+    )
+    vec_net = MCBNetwork(p=p, k=k)
+    vec = mcb_select_descending(
+        vec_net, parts, 3, pair_sorter=pair_sorter, engine="vector"
+    )
+    assert vec.value == gen.value
+    assert vec_net.stats.to_dict() == gen_net.stats.to_dict()
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ConfigurationError, match="unknown engine"):
+        mcb_select_descending(
+            MCBNetwork(p=2, k=2), {1: [1], 2: [2]}, 1, engine="quantum"
+        )
+
+
+def test_emptied_processor_dummy_pairs_round_trip():
+    """A purge that empties a processor makes it announce a dummy pair;
+    with tagged (tuple) elements the dummy must still travel through the
+    pair sorter as a real element (regression: an all--inf tuple head
+    satisfied ``is_dummy`` and was dropped as padding)."""
+    p, k = 4, 2
+    parts = {1: [7, 7, 7, 7], 2: [1, 1, 1, 1], 3: [7, 1, 7, 1],
+             4: [1, 7, 1, 7]}
+    n = 16
+    pool = sorted((e for v in parts.values() for e in v), reverse=True)
+    for d in (1, n // 2, n):
+        res = run_both(parts, d, p, k)
+        assert res.value == pool[d - 1], d
+
+
+# ---------------------------------------------------------------------------
+# The candidate store in isolation, against the list semantics
+# ---------------------------------------------------------------------------
+
+class TestVectorCandidates:
+    def test_numeric_store_mirrors_lists(self):
+        parts = {1: [9, 2, 5, 7], 2: [4, 8, 1, 3], 3: [6, 0, 10, 11]}
+        store = VectorCandidates(parts, 3)
+        assert store.numeric
+        assert store.total() == 12
+        for pid, vals in parts.items():
+            assert store.count(pid) == len(vals)
+            assert store.row(pid) == list(vals)
+            assert store.median(pid) == sorted(vals)[len(vals) // 2]
+            assert isinstance(store.median(pid), int)
+        assert store.ge_counts(5) == {
+            pid: sum(1 for e in vals if e >= 5)
+            for pid, vals in parts.items()
+        }
+
+    def test_purge_preserves_order_and_drops_correctly(self):
+        parts = {1: [9, 2, 5, 7], 2: [4, 8, 1, 3]}
+        store = VectorCandidates(parts, 2)
+        store.purge(4, keep_gt=True)
+        assert store.row(1) == [9, 5, 7]
+        assert store.row(2) == [8]
+        store.purge(7, keep_gt=False)
+        assert store.row(1) == [5]
+        assert store.row(2) == []
+        assert store.count(2) == 0 and store.total() == 1
+
+    def test_object_store_handles_tuples(self):
+        parts = {1: [(3, 1, 0), (1, 1, 1)], 2: [(2, 2, 0), (4, 2, 1)]}
+        store = VectorCandidates(parts, 2)
+        assert not store.numeric
+        assert store.median(1) == (3, 1, 0)
+        assert store.ge_counts((2, 2, 0)) == {1: 1, 2: 2}
+        store.purge((2, 2, 0), keep_gt=True)
+        assert store.row(1) == [(3, 1, 0)]
+        assert store.row(2) == [(4, 2, 1)]
+
+    def test_row_values_are_native_python(self):
+        store = VectorCandidates({1: [1.5, -2.5]}, 1)
+        row = store.row(1)
+        assert all(type(v) is float for v in row)
+        assert type(store.median(1)) is float
+        counts = store.ge_counts(-2.5)
+        assert all(type(c) is int for c in counts.values())
