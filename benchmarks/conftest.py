@@ -46,6 +46,12 @@ CANONICAL_BENCHES = (
     "service",
 )
 
+# Benchmarks must not read or write the user's ~/.cache: default the
+# persistent compiled-plan cache to results/cache/plans (gitignored with
+# the rest of results/), where CI persists it as an actions cache keyed
+# by the plan schema version.  An explicit REPRO_PLAN_CACHE wins.
+os.environ.setdefault("REPRO_PLAN_CACHE", str(CACHE_DIR / "plans"))
+
 
 class BenchRecorder:
     """Collect per-benchmark records; append one JSONL-in-.json file each.

@@ -16,6 +16,7 @@ against reading results written by an incompatible harness.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any, NamedTuple, Optional
 
@@ -24,6 +25,18 @@ from typing import Any, NamedTuple, Optional
 #: v2: keys grew an ``engine`` field (generator vs vector execution).
 #: v3: keys grew a ``shards`` field (multi-core batch sharding).
 CACHE_VERSION = 3
+
+
+def default_cache_root() -> Path:
+    """The shared persistent-cache root: ``~/.cache/repro``.
+
+    Honours ``XDG_CACHE_HOME`` like every other XDG-aware tool.  Both
+    the bench result cache and the compiled-plan cache
+    (:mod:`repro.mcb.vector.cache`) nest under this directory.
+    """
+    base = os.environ.get("XDG_CACHE_HOME")
+    root = Path(base) if base else Path.home() / ".cache"
+    return root / "repro"
 
 
 def _cache_counter(hit: bool) -> None:

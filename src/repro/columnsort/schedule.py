@@ -136,6 +136,14 @@ def bvn_decomposition(t: np.ndarray) -> list[tuple[np.ndarray, int]]:
     the destination matched to source ``s`` and the permutation matrices,
     weighted by their counts, sum to ``t``.  Total count equals the common
     row sum.
+
+    Adjacency is kept as one bitmask int per source row and the matching
+    is repaired incrementally between rounds: subtracting a count only
+    breaks the matched edges that hit zero, so most rounds re-augment a
+    handful of rows instead of rebuilding the whole matching — the
+    difference between ``O(k)`` and ``O(k^2)`` augmentations over the
+    decomposition, and the dominant cost of plan compilation at large
+    ``k``.
     """
     t = t.copy()
     k = t.shape[0]
@@ -143,17 +151,49 @@ def bvn_decomposition(t: np.ndarray) -> list[tuple[np.ndarray, int]]:
     col_sums = t.sum(axis=0)
     if not (np.all(row_sums == row_sums[0]) and np.all(col_sums == row_sums[0])):
         raise ValueError("transfer matrix must have equal row and column sums")
+
+    # adj[s]: bit d set iff t[s, d] > 0.  Python ints give branch-free
+    # set operations (b = avail & -avail pops the lowest candidate).
+    adj = [
+        int.from_bytes(
+            np.packbits(t[s] != 0, bitorder="little").tobytes(), "little"
+        )
+        for s in range(k)
+    ]
+    match_dst = [-1] * k  # destination -> source
+    match_src = [-1] * k  # source -> destination
+
+    def try_augment(s: int, visited: list[int]) -> bool:
+        avail = adj[s] & ~visited[0]
+        while avail:
+            b = avail & -avail
+            avail &= avail - 1
+            d = b.bit_length() - 1
+            visited[0] |= b
+            if match_dst[d] == -1 or try_augment(match_dst[d], visited):
+                match_dst[d] = s
+                match_src[s] = d
+                return True
+        return False
+
     out: list[tuple[np.ndarray, int]] = []
     remaining = int(row_sums[0])
     while remaining > 0:
-        adj = [list(np.nonzero(t[s])[0]) for s in range(k)]
-        match_dst = _kuhn_matching(adj, k)
-        matching = np.empty(k, dtype=np.int64)
-        for d, s in enumerate(match_dst):
-            matching[s] = d
-        count = int(min(t[s, matching[s]] for s in range(k)))
         for s in range(k):
-            t[s, matching[s]] -= count
+            if match_src[s] == -1 and not try_augment(s, [0]):
+                raise AssertionError(
+                    "no perfect matching; transfer matrix is not doubly "
+                    "balanced"
+                )
+        matching = np.array(match_src, dtype=np.int64)
+        count = int(min(t[s, match_src[s]] for s in range(k)))
+        for s in range(k):
+            d = match_src[s]
+            t[s, d] -= count
+            if t[s, d] == 0:
+                adj[s] &= ~(1 << d)
+                match_src[s] = -1
+                match_dst[d] = -1
         out.append((matching, count))
         remaining -= count
     return out
@@ -169,6 +209,16 @@ def bvn_decomposition(t: np.ndarray) -> list[tuple[np.ndarray, int]]:
 # make the reuse observable through the global metrics registry.
 _BVN_CACHE: dict[tuple[int, int, int], list[tuple[np.ndarray, int]]] = {}
 _SCHEDULE_CACHE: dict[tuple[int, int, int], BroadcastSchedule] = {}
+
+
+def clear_schedule_caches() -> None:
+    """Drop the memoized BvN decompositions and schedules.
+
+    Used by benchmarks that need a true cold compile; the metrics
+    counters are left alone.
+    """
+    _BVN_CACHE.clear()
+    _SCHEDULE_CACHE.clear()
 
 
 def _cache_counter(name: str, hit: bool) -> None:

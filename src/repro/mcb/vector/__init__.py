@@ -16,6 +16,12 @@ many instances through one compiled schedule with
 :func:`repro.sort.vector.sort_even_pk_batch`.
 """
 
+from .cache import (
+    PLAN_SCHEMA_VERSION,
+    load_compiled_phases,
+    plan_cache_dir,
+    save_compiled_phases,
+)
 from .executor import (
     VectorRun,
     build_batched_state,
@@ -25,18 +31,23 @@ from .executor import (
     detect_dtype_rows,
     masked_reduce,
     message_bits,
+    static_message_bits,
 )
 from .lower import (
     lower_broadcast_schedule,
     lower_paper_transpose,
+    lower_phase_columnar,
     lower_rebalance_movement,
     lower_simulation_block,
     lower_wrap_skip,
 )
+from .optimize import FusedPhase, fuse_phases
 from .plan import CompiledPhase, SchedulePlan
 
 __all__ = [
     "CompiledPhase",
+    "FusedPhase",
+    "PLAN_SCHEMA_VERSION",
     "SchedulePlan",
     "VectorRun",
     "build_batched_state",
@@ -44,11 +55,17 @@ __all__ = [
     "compact_rows",
     "detect_dtype",
     "detect_dtype_rows",
+    "fuse_phases",
+    "load_compiled_phases",
     "lower_broadcast_schedule",
     "lower_paper_transpose",
+    "lower_phase_columnar",
     "lower_rebalance_movement",
     "lower_simulation_block",
     "lower_wrap_skip",
     "masked_reduce",
     "message_bits",
+    "plan_cache_dir",
+    "save_compiled_phases",
+    "static_message_bits",
 ]

@@ -1,0 +1,138 @@
+"""Persistent on-disk cache for compiled columnsort plans.
+
+Compiling the four transformation phases of one ``(m, k)`` is a pure
+function of ``(m, k, paper_phase2, wrap_skip)`` — so the resulting
+:class:`~repro.mcb.vector.plan.CompiledPhase` arrays can be written to
+disk once and loaded by every later process (service boots, CI runs,
+fresh grid sweeps) in milliseconds instead of recompiled.
+
+Layout: one ``.npz`` per configuration under the cache directory,
+holding each phase's ten columnar int64 arrays plus a scalar metadata
+record.  Entries are trusted (they were validated when first compiled);
+the ``PLAN_SCHEMA_VERSION`` baked into both the filename and the
+payload invalidates every entry whenever the compiled representation
+changes — bump it in the same commit that changes
+:class:`CompiledPhase`'s layout or the lowerings' output.
+
+The directory is resolved by :func:`plan_cache_dir`:
+
+* ``REPRO_PLAN_CACHE=<dir>`` — use that directory;
+* ``REPRO_PLAN_CACHE`` set to ``off``/``0``/empty — disable entirely;
+* unset — ``~/.cache/repro/plans`` (via
+  :func:`repro.bench.cache.default_cache_root`, so ``XDG_CACHE_HOME``
+  is honoured).
+
+Corrupt, truncated or version-mismatched entries load as ``None``
+(a miss) — never as errors; writes are atomic (temp file + rename).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ...bench.cache import default_cache_root
+from .plan import CompiledPhase
+
+#: Bump whenever the on-disk representation changes incompatibly — a
+#: CompiledPhase layout change, a lowering-output change, anything that
+#: would make a stale entry wrong.  Mismatched entries read as misses.
+PLAN_SCHEMA_VERSION = 1
+
+_ARRAY_FIELDS = (
+    "w_cycle", "w_proc", "w_chan", "w_src",
+    "r_proc", "r_dst", "r_widx",
+    "m_proc", "m_src", "m_dst",
+)
+_DISABLED = {"", "0", "off", "none", "disabled"}
+
+
+def plan_cache_dir() -> Optional[Path]:
+    """The plan-cache directory, or ``None`` when caching is disabled."""
+    env = os.environ.get("REPRO_PLAN_CACHE")
+    if env is not None:
+        if env.strip().lower() in _DISABLED:
+            return None
+        return Path(env)
+    return default_cache_root() / "plans"
+
+
+def columnsort_plan_path(
+    root: Path, m: int, k: int, paper_phase2: bool, wrap_skip: bool
+) -> Path:
+    """Deterministic entry path for one columnsort configuration."""
+    return root / (
+        f"columnsort_m{m}_k{k}"
+        f"_paper{int(paper_phase2)}_wrap{int(wrap_skip)}"
+        f"_v{PLAN_SCHEMA_VERSION}.npz"
+    )
+
+
+def save_compiled_phases(
+    path: Path, phases: Sequence[CompiledPhase]
+) -> Path:
+    """Atomically write ``phases`` to ``path``; returns the file written."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays: dict[str, np.ndarray] = {
+        "schema": np.array(
+            [PLAN_SCHEMA_VERSION, len(phases)], dtype=np.int64
+        ),
+    }
+    for i, ph in enumerate(phases):
+        arrays[f"p{i}_meta"] = np.array(
+            [ph.p, ph.k, ph.cycles, ph.slots, int(ph.allow_empty_reads)],
+            dtype=np.int64,
+        )
+        arrays[f"p{i}_kind"] = np.array(ph.kind)
+        for name in _ARRAY_FIELDS:
+            arrays[f"p{i}_{name}"] = getattr(ph, name)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.stem, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez(fh, **arrays)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_compiled_phases(
+    path: Path,
+) -> Optional[tuple[CompiledPhase, ...]]:
+    """Load a cached entry, or ``None`` when absent/corrupt/stale."""
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            schema = data["schema"]
+            if schema[0] != PLAN_SCHEMA_VERSION:
+                return None
+            phases = []
+            for i in range(int(schema[1])):
+                meta = data[f"p{i}_meta"]
+                arrays = {
+                    name: np.ascontiguousarray(
+                        data[f"p{i}_{name}"], dtype=np.int64
+                    )
+                    for name in _ARRAY_FIELDS
+                }
+                phases.append(
+                    CompiledPhase(
+                        p=int(meta[0]), k=int(meta[1]),
+                        cycles=int(meta[2]), slots=int(meta[3]),
+                        allow_empty_reads=bool(meta[4]),
+                        kind=str(data[f"p{i}_kind"]),
+                        **arrays,
+                    )
+                )
+            return tuple(phases)
+    except Exception:
+        return None

@@ -118,6 +118,22 @@ def message_bits(values: np.ndarray) -> np.ndarray:
     raise TypeError(f"unsupported element dtype {a.dtype!r}")
 
 
+def static_message_bits(dtype: np.dtype) -> Optional[int]:
+    """Per-message bit cost when it is value-independent, else ``None``.
+
+    Floats always cost 64 payload bits and bools 1 (plus the kind tag),
+    so phases over those states can charge ``messages * constant`` —
+    a compile-time product — instead of materializing a per-message bits
+    array; int and object payloads are charged their exact per-value
+    lengths on the dynamic path.
+    """
+    if dtype.kind == "f":
+        return _KIND_BITS + 64
+    if dtype.kind == "b":
+        return _KIND_BITS + 1
+    return None
+
+
 def detect_dtype(values: Iterable[Any]) -> np.dtype:
     """The narrowest dtype that preserves generator-engine semantics.
 
@@ -386,16 +402,84 @@ class VectorRun:
         self.cycle += compiled.cycles
         return out
 
+    def execute_fused(self, fused, state: np.ndarray) -> np.ndarray:
+        """Run a :class:`~repro.mcb.vector.optimize.FusedPhase`.
+
+        The fused phase is the whole composed permutation as one gather:
+        ``out[proc, slot] = state[g_proc[proc, slot], g_slot[proc, slot]]``
+        — every intermediate pass (and every dead move) is gone.
+        Accounting is identical to running the constituent phases in
+        sequence: messages/cycles/channel-writes are fused constants, and
+        bits are charged per original broadcast — statically for
+        value-independent dtypes, else by gathering the original write
+        values (``b_proc``/``b_slot`` index the *pre-fusion* state, which
+        is exactly the value each constituent write would have sent,
+        because fused phases contain no intervening reads of written
+        slots).
+
+        Fused phases cannot be observed (the per-message event stream of
+        the constituents is not reconstructed) and take no write mask —
+        masked or observed phases stay on :meth:`execute`.
+        """
+        if self._dispatch is not None:
+            raise ConfigurationError(
+                "fused phases cannot emit per-message events; run the "
+                "constituent phases individually on observed runs"
+            )
+        expect_ndim = 2 if self.batch is None else 3
+        if state.ndim != expect_ndim:
+            raise ConfigurationError(
+                f"state has {state.ndim} axes; expected {expect_ndim} "
+                f"(batch={self.batch})"
+            )
+        if fused.k != self.k or fused.p > state.shape[0]:
+            raise ConfigurationError(
+                f"fused phase shape (p={fused.p}, k={fused.k}) does "
+                f"not fit the run (p={state.shape[0]}, k={self.k})"
+            )
+        gathered = state[fused.g_proc, fused.g_slot]
+        if fused.p == state.shape[0]:
+            out = gathered
+        else:
+            out = state.copy()
+            out[: fused.p] = gathered
+        static = static_message_bits(state.dtype)
+        if static is not None:
+            self._bits += fused.messages * static
+        else:
+            bits = message_bits(state[fused.b_proc, fused.b_slot])
+            if self.batch is None:
+                self._bits[0] += int(bits.sum())
+            else:
+                self._bits += bits.sum(axis=0)
+        self._messages += fused.messages
+        self._cw += fused.channel_write_counts()[:, None]
+        self.cycle += fused.cycles
+        return out
+
     def _account_unmasked(
         self, compiled: CompiledPhase, vals: np.ndarray, out: np.ndarray
     ) -> None:
         if len(compiled.r_proc):
             out[compiled.r_proc, compiled.r_dst] = vals[compiled.r_widx]
-        bits = message_bits(vals)
-        if self.batch is None:
-            self._bits[0] += int(bits.sum())
+        # Unmasked phases on value-independent dtypes need no runtime
+        # accounting at all: messages and channel writes are plan
+        # constants, and the bit total is messages * static cost.  The
+        # dynamic path stays for int/object payloads (exact per-value
+        # bit lengths) and for observed runs (events carry per-message
+        # bits).
+        static = (
+            None if self._dispatch is not None
+            else static_message_bits(vals.dtype)
+        )
+        if static is not None:
+            self._bits += compiled.messages * static
         else:
-            self._bits += bits.sum(axis=0)
+            bits = message_bits(vals)
+            if self.batch is None:
+                self._bits[0] += int(bits.sum())
+            else:
+                self._bits += bits.sum(axis=0)
         self._messages += len(compiled.w_cycle)
         self._cw += compiled.channel_write_counts()[:, None]
         if self._dispatch is not None:

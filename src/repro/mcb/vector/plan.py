@@ -84,7 +84,7 @@ class CompiledPhase:
         "w_cycle", "w_proc", "w_chan", "w_src",
         "r_proc", "r_dst", "r_widx",
         "m_proc", "m_src", "m_dst",
-        "_readers",
+        "_readers", "_cw_counts",
     )
 
     def __init__(
@@ -124,6 +124,7 @@ class CompiledPhase:
         self.m_src = m_src
         self.m_dst = m_dst
         self._readers: Optional[list[tuple[int, ...]]] = None
+        self._cw_counts: Optional[np.ndarray] = None
 
     @property
     def messages(self) -> int:
@@ -131,8 +132,19 @@ class CompiledPhase:
         return len(self.w_cycle)
 
     def channel_write_counts(self) -> np.ndarray:
-        """Writes per channel, dense ``(k + 1,)`` array (index 0 unused)."""
-        return np.bincount(self.w_chan, minlength=self.k + 1).astype(np.int64)
+        """Writes per channel, dense ``(k + 1,)`` array (index 0 unused).
+
+        A compile-time constant of the phase, computed once and cached —
+        the executor adds it straight into its per-channel accounting on
+        every execute call.
+        """
+        counts = self._cw_counts
+        if counts is None:
+            counts = np.bincount(
+                self.w_chan, minlength=self.k + 1
+            ).astype(np.int64)
+            self._cw_counts = counts
+        return counts
 
     def readers_by_write(self) -> list[tuple[int, ...]]:
         """1-based reader pids per write event, ascending (event order)."""
@@ -205,7 +217,94 @@ class SchedulePlan:
                 f"invalid plan shape: p={p}, k={k}, cycles={cycles}, "
                 f"slots={slots}"
             )
+        fast = self._compile_fast()
+        if fast is not None:
+            return fast
+        return self._compile_slow()
 
+    def _compile_fast(self) -> Optional[CompiledPhase]:
+        """Vectorized validation — the whole-plan checks as array ops.
+
+        Returns ``None`` whenever *any* rule is (or merely might be)
+        violated, and :meth:`compile` falls back to :meth:`_compile_slow`,
+        which re-derives the exact diagnostic (message text and raise
+        order are pinned by tests).  The happy path — every lowering in
+        :mod:`repro.mcb.vector.lower` — never takes the fallback, so
+        compile cost scales with NumPy sorts instead of per-event Python.
+        """
+        p, k, cycles, slots = self.p, self.k, self.cycles, self.slots
+        try:
+            w = np.array(self.writes, dtype=np.int64).reshape(-1, 4)
+            r = np.array(self.reads, dtype=np.int64).reshape(-1, 4)
+            mv = np.array(self.moves, dtype=np.int64).reshape(-1, 3)
+        except (OverflowError, TypeError, ValueError):
+            return None
+
+        for ev in (w, r):
+            if len(ev) and not (
+                (ev[:, 0] >= 0).all() and (ev[:, 0] < cycles).all()
+                and (ev[:, 1] >= 0).all() and (ev[:, 1] < p).all()
+                and (ev[:, 2] >= 1).all() and (ev[:, 2] <= k).all()
+                and (ev[:, 3] >= 0).all() and (ev[:, 3] < slots).all()
+            ):
+                return None
+        if len(mv) and not (
+            (mv[:, 0] >= 0).all() and (mv[:, 0] < p).all()
+            and (mv[:, 1:] >= 0).all() and (mv[:, 1:] < slots).all()
+        ):
+            return None
+
+        # Writes in (cycle, proc) order — the generator delivery order.
+        w = w[np.lexsort((w[:, 1], w[:, 0]))]
+        if len(w):
+            if (np.diff(w[:, 0] * p + w[:, 1]) == 0).any():
+                return None  # a processor writes twice in one cycle
+            wc_key = w[:, 0] * (k + 1) + w[:, 2]
+            wc_order = np.argsort(wc_key, kind="stable")
+            wc_sorted = wc_key[wc_order]
+            if (np.diff(wc_sorted) == 0).any():
+                return None  # channel collision
+        else:
+            wc_order = wc_sorted = np.empty(0, dtype=np.int64)
+
+        r = r[np.lexsort((r[:, 1], r[:, 0]))]
+        if len(r):
+            if (np.diff(r[:, 0] * p + r[:, 1]) == 0).any():
+                return None  # a processor reads twice in one cycle
+            rc_key = r[:, 0] * (k + 1) + r[:, 2]
+            pos = np.searchsorted(wc_sorted, rc_key)
+            if len(wc_sorted):
+                found = wc_sorted[np.minimum(pos, len(wc_sorted) - 1)] == rc_key
+            else:
+                found = np.zeros(len(r), dtype=bool)
+            if not found.all() and not self.allow_empty_reads:
+                return None  # read of a silent channel
+            mr = r[found]
+            r_widx = wc_order[pos[found]]
+        else:
+            mr = r
+            r_widx = np.empty(0, dtype=np.int64)
+
+        dest_keys = np.concatenate(
+            [mr[:, 1] * slots + mr[:, 3], mv[:, 0] * slots + mv[:, 2]]
+        )
+        if len(np.unique(dest_keys)) != len(dest_keys):
+            return None  # two events deliver into one slot
+
+        return CompiledPhase(
+            p=p, k=k, cycles=cycles, slots=slots, kind=self.kind,
+            allow_empty_reads=self.allow_empty_reads,
+            w_cycle=w[:, 0].copy(), w_proc=w[:, 1].copy(),
+            w_chan=w[:, 2].copy(), w_src=w[:, 3].copy(),
+            r_proc=mr[:, 1].copy(), r_dst=mr[:, 3].copy(),
+            r_widx=np.ascontiguousarray(r_widx),
+            m_proc=mv[:, 0].copy(), m_src=mv[:, 1].copy(),
+            m_dst=mv[:, 2].copy(),
+        )
+
+    def _compile_slow(self) -> CompiledPhase:
+        """Event-at-a-time validation: the diagnostic (and fallback) path."""
+        p, k, cycles, slots = self.p, self.k, self.cycles, self.slots
         writes = sorted(self.writes, key=lambda w: (w[0], w[1]))
         seen_wp: set[tuple[int, int]] = set()
         for cy, proc, chan, src in writes:

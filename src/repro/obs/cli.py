@@ -186,8 +186,16 @@ def cmd_profile(args) -> int:
             for ev in prof.sink.events:
                 sink.emit(ev)
     if args.prom:
+        # Include the process-wide families (plan/schedule cache
+        # counters, compile seconds) alongside the per-run registry;
+        # per-run families win on a name collision.
+        from .metrics import MetricsRegistry, global_registry
+
+        merged = MetricsRegistry()
+        merged._metrics.update(global_registry()._metrics)
+        merged._metrics.update(prof.metrics_observer.registry._metrics)
         with open(args.prom, "w", encoding="utf-8") as fh:
-            fh.write(prof.metrics_observer.registry.render_prometheus())
+            fh.write(merged.render_prometheus())
 
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))

@@ -32,6 +32,17 @@ from .sinks import MemorySink
 
 _SPARK = "▁▂▃▄▅▆▇█"
 
+#: Process-global counter families surfaced on profile reports.  The
+#: plan-compiler counters land on the *global* registry (they belong to
+#: the library, not to one network), so without this list ``repro
+#: profile --engine vector`` would report a run with no plan-cache
+#: activity at all.
+_GLOBAL_FAMILIES = (
+    "vector_plan_cache_total",
+    "vector_plan_compile_seconds",
+    "vector_plan_phases_fused",
+)
+
 
 @dataclass
 class PhaseProfile:
@@ -235,9 +246,18 @@ class Profiler:
         self._observer_errors: dict[str, int] = {}
         self._err_disp: Any = None
         self._err_seen: dict[str, int] = {}
+        self._global_before: dict[str, dict] = {}
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "Profiler":
+        from .metrics import global_registry
+
+        reg = global_registry()
+        self._global_before = {
+            name: dict(reg._metrics[name]._samples)
+            for name in _GLOBAL_FAMILIES
+            if name in reg
+        }
         self.net.attach_observer(self.metrics_observer)
         self.net.attach_observer(self.pipeline_observer)
         self._attached = True
@@ -335,10 +355,49 @@ class Profiler:
             phases=phases,
             totals=totals,
             timeline=self._timeline(total_cycles, k),
-            metrics=self.metrics_observer.snapshot(),
+            metrics=self._merged_metrics(),
             pipeline=self.events_pipeline.stats(),
             observer_errors=dict(self._observer_errors),
         )
+
+    def _merged_metrics(self) -> dict[str, Any]:
+        """The observer's registry snapshot plus plan-compiler deltas.
+
+        Only the *increments* since ``__enter__`` are reported — this run
+        caused them — so reports stay reproducible no matter what earlier
+        runs in the process did to the cumulative global counters.
+        Per-run families win on a name collision.
+        """
+        from .metrics import global_registry
+
+        reg = global_registry()
+        merged: dict[str, Any] = {}
+        for name in _GLOBAL_FAMILIES:
+            metric = reg._metrics.get(name)
+            if metric is None:
+                continue
+            before = self._global_before.get(name, {})
+            delta = {
+                key: value - before.get(key, 0)
+                for key, value in metric._samples.items()
+                if value != before.get(key, 0)
+            }
+            if not delta:
+                continue
+            if list(delta.keys()) == [()]:
+                value: Any = delta[()]
+            else:
+                value = {
+                    ",".join(f"{k}={v}" for k, v in key) or "": val
+                    for key, val in sorted(delta.items(), key=repr)
+                }
+            merged[name] = {
+                "type": metric.metric_type,
+                "help": metric.help,
+                "value": value,
+            }
+        merged.update(self.metrics_observer.registry.snapshot())
+        return merged
 
     def _predictions(self, names, k):
         """Theory-overlay predictions keyed by phase name (may be empty).

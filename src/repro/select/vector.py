@@ -38,6 +38,7 @@ from ..mcb.vector.executor import (
     _INT_LIMIT,
     compact_rows,
     detect_dtype_rows,
+    masked_reduce,
 )
 
 
@@ -131,8 +132,9 @@ class VectorCandidates:
         """Per-pid count of live candidates ``>= med_star`` (Python ints —
         these become message payloads with exact bit accounting)."""
         if self.numeric:
-            ge = (self.values >= med_star) & self._live()
-            per = ge.sum(axis=1)
+            # int64 before the reduce: np.add on bools is logical-or.
+            flags = (self.values >= med_star).astype(np.int64)
+            per = masked_reduce(flags, self._live())
             return {i + 1: int(per[i]) for i in range(self.p)}
         return {
             i + 1: sum(

@@ -51,7 +51,14 @@ from ..obs.events import (
 )
 from ..obs.metrics import MetricsRegistry, global_registry
 from ..obs.sinks import FanOutSink, Sink
-from .execution import prewarm_worker, run_batch_lanes, run_lane
+from .execution import (
+    _PLAN_METRIC_HELP,
+    prewarm_worker,
+    run_batch_lanes,
+    run_batch_lanes_metered,
+    run_lane,
+    run_lane_metered,
+)
 from .jobs import Job, JobSpec, JobState
 from .sinks import build_sink
 
@@ -203,9 +210,14 @@ class ServiceApp:
         """Create the queue and spawn the worker tasks (idempotent)."""
         if self._started:
             return
-        if self.prewarm and self.executor_mode != "process":
-            # sync/thread executors share this process's plan cache; the
-            # process pool prewarms via its initializer instead.
+        if self.prewarm:
+            # Always prewarm in the serving process too: sync/thread
+            # executors share its plan cache directly, and even in
+            # process mode this (a) publishes the plan-cache and
+            # compile-seconds counters on the /metrics registry at boot
+            # and (b) writes the persistent disk cache, so the spawn
+            # workers' own initializer prewarm loads from disk instead
+            # of recompiling per worker.
             prewarm_worker(self.prewarm)
         self._queue = asyncio.Queue(maxsize=self.queue_size)
         self._worker_tasks = [
@@ -428,7 +440,24 @@ class ServiceApp:
         todo = [i for i in range(len(keys)) if i not in payloads]
         if todo:
             fields = list(keys[0]._replace(seed=spec.seed))
-            if spec.batch > 1:
+            if self.executor_mode == "process":
+                # Workers are separate processes: run the metered
+                # variants and fold the plan-metric increments they ship
+                # back into this process's registry, so /metrics still
+                # reports plan-cache traffic and compile seconds.
+                # sync/thread executors mutate the registry directly —
+                # folding there would double-count.
+                if spec.batch > 1:
+                    seeds = tuple(spec.seed + i for i in todo)
+                    wrapped = await self._dispatch(
+                        run_batch_lanes_metered, fields, seeds
+                    )
+                    fresh = wrapped["payloads"]
+                else:
+                    wrapped = await self._dispatch(run_lane_metered, fields)
+                    fresh = [wrapped["payload"]]
+                self._fold_plan_metrics(wrapped["plan_metrics"])
+            elif spec.batch > 1:
                 seeds = tuple(spec.seed + i for i in todo)
                 fresh = await self._dispatch(run_batch_lanes, fields, seeds)
             else:
@@ -479,6 +508,15 @@ class ServiceApp:
                 scope=pred.scope,
             )
         return pred.with_ratios(cycles, messages)
+
+    def _fold_plan_metrics(self, deltas: dict[str, dict[tuple, float]]) -> None:
+        """Add worker-process plan-metric increments to this registry."""
+        for name, samples in deltas.items():
+            counter = self.registry.counter(
+                name, _PLAN_METRIC_HELP.get(name, "")
+            )
+            for key, value in samples.items():
+                counter.inc(value, **dict(key))
 
     async def _dispatch(self, fn, *args):
         """Run one executor function off the event loop (mode-dependent)."""

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import os
 import signal
 import sys
 
@@ -65,6 +66,11 @@ def add_serve_parser(sub) -> None:
                     "columnsort shape in every worker at pool start "
                     "(e.g. --prewarm 1024x32 --prewarm 20x5:wrap); "
                     "repeatable")
+    sp.add_argument("--plan-cache", default=None, metavar="DIR",
+                    help="persistent compiled-plan cache directory "
+                    "(sets REPRO_PLAN_CACHE for this process and its "
+                    "workers; 'off' disables; default: "
+                    "~/.cache/repro/plans)")
     sp.set_defaults(fn=cmd_serve)
 
 
@@ -94,6 +100,10 @@ def parse_prewarm(entries) -> tuple:
 
 def build_app(args) -> ServiceApp:
     """Construct the :class:`ServiceApp` an argparse namespace describes."""
+    plan_cache = getattr(args, "plan_cache", None)
+    if plan_cache is not None:
+        # Via the environment so spawn-context pool workers inherit it.
+        os.environ["REPRO_PLAN_CACHE"] = plan_cache
     sink = None
     if args.events_jsonl:
         sink = build_sink(

@@ -80,6 +80,86 @@ def run_batch_lanes(
     return payloads
 
 
+#: Global-registry counter families whose increments must surface on the
+#: service's /metrics even when the increment happens inside a worker
+#: process: plan/schedule cache traffic and compile wall time.
+_PLAN_METRIC_HELP = {
+    "vector_plan_cache_total":
+        "compiled columnsort plan-cache lookups by result",
+    "vector_plan_compile_seconds":
+        "wall-clock seconds spent compiling columnsort schedule plans",
+    "vector_plan_phases_fused":
+        "compiled phases composed into fused gathers",
+    "columnsort_bvn_cache_total":
+        "columnsort schedule-cache lookups by result",
+    "columnsort_schedule_cache_total":
+        "columnsort schedule-cache lookups by result",
+}
+
+#: dict-of-dicts snapshot: {family: {label_key_tuple: value}}.
+PlanMetrics = dict[str, dict[tuple, float]]
+
+
+def _plan_metric_samples() -> PlanMetrics:
+    from ..obs.metrics import global_registry
+
+    reg = global_registry()
+    out: PlanMetrics = {}
+    for name in _PLAN_METRIC_HELP:
+        metric = reg._metrics.get(name)
+        if metric is not None:
+            out[name] = dict(metric._samples)
+    return out
+
+
+def _plan_metric_delta(before: PlanMetrics, after: PlanMetrics) -> PlanMetrics:
+    """Per-family, per-label increments between two snapshots.
+
+    Counters are monotonic, so every delta is >= 0; zero deltas are
+    dropped to keep the pickled payload minimal.
+    """
+    delta: PlanMetrics = {}
+    for name, samples in after.items():
+        prior = before.get(name, {})
+        changed = {
+            key: value - prior.get(key, 0)
+            for key, value in samples.items()
+            if value != prior.get(key, 0)
+        }
+        if changed:
+            delta[name] = changed
+    return delta
+
+
+def run_lane_metered(spec_fields: Sequence[Any]) -> dict[str, Any]:
+    """:func:`run_lane` plus the plan-metric increments it caused.
+
+    Process-pool workers mutate their *own* global registry, which the
+    parent's /metrics never sees; the metered variants snapshot the
+    relevant families around the run and ship the increments back with
+    the payload (label keys are plain tuples — picklable) so the app can
+    fold them into its registry.
+    """
+    before = _plan_metric_samples()
+    payload = run_lane(spec_fields)
+    return {
+        "payload": payload,
+        "plan_metrics": _plan_metric_delta(before, _plan_metric_samples()),
+    }
+
+
+def run_batch_lanes_metered(
+    spec_fields: Sequence[Any], seeds: Sequence[int]
+) -> dict[str, Any]:
+    """:func:`run_batch_lanes` plus the plan-metric increments."""
+    before = _plan_metric_samples()
+    payloads = run_batch_lanes(spec_fields, seeds)
+    return {
+        "payloads": payloads,
+        "plan_metrics": _plan_metric_delta(before, _plan_metric_samples()),
+    }
+
+
 def prewarm_worker(configs: Sequence[Sequence[Any]]) -> None:
     """Compile the vector plan cache for ``configs`` in this process.
 

@@ -37,7 +37,6 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..columnsort.matrix import require_valid_dims
-from ..columnsort.schedule import schedule_for_phase
 from ..mcb.errors import ConfigurationError
 from ..mcb.network import MCBNetwork
 from ..mcb.trace import PhaseStats, RunStats
@@ -46,9 +45,15 @@ from ..mcb.vector import (
     VectorRun,
     build_batched_state,
     build_state,
-    lower_broadcast_schedule,
     lower_paper_transpose,
+    lower_phase_columnar,
     lower_wrap_skip,
+)
+from ..mcb.vector.cache import (
+    columnsort_plan_path,
+    load_compiled_phases,
+    plan_cache_dir,
+    save_compiled_phases,
 )
 from .even_pk import SortResult
 
@@ -60,13 +65,13 @@ _PLAN_CACHE: dict[
 ] = {}
 
 
-def _plan_counter(hit: bool) -> None:
+def _plan_counter(result: str) -> None:
     from ..obs.metrics import global_registry
 
     global_registry().counter(
         "vector_plan_cache_total",
         "compiled columnsort plan-cache lookups by result",
-    ).inc(result="hit" if hit else "miss")
+    ).inc(result=result)
 
 
 def compiled_columnsort_phases(
@@ -74,42 +79,62 @@ def compiled_columnsort_phases(
 ) -> tuple[CompiledPhase, ...]:
     """The four compiled transformation phases for an ``m x k`` sort.
 
-    Cached per ``(m, k, paper_phase2, wrap_skip)`` — compilation is the
-    one-time cost the vector engine amortizes over runs and over batch
-    lanes.  Every lookup counts on ``vector_plan_cache_total`` (labelled
-    ``result=hit|miss``) and each miss adds its wall time to the
+    Cached per ``(m, k, paper_phase2, wrap_skip)`` at two levels: the
+    in-process dict above, then the persistent on-disk cache of
+    :mod:`repro.mcb.vector.cache` (``~/.cache/repro/plans`` or
+    ``$REPRO_PLAN_CACHE``), so a fresh process loads compiled plans in
+    milliseconds instead of recompiling.  Every lookup counts on
+    ``vector_plan_cache_total`` (labelled ``result=hit|disk_hit|miss``)
+    and each true miss adds its wall time to the
     ``vector_plan_compile_seconds`` counter, both on
     :func:`repro.obs.metrics.global_registry`, so compile cost is
     visible in ``/metrics``.  :func:`prewarm_plan_cache` fills the cache
     ahead of the first job (service workers do this at pool start).
     """
     key = (m, k, bool(paper_phase2), bool(wrap_skip))
-    hit = key in _PLAN_CACHE
-    _plan_counter(hit)
-    if not hit:
-        from ..obs.metrics import global_registry
+    if key in _PLAN_CACHE:
+        _plan_counter("hit")
+        return _PLAN_CACHE[key]
+    root = plan_cache_dir()
+    path = (
+        columnsort_plan_path(root, *key) if root is not None else None
+    )
+    if path is not None:
+        cached = load_compiled_phases(path)
+        if cached is not None:
+            _plan_counter("disk_hit")
+            _PLAN_CACHE[key] = cached
+            return cached
+    _plan_counter("miss")
+    from ..obs.metrics import global_registry
 
-        start = time.perf_counter()
-        first = (
-            lower_paper_transpose(m, k)
-            if paper_phase2
-            else lower_broadcast_schedule(schedule_for_phase(2, m, k))
-        )
-        fourth = lower_broadcast_schedule(schedule_for_phase(4, m, k))
-        if wrap_skip:
-            plan6, plan8 = lower_wrap_skip(m, k)
-        else:
-            plan6 = lower_broadcast_schedule(schedule_for_phase(6, m, k))
-            plan8 = lower_broadcast_schedule(schedule_for_phase(8, m, k))
-        _PLAN_CACHE[key] = (
-            first.compile(), fourth.compile(),
-            plan6.compile(), plan8.compile(),
-        )
-        global_registry().counter(
-            "vector_plan_compile_seconds",
-            "wall-clock seconds spent compiling columnsort schedule plans",
-        ).inc(time.perf_counter() - start)
-    return _PLAN_CACHE[key]
+    start = time.perf_counter()
+    first = (
+        lower_paper_transpose(m, k)
+        if paper_phase2
+        else lower_phase_columnar(2, m, k)
+    )
+    fourth = lower_phase_columnar(4, m, k)
+    if wrap_skip:
+        plan6, plan8 = lower_wrap_skip(m, k)
+    else:
+        plan6 = lower_phase_columnar(6, m, k)
+        plan8 = lower_phase_columnar(8, m, k)
+    phases = (
+        first.compile(), fourth.compile(),
+        plan6.compile(), plan8.compile(),
+    )
+    _PLAN_CACHE[key] = phases
+    global_registry().counter(
+        "vector_plan_compile_seconds",
+        "wall-clock seconds spent compiling columnsort schedule plans",
+    ).inc(time.perf_counter() - start)
+    if path is not None:
+        try:
+            save_compiled_phases(path, phases)
+        except OSError:
+            pass  # a read-only cache dir must never fail the compile
+    return phases
 
 
 #: Mirror the functools.lru_cache surface the tests (and any cached

@@ -1,0 +1,118 @@
+"""Persistent compiled-plan cache: round-trips, corruption, env knobs.
+
+The disk cache (:mod:`repro.mcb.vector.cache`) must hand back arrays
+bit-identical to what was saved, treat *any* unreadable/stale entry as
+a miss (never an error), and resolve its directory from
+``REPRO_PLAN_CACHE`` with an explicit off switch.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.mcb.vector import SchedulePlan
+from repro.mcb.vector.cache import (
+    PLAN_SCHEMA_VERSION,
+    _ARRAY_FIELDS,
+    columnsort_plan_path,
+    load_compiled_phases,
+    plan_cache_dir,
+    save_compiled_phases,
+)
+
+
+def _sample_phases():
+    a = SchedulePlan(
+        p=3, k=2, cycles=2, slots=3,
+        writes=[(0, 0, 1, 0), (0, 1, 2, 1), (1, 2, 1, 2)],
+        reads=[(0, 2, 1, 0), (1, 0, 2, 1)],
+        moves=[(1, 0, 2)],
+        allow_empty_reads=True,
+    ).compile()
+    b = SchedulePlan(
+        p=3, k=2, cycles=1, slots=3,
+        writes=[(0, 2, 2, 0)], reads=[(0, 1, 2, 0)],
+        kind="tuple3",
+    ).compile()
+    return (a, b)
+
+
+def test_round_trip_is_exact(tmp_path):
+    phases = _sample_phases()
+    path = tmp_path / "entry.npz"
+    assert save_compiled_phases(path, phases) == path
+    loaded = load_compiled_phases(path)
+    assert loaded is not None
+    assert len(loaded) == len(phases)
+    for fresh, back in zip(phases, loaded):
+        assert (
+            fresh.p, fresh.k, fresh.cycles, fresh.slots,
+            fresh.kind, fresh.allow_empty_reads,
+        ) == (
+            back.p, back.k, back.cycles, back.slots,
+            back.kind, back.allow_empty_reads,
+        )
+        for name in _ARRAY_FIELDS:
+            got = getattr(back, name)
+            assert got.dtype == np.int64
+            assert np.array_equal(got, getattr(fresh, name)), name
+
+
+def test_missing_entry_loads_as_none(tmp_path):
+    assert load_compiled_phases(tmp_path / "absent.npz") is None
+
+
+def test_corrupt_entry_loads_as_none(tmp_path):
+    path = tmp_path / "entry.npz"
+    save_compiled_phases(path, _sample_phases())
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])  # truncate mid-archive
+    assert load_compiled_phases(path) is None
+    path.write_bytes(b"not a zip archive at all")
+    assert load_compiled_phases(path) is None
+
+
+def test_schema_mismatch_loads_as_none(tmp_path):
+    phases = _sample_phases()
+    path = tmp_path / "entry.npz"
+    save_compiled_phases(path, phases)
+    with np.load(path, allow_pickle=False) as data:
+        arrays = {name: data[name] for name in data.files}
+    arrays["schema"] = np.array(
+        [PLAN_SCHEMA_VERSION + 1, arrays["schema"][1]], dtype=np.int64
+    )
+    with open(path, "wb") as fh:
+        np.savez(fh, **arrays)
+    assert load_compiled_phases(path) is None
+
+
+def test_plan_path_carries_config_and_version(tmp_path):
+    path = columnsort_plan_path(tmp_path, 20, 5, True, False)
+    assert path.parent == tmp_path
+    assert path.name == (
+        f"columnsort_m20_k5_paper1_wrap0_v{PLAN_SCHEMA_VERSION}.npz"
+    )
+    other = columnsort_plan_path(tmp_path, 20, 5, False, True)
+    assert other != path
+
+
+@pytest.mark.parametrize(
+    "value", ["off", "OFF", "0", "", "none", "Disabled", "  off  "]
+)
+def test_plan_cache_dir_disabled_values(monkeypatch, value):
+    monkeypatch.setenv("REPRO_PLAN_CACHE", value)
+    assert plan_cache_dir() is None
+
+
+def test_plan_cache_dir_explicit(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_PLAN_CACHE", str(tmp_path / "plans"))
+    assert plan_cache_dir() == tmp_path / "plans"
+
+
+def test_plan_cache_dir_default_honours_xdg(monkeypatch, tmp_path):
+    monkeypatch.delenv("REPRO_PLAN_CACHE", raising=False)
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+    assert plan_cache_dir() == Path(tmp_path / "xdg") / "repro" / "plans"

@@ -403,6 +403,27 @@ class TestCacheMetrics:
         assert counter.get(result="miss") == 1
         assert counter.get(result="hit") == 1
 
+    def test_process_workers_fold_plan_metrics(self, monkeypatch):
+        """A spawn worker's plan-cache traffic must land on the app's
+        registry (the worker mutates its *own* global registry, which
+        /metrics would otherwise never see)."""
+        monkeypatch.setenv("REPRO_PLAN_CACHE", "off")
+        vector = {**SORT, "engine": "vector"}
+
+        async def scenario():
+            app = make_app(executor="process", workers=1)
+            await app.start()
+            job = app.submit(JobSpec(**vector))
+            await app.join()
+            await app.shutdown()
+            return app, job
+
+        app, job = drive(scenario())
+        assert job.state is JobState.DONE
+        cache_counter = app.registry.get("vector_plan_cache_total")
+        assert cache_counter.get(result="miss") >= 1
+        assert app.registry.get("vector_plan_compile_seconds").get() > 0
+
 
 class TestWorkerSizing:
     def test_explicit_argument_wins(self, monkeypatch):

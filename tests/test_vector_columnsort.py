@@ -245,28 +245,32 @@ def test_bench_spec_engine_fingerprint_parity():
     assert gen["spec"] != vec["spec"]  # engines never alias in the cache
 
 
-def test_schedule_cache_counters_track_compilation_reuse():
+def test_schedule_cache_counters_track_compilation_reuse(
+    tmp_path, monkeypatch
+):
+    monkeypatch.setenv("REPRO_PLAN_CACHE", "off")
     reg = global_registry()
     reg.reset()
     compiled_columnsort_phases.cache_clear()
     compiled_columnsort_phases(M, K)
     # counter() is create-or-fetch: the BvN counter only exists if this
     # session's schedule caches were cold when the phases compiled.
-    sched = reg.counter("columnsort_schedule_cache_total")
     bvn = reg.counter("columnsort_bvn_cache_total")
-    misses = sched.get(result="miss") + bvn.get(result="miss")
+    misses = bvn.get(result="miss")
+    hits = bvn.get(result="hit")
     compiled_columnsort_phases.cache_clear()
     compiled_columnsort_phases(M, K)
-    # Recompiling the same (m, k) touches the schedule caches again but
-    # recomputes nothing.
-    assert sched.get(result="miss") + bvn.get(result="miss") == misses
-    assert sched.get(result="hit") >= 4
+    # Recompiling the same (m, k) hits the BvN cache (one lookup per
+    # transformation phase) and recomputes nothing.
+    assert bvn.get(result="miss") == misses
+    assert bvn.get(result="hit") >= hits + 4
 
 
-def test_plan_cache_counters_and_compile_seconds():
-    """The compiled-plan cache reports hits/misses and compile wall time
-    on the global registry (the /metrics surface the service pre-warming
-    satellite relies on)."""
+def test_plan_cache_counters_and_compile_seconds(tmp_path, monkeypatch):
+    """The compiled-plan cache reports hits/misses/disk-hits and compile
+    wall time on the global registry (the /metrics surface the service
+    pre-warming satellite relies on)."""
+    monkeypatch.setenv("REPRO_PLAN_CACHE", str(tmp_path / "plans"))
     reg = global_registry()
     reg.reset()
     compiled_columnsort_phases.cache_clear()
@@ -283,11 +287,35 @@ def test_plan_cache_counters_and_compile_seconds():
     # wrap_skip is a distinct plan identity, not a hit on the plain one.
     compiled_columnsort_phases(M, K, wrap_skip=True)
     assert plans.get(result="miss") == 2
+    # A fresh in-process cache (= a fresh process) loads the persisted
+    # entry from disk instead of recompiling.
+    total_cost = seconds.get()
+    compiled_columnsort_phases.cache_clear()
+    compiled_columnsort_phases(M, K)
+    assert plans.get(result="disk_hit") == 1
+    assert plans.get(result="miss") == 2
+    assert seconds.get() == total_cost  # disk hits compile nothing
 
 
-def test_prewarm_plan_cache():
+def test_plan_cache_disabled_by_env(tmp_path, monkeypatch):
+    """REPRO_PLAN_CACHE=off keeps every lookup in memory: a cleared
+    cache recompiles (miss), never touches disk."""
+    monkeypatch.setenv("REPRO_PLAN_CACHE", "off")
+    reg = global_registry()
+    reg.reset()
+    compiled_columnsort_phases.cache_clear()
+    plans = reg.counter("vector_plan_cache_total")
+    compiled_columnsort_phases(M, K)
+    compiled_columnsort_phases.cache_clear()
+    compiled_columnsort_phases(M, K)
+    assert plans.get(result="miss") == 2
+    assert plans.get(result="disk_hit") == 0
+
+
+def test_prewarm_plan_cache(tmp_path, monkeypatch):
     from repro.sort.vector import prewarm_plan_cache
 
+    monkeypatch.setenv("REPRO_PLAN_CACHE", str(tmp_path / "plans"))
     reg = global_registry()
     reg.reset()
     compiled_columnsort_phases.cache_clear()
@@ -298,3 +326,9 @@ def test_prewarm_plan_cache():
     # Warm cache: the next sort's plan lookup is a hit.
     compiled_columnsort_phases(M, K)
     assert plans.get(result="hit") == 1
+    # Pre-warming persisted both entries: a fresh process disk-hits.
+    compiled_columnsort_phases.cache_clear()
+    warmed = prewarm_plan_cache([(M, K), (M, K, False, True)])
+    assert warmed == 2
+    assert plans.get(result="disk_hit") == 2
+    assert plans.get(result="miss") == 2

@@ -242,52 +242,103 @@ def test_collision_partial_stats_match_reference():
     assert ph.bits == Message("elem", 5).bit_size()
 
 
-@pytest.mark.parametrize(
-    "plan, fragment",
-    [
-        (
-            SchedulePlan(
-                p=2, k=1, cycles=1, slots=1,
-                writes=[(0, 0, 2, 0)], reads=[],
-            ),
-            "invalid channel C2",
+INVALID_PLANS = [
+    (
+        SchedulePlan(
+            p=2, k=1, cycles=1, slots=1,
+            writes=[(0, 0, 2, 0)], reads=[],
         ),
-        (
-            SchedulePlan(
-                p=2, k=2, cycles=1, slots=1,
-                writes=[(0, 0, 1, 0), (0, 0, 2, 0)], reads=[],
-            ),
-            "P1 writes twice in cycle 0",
+        "invalid channel C2",
+    ),
+    (
+        SchedulePlan(
+            p=2, k=2, cycles=1, slots=1,
+            writes=[(0, 0, 1, 0), (0, 0, 2, 0)], reads=[],
         ),
-        (
-            SchedulePlan(
-                p=2, k=2, cycles=1, slots=1,
-                writes=[(0, 0, 1, 0), (0, 1, 2, 0)],
-                reads=[(0, 1, 1, 0), (0, 1, 2, 0)],
-            ),
-            "P2 reads twice in cycle 0",
+        "P1 writes twice in cycle 0",
+    ),
+    (
+        SchedulePlan(
+            p=2, k=2, cycles=1, slots=1,
+            writes=[(0, 0, 1, 0), (0, 1, 2, 0)],
+            reads=[(0, 1, 1, 0), (0, 1, 2, 0)],
         ),
-        (
-            SchedulePlan(
-                p=2, k=1, cycles=1, slots=1,
-                writes=[], reads=[(0, 1, 1, 0)],
-            ),
-            "reads silent channel C1",
+        "P2 reads twice in cycle 0",
+    ),
+    (
+        SchedulePlan(
+            p=2, k=1, cycles=1, slots=1,
+            writes=[], reads=[(0, 1, 1, 0)],
         ),
-        (
-            SchedulePlan(
-                p=2, k=1, cycles=2, slots=2,
-                writes=[(0, 0, 1, 0), (1, 0, 1, 1)],
-                reads=[(0, 1, 1, 0), (1, 1, 1, 0)],
-            ),
-            "two events deliver into slot 0 of P2",
+        "reads silent channel C1",
+    ),
+    (
+        SchedulePlan(
+            p=2, k=1, cycles=2, slots=2,
+            writes=[(0, 0, 1, 0), (1, 0, 1, 1)],
+            reads=[(0, 1, 1, 0), (1, 1, 1, 0)],
         ),
-    ],
-)
+        "two events deliver into slot 0 of P2",
+    ),
+]
+
+
+@pytest.mark.parametrize("plan, fragment", INVALID_PLANS)
 def test_compile_rejects_invalid_plans(plan, fragment):
     with pytest.raises(ConfigurationError) as err:
         plan.compile()
     assert fragment in str(err.value)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized compile fast path == per-event slow path
+# ---------------------------------------------------------------------------
+
+_COMPILED_SCALARS = ("p", "k", "cycles", "slots", "kind", "allow_empty_reads")
+_COMPILED_ARRAYS = (
+    "w_cycle", "w_proc", "w_chan", "w_src",
+    "r_proc", "r_dst", "r_widx",
+    "m_proc", "m_src", "m_dst",
+)
+
+
+@given(plans())
+def test_fast_compile_matches_slow_path(plan):
+    """``compile()``'s vectorized validation must produce exactly the
+    arrays the original per-event path derives — same sort order, same
+    read-to-write matching, same dtypes."""
+    fast = plan.compile()
+    slow = plan._compile_slow()
+    for name in _COMPILED_SCALARS:
+        assert getattr(fast, name) == getattr(slow, name), name
+    for name in _COMPILED_ARRAYS:
+        a, b = getattr(fast, name), getattr(slow, name)
+        assert a.dtype == b.dtype == np.int64, name
+        assert np.array_equal(a, b), name
+    assert np.array_equal(
+        fast.channel_write_counts(), slow.channel_write_counts()
+    )
+
+
+@pytest.mark.parametrize("plan, fragment", INVALID_PLANS)
+def test_fast_path_falls_back_to_identical_errors(plan, fragment):
+    """Violations make the fast path bail to the slow path, which owns
+    the pinned diagnostics — both entry points raise the same message."""
+    with pytest.raises(ConfigurationError) as via_compile:
+        plan.compile()
+    with pytest.raises(ConfigurationError) as via_slow:
+        plan._compile_slow()
+    assert str(via_compile.value) == str(via_slow.value)
+    assert fragment in str(via_compile.value)
+
+
+def test_fast_path_collision_matches_slow_path():
+    with pytest.raises(CollisionError) as via_compile:
+        COLLIDING.compile()
+    with pytest.raises(CollisionError) as via_slow:
+        COLLIDING._compile_slow()
+    assert str(via_compile.value) == str(via_slow.value) == COLLISION_MSG
+    assert via_compile.value.cycle == via_slow.value.cycle == 2
 
 
 # ---------------------------------------------------------------------------
