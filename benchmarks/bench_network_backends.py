@@ -1,0 +1,161 @@
+"""Comparator-network backend benchmark: cost curves + auto-tuner gate.
+
+Two parts, one canonical trajectory (``BENCH_network_backends.json``):
+
+* **Cost curves** — the closed-form comm-cycle/message cost of every
+  backend over a (k, m) grid (exactly what the compiled plans charge,
+  since the schedules are oblivious), plus the auto-tuner's choice per
+  point.  Emitted as a table; every grid point must have a defined,
+  available choice.
+* **Small-n wall clock (gated)** — ``mcb_sort(backend="auto")`` vs the
+  always-columnsort default on the small-n shapes the service layer
+  serves most.  Below columnsort's dimension rule (``m >= k(k-1)``)
+  the default falls back to the adaptive uneven strategy while auto
+  stays on the fast even-pk path with a Batcher network; at valid
+  dimensions auto still wins on round count (3 rounds vs 4 permute
+  phases at ``k = 4``).  Required: **aggregate >= 1.3x**, with
+  bit-identical outputs across every available backend on every shape.
+
+Per-shape speedups are recorded with their ``(p, k)`` so the CI
+perf-regression gate (``check_perf_regression.py``) tracks each leg
+against its committed baseline.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.mcb import MCBNetwork
+from repro.sort import BACKENDS, mcb_sort
+from repro.sort.backends import (
+    backend_unavailable_reason,
+    choose_backend,
+    crossover_table,
+)
+
+#: Small-n shapes (k, m): the first two sit below columnsort's
+#: dimension rule (the service's common regime), the last is a valid
+#: columnsort shape where Batcher still wins on round count.
+SMALL_SHAPES = ((4, 2), (8, 8), (4, 12))
+#: Sorts per timing sample (small walls are noisy; sum over many).
+REPS = 12
+#: Best-of passes per leg.
+PASSES = 3
+REQUIRED_AUTO_SPEEDUP = 1.3
+
+
+def make_columns(k: int, m: int, seed: int) -> dict[int, list[int]]:
+    rng = random.Random(seed)
+    return {
+        pid: [rng.randrange(1 << 20) for _ in range(m)]
+        for pid in range(1, k + 1)
+    }
+
+
+def _time_backend(k: int, m: int, backend: str) -> float:
+    """Best-of-``PASSES`` total wall for ``REPS`` sorts of this shape."""
+    inputs = [make_columns(k, m, seed=100 * k + m + r) for r in range(REPS)]
+    best = float("inf")
+    for _ in range(PASSES):
+        start = time.perf_counter()
+        for cols in inputs:
+            net = MCBNetwork(p=k, k=k)
+            mcb_sort(net, cols, backend=backend)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_backend_cost_curves(emit, record):
+    rows = crossover_table()
+    table = []
+    for row in rows:
+        cells = [row["k"], row["m"], row["n"]]
+        for backend in BACKENDS:
+            entry = row["backends"][backend]
+            cells.append(
+                f"{entry['cycles']}/{entry['messages']}"
+                if entry["available"] else "-"
+            )
+        # The tuner must return a defined, available backend everywhere.
+        assert row["choice"] in BACKENDS, row
+        assert row["backends"][row["choice"]]["available"], row
+        cells.append(row["choice"])
+        table.append(cells)
+    emit(
+        "Comparator-network cost curves (comm cycles / messages per sort; "
+        "auto = static cost model)",
+        ["k", "m", "n", *BACKENDS, "auto"],
+        table,
+        bench="network_backends",
+    )
+    record(
+        bench="network_backends",
+        grid=[
+            {"k": r["k"], "m": r["m"], "choice": r["choice"]} for r in rows
+        ],
+    )
+
+
+def test_auto_tuner_small_n_speedup(emit, record):
+    table = []
+    total_col = 0.0
+    total_auto = 0.0
+    for k, m in SMALL_SHAPES:
+        # Correctness first: every available backend must produce the
+        # same bit-identical descending segments.
+        cols = make_columns(k, m, seed=k * 31 + m)
+        flat = sorted(
+            (v for col in cols.values() for v in col), reverse=True
+        )
+        want = {
+            pid: tuple(flat[(pid - 1) * m: pid * m])
+            for pid in range(1, k + 1)
+        }
+        for backend in BACKENDS:
+            if backend_unavailable_reason(backend, k, k, m) is not None:
+                continue
+            net = MCBNetwork(p=k, k=k)
+            got = mcb_sort(net, cols, backend=backend).output
+            assert got == want, (k, m, backend)
+
+        choice = choose_backend(k, k, k * m)
+        col_wall = _time_backend(k, m, "columnsort")
+        auto_wall = _time_backend(k, m, "auto")
+        total_col += col_wall
+        total_auto += auto_wall
+        speedup = col_wall / auto_wall
+        record(
+            bench="network_backends",
+            p=k,
+            k=k,
+            m=m,
+            n=k * m,
+            choice=choice,
+            columnsort_wall_s=round(col_wall, 6),
+            auto_wall_s=round(auto_wall, 6),
+            speedup={"auto": round(speedup, 3)},
+        )
+        table.append([
+            k, m, k * m, choice,
+            f"{col_wall:.4f}", f"{auto_wall:.4f}", f"{speedup:.2f}x",
+        ])
+
+    aggregate = total_col / total_auto
+    table.append([
+        "-", "-", "-", "aggregate",
+        f"{total_col:.4f}", f"{total_auto:.4f}", f"{aggregate:.2f}x",
+    ])
+    emit(
+        f"Auto-tuner vs always-columnsort at small n ({REPS} sorts per "
+        f"leg, best of {PASSES}; aggregate >= "
+        f"{REQUIRED_AUTO_SPEEDUP}x required)",
+        ["k", "m", "n", "auto picks", "columnsort (s)", "auto (s)",
+         "speedup"],
+        table,
+        bench="network_backends",
+    )
+    assert aggregate >= REQUIRED_AUTO_SPEEDUP, (
+        f"backend='auto' is only {aggregate:.2f}x the columnsort-only "
+        f"path on the small-n leg (required {REQUIRED_AUTO_SPEEDUP}x)"
+    )

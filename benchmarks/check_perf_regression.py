@@ -75,6 +75,11 @@ CHECKS = {
         if "speedup" in row
         else None
     ),
+    "BENCH_network_backends.json": lambda row: (
+        {f"speedup[{w}]": s for w, s in row["speedup"].items()}
+        if "speedup" in row
+        else None
+    ),
 }
 
 

@@ -44,6 +44,7 @@ CANONICAL_BENCHES = (
     "vector_engine",
     "vector_select",
     "service",
+    "network_backends",
 )
 
 # Benchmarks must not read or write the user's ~/.cache: default the

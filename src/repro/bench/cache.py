@@ -24,7 +24,9 @@ from typing import Any, NamedTuple, Optional
 #: entries read as misses and are overwritten on the next put().
 #: v2: keys grew an ``engine`` field (generator vs vector execution).
 #: v3: keys grew a ``shards`` field (multi-core batch sharding).
-CACHE_VERSION = 3
+#: v4: keys grew a ``backend`` field (columnsort vs comparator-network
+#: schedules), so backend runs never alias each other's results.
+CACHE_VERSION = 4
 
 
 def default_cache_root() -> Path:
@@ -63,12 +65,14 @@ class CacheKey(NamedTuple):
     seed: int
     engine: str = "generator"
     shards: int = 1
+    backend: str = "columnsort"
 
     def filename(self) -> str:
         """Deterministic, human-scannable file name for this key."""
         return (
             f"{self.algorithm}_p{self.p}_k{self.k}_n{self.n}"
-            f"_seed{self.seed}_{self.engine}_sh{self.shards}.json"
+            f"_seed{self.seed}_{self.engine}_sh{self.shards}"
+            f"_{self.backend}.json"
         )
 
 

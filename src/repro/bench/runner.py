@@ -44,12 +44,13 @@ class BenchSpec(NamedTuple):
     seed: int = 0
     engine: str = "generator"
     shards: int = 1
+    backend: str = "columnsort"
 
     @property
     def key(self) -> CacheKey:
         return CacheKey(
             self.algorithm, self.p, self.k, self.n, self.seed, self.engine,
-            self.shards,
+            self.shards, self.backend,
         )
 
 
@@ -90,7 +91,7 @@ def _run_sort(net: MCBNetwork, spec: BenchSpec) -> str:
     from ..sort import mcb_sort
 
     dist = Distribution.even(spec.n, spec.p, seed=spec.seed)
-    out = mcb_sort(net, dist, engine=spec.engine)
+    out = mcb_sort(net, dist, engine=spec.engine, backend=spec.backend)
     return _fingerprint(sorted(out.output.items()))
 
 

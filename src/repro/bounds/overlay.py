@@ -136,6 +136,24 @@ def phase_prediction(
             source="Section 8.1 (single broadcast)",
             scope="phase",
         )
+    if seg.startswith("cnet-"):
+        # A comparator-network backend sort (repro.sort.backends): the
+        # schedules are oblivious, so the closed form is exact — m
+        # cycles per communication round, 2m messages per comparator,
+        # mk per columnsort permute phase.
+        backend = seg[len("cnet-"):]
+        try:
+            from ..sort.backends import predicted_cost
+
+            cost = predicted_cost(backend, k, max(1, n // p))
+        except Exception:
+            return run_pred
+        return PhasePrediction(
+            cycles=float(cost["cycles"]),
+            messages=float(cost["messages"]),
+            source=f"comparator-network closed form ({backend})",
+            scope="phase",
+        )
     if seg.startswith("filter-") and run_pred is not None:
         # One filtering round: the §8.2 argument caps rounds at
         # log_{4/3}(n/m*) with m* = max(p/k, 1) survivors at termination,

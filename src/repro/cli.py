@@ -54,7 +54,10 @@ def cmd_sort(args) -> int:
     """Run a distributed sort and print the cost accounting."""
     dist = _make_distribution(args)
     net = MCBNetwork(p=args.p, k=args.k)
-    result = mcb_sort(net, dist, strategy=args.strategy)
+    result = mcb_sort(
+        net, dist, strategy=args.strategy,
+        backend=getattr(args, "backend", "columnsort"),
+    )
     ok = is_sorted_output(dist, result.output)
     print(f"sorted n={dist.n} over p={args.p}, k={args.k} "
           f"(n_max={dist.n_max}): {'OK' if ok else 'SPEC VIOLATION'}")
@@ -137,6 +140,36 @@ def cmd_experiments(args) -> int:
     return subprocess.call(cmd, env=env)
 
 
+def cmd_backends(args) -> int:
+    """Print the backend crossover table (cost model per shape)."""
+    import json
+
+    from .sort.backends import BACKENDS, crossover_table
+
+    rows = crossover_table()
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    table = []
+    for row in rows:
+        cells = [row["k"], row["m"], row["n"]]
+        for backend in BACKENDS:
+            entry = row["backends"][backend]
+            cells.append(
+                f"{entry['cycles']}cy/{entry['messages']}msg"
+                if entry["available"] else "—"
+            )
+        cells.append(row["choice"])
+        table.append(cells)
+    print(format_table(
+        ["k", "m", "n", *BACKENDS, "auto picks"],
+        table,
+        title="comparator-network backend crossover "
+        "(comm cycles / messages per sort)",
+    ))
+    return 0
+
+
 def cmd_max(args) -> int:
     """Extrema finding under the chosen channel-model variant."""
     import numpy as np
@@ -179,6 +212,9 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--strategy", default="auto",
                     choices=["auto", "even-pk", "collect", "virtual",
                              "virtual-merge", "uneven", "rank", "merge"])
+    sp.add_argument("--backend", default="columnsort",
+                    choices=["columnsort", "batcher", "bitonic", "auto"],
+                    help="even p=k schedule family ('auto' = cost model)")
     sp.set_defaults(fn=cmd_sort)
 
     sp = sub.add_parser("select", help="selection by rank")
@@ -208,6 +244,14 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--max-workers", type=int, default=None,
                     help="bench grid pool width (0 = in-process)")
     sp.set_defaults(fn=cmd_experiments)
+
+    sp = sub.add_parser(
+        "backends",
+        help="comparator-network backend crossover table (cost model)",
+    )
+    sp.add_argument("--json", action="store_true",
+                    help="emit the table as JSON instead of text")
+    sp.set_defaults(fn=cmd_backends)
 
     sp = sub.add_parser("max", help="extrema finding under model variants")
     _add_network_args(sp, with_n=False)

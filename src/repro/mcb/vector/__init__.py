@@ -18,8 +18,13 @@ many instances through one compiled schedule with
 
 from .cache import (
     PLAN_SCHEMA_VERSION,
+    PlanRegistry,
+    cnet_plan_stem,
+    columnsort_plan_stem,
     load_compiled_phases,
     plan_cache_dir,
+    plan_entry_path,
+    plan_registry,
     save_compiled_phases,
 )
 from .executor import (
@@ -48,8 +53,11 @@ __all__ = [
     "CompiledPhase",
     "FusedPhase",
     "PLAN_SCHEMA_VERSION",
+    "PlanRegistry",
     "SchedulePlan",
     "VectorRun",
+    "cnet_plan_stem",
+    "columnsort_plan_stem",
     "build_batched_state",
     "build_state",
     "compact_rows",
@@ -66,6 +74,8 @@ __all__ = [
     "masked_reduce",
     "message_bits",
     "plan_cache_dir",
+    "plan_entry_path",
+    "plan_registry",
     "save_compiled_phases",
     "static_message_bits",
 ]

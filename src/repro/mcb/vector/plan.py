@@ -497,43 +497,58 @@ class SchedulePlan:
         the parity oracle: no validation happens here; an invalid plan
         fails at runtime exactly as a hand-written program would.
         """
-        per_w: dict[int, dict[int, tuple[int, int]]] = {}
-        for cy, proc, chan, src in self.writes:
-            per_w.setdefault(proc, {})[cy] = (chan, src)
-        per_r: dict[int, dict[int, tuple[int, int]]] = {}
-        for cy, proc, chan, dst in self.reads:
-            per_r.setdefault(proc, {})[cy] = (chan, dst)
-        per_m: dict[int, list[tuple[int, int]]] = {}
-        for proc, src, dst in self.moves:
-            per_m.setdefault(proc, []).append((src, dst))
+        return {
+            proc + 1: self.as_program(proc, state[proc])
+            for proc in range(self.p)
+        }
+
+    def _program_maps(self):
+        """Per-processor event maps for the program renderers, cached —
+        a pure function of the plan's event lists, shared by every
+        :meth:`as_program` call instead of rebuilt per processor."""
+        maps = getattr(self, "_prog_maps", None)
+        if maps is None:
+            per_w: dict[int, dict[int, tuple[int, int]]] = {}
+            for cy, proc, chan, src in self.writes:
+                per_w.setdefault(proc, {})[cy] = (chan, src)
+            per_r: dict[int, dict[int, tuple[int, int]]] = {}
+            for cy, proc, chan, dst in self.reads:
+                per_r.setdefault(proc, {})[cy] = (chan, dst)
+            per_m: dict[int, list[tuple[int, int]]] = {}
+            for proc, src, dst in self.moves:
+                per_m.setdefault(proc, []).append((src, dst))
+            maps = self._prog_maps = (per_w, per_r, per_m)
+        return maps
+
+    def as_program(self, proc: int, row: Sequence[Any]):
+        """One processor's program over its initial ``row`` — the
+        single-processor form of :meth:`as_programs`, sharing the cached
+        event maps so per-processor rendering costs O(own events)."""
+        per_w, per_r, per_m = self._program_maps()
         cycles, kind = self.cycles, self.kind
+        row = list(row)
+        wmap = per_w.get(proc, {})
+        rmap = per_r.get(proc, {})
+        moves = per_m.get(proc, [])
 
-        def make(proc: int):
-            row = list(state[proc])
-            wmap = per_w.get(proc, {})
-            rmap = per_r.get(proc, {})
-            moves = per_m.get(proc, [])
+        def program(ctx: ProcContext):
+            out = list(row)
+            for src, dst in moves:
+                out[dst] = row[src]
+            for cy in range(cycles):
+                w = wmap.get(cy)
+                r = rmap.get(cy)
+                if w is None and r is None:
+                    yield IDLE
+                    continue
+                got = yield CycleOp(
+                    write=None if w is None else w[0],
+                    payload=None if w is None
+                    else Message(kind, *_pack(row[w[1]])),
+                    read=None if r is None else r[0],
+                )
+                if r is not None and got is not EMPTY and got is not None:
+                    out[r[1]] = _unpack(got.fields)
+            return out
 
-            def program(ctx: ProcContext):
-                out = list(row)
-                for src, dst in moves:
-                    out[dst] = row[src]
-                for cy in range(cycles):
-                    w = wmap.get(cy)
-                    r = rmap.get(cy)
-                    if w is None and r is None:
-                        yield IDLE
-                        continue
-                    got = yield CycleOp(
-                        write=None if w is None else w[0],
-                        payload=None if w is None
-                        else Message(kind, *_pack(row[w[1]])),
-                        read=None if r is None else r[0],
-                    )
-                    if r is not None and got is not EMPTY and got is not None:
-                        out[r[1]] = _unpack(got.fields)
-                return out
-
-            return program
-
-        return {proc + 1: make(proc) for proc in range(self.p)}
+        return program

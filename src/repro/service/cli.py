@@ -61,11 +61,12 @@ def add_serve_parser(sub) -> None:
     sp.add_argument("--allow-shutdown", action="store_true",
                     help="enable POST /shutdown for remote graceful drains")
     sp.add_argument("--prewarm", action="append", default=None,
-                    metavar="MxK[:wrap]",
+                    metavar="[backend:]MxK[:wrap]",
                     help="pre-compile the vector plan cache for this "
-                    "columnsort shape in every worker at pool start "
-                    "(e.g. --prewarm 1024x32 --prewarm 20x5:wrap); "
-                    "repeatable")
+                    "shape in every worker at pool start — columnsort "
+                    "by default, or any backend by name "
+                    "(e.g. --prewarm 1024x32 --prewarm 20x5:wrap "
+                    "--prewarm batcher:8x4); repeatable")
     sp.add_argument("--plan-cache", default=None, metavar="DIR",
                     help="persistent compiled-plan cache directory "
                     "(sets REPRO_PLAN_CACHE for this process and its "
@@ -75,15 +76,31 @@ def add_serve_parser(sub) -> None:
 
 
 def parse_prewarm(entries) -> tuple:
-    """Parse ``--prewarm MxK[:wrap]`` entries into plan-cache tuples."""
+    """Parse ``--prewarm [backend:]MxK[:wrap]`` into plan-cache tuples.
+
+    Legacy shapes produce columnsort ``(m, k, paper, wrap)`` tuples; a
+    leading backend name produces the registry's string-first
+    ``(backend, m, k)`` form (see
+    :func:`repro.sort.vector.prewarm_plan_cache`).
+    """
     configs = []
     for entry in entries or ():
         body, _, flag = entry.partition(":")
+        backend = None
+        if body and not body[0].isdigit():
+            backend, (body, _, flag) = body, flag.partition(":")
+            if backend == "columnsort":
+                backend = None  # same entries as the legacy form
         wrap = flag == "wrap"
         if flag and not wrap:
             raise SystemExit(
                 f"--prewarm: unknown flag {flag!r} in {entry!r} "
                 "(only ':wrap' is recognised)"
+            )
+        if backend is not None and wrap:
+            raise SystemExit(
+                f"--prewarm: ':wrap' is a columnsort variant, not "
+                f"applicable to backend {backend!r} in {entry!r}"
             )
         m_str, sep, k_str = body.partition("x")
         try:
@@ -92,9 +109,12 @@ def parse_prewarm(entries) -> tuple:
             sep = ""
         if not sep:
             raise SystemExit(
-                f"--prewarm: expected MxK[:wrap], got {entry!r}"
+                f"--prewarm: expected [backend:]MxK[:wrap], got {entry!r}"
             )
-        configs.append((m, k, False, wrap))
+        if backend is not None:
+            configs.append((backend, m, k))
+        else:
+            configs.append((m, k, False, wrap))
     return tuple(configs)
 
 

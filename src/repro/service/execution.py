@@ -62,7 +62,8 @@ def run_batch_lanes(
     ]
     start = time.perf_counter()
     batch = sort_even_pk_batch(
-        spec.k, lanes, phase="sort", shards=spec.shards
+        spec.k, lanes, phase="sort", shards=spec.shards,
+        backend=spec.backend,
     )
     wall = (time.perf_counter() - start) / max(1, len(seeds))
     payloads = []
@@ -85,9 +86,9 @@ def run_batch_lanes(
 #: process: plan/schedule cache traffic and compile wall time.
 _PLAN_METRIC_HELP = {
     "vector_plan_cache_total":
-        "compiled columnsort plan-cache lookups by result",
+        "compiled plan-cache lookups by result and backend",
     "vector_plan_compile_seconds":
-        "wall-clock seconds spent compiling columnsort schedule plans",
+        "wall-clock seconds spent compiling schedule plans",
     "vector_plan_phases_fused":
         "compiled phases composed into fused gathers",
     "columnsort_bvn_cache_total":

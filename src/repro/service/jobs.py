@@ -74,11 +74,12 @@ class JobSpec:
     batch: int = 1
     shards: int = 1
     sinks: tuple = ()
+    backend: str = "columnsort"
 
     #: Fields accepted from a JSON payload (everything else is a 400).
     FIELDS = (
         "algorithm", "p", "k", "n", "seed", "engine", "batch", "shards",
-        "sinks",
+        "sinks", "backend",
     )
 
     @classmethod
@@ -111,6 +112,17 @@ class JobSpec:
                 raise ConfigurationError(f"job spec needs an {name!r} field")
         if "engine" in payload:
             kwargs["engine"] = str(payload["engine"])
+        if "backend" in payload:
+            backend = str(payload["backend"])
+            if backend == "auto":
+                # Resolve at admission so the cache key, the status
+                # payload and the worker all see the tuner's choice.
+                from ..sort.backends import choose_backend
+
+                backend = choose_backend(
+                    kwargs["p"], kwargs["k"], kwargs["n"]
+                )
+            kwargs["backend"] = backend
         if "sinks" in payload:
             sinks = payload["sinks"]
             if not isinstance(sinks, Sequence) or isinstance(sinks, (str, bytes)):
@@ -159,15 +171,34 @@ class JobSpec:
             raise ConfigurationError(
                 f"shards must be >= 0 (0 = auto), got {self.shards}"
             )
+        from ..sort.backends import BACKENDS, backend_unavailable_reason
+
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; "
+                f"known: {sorted(BACKENDS)} (or 'auto')"
+            )
+        if self.backend != "columnsort":
+            if self.algorithm != "sort":
+                raise ConfigurationError(
+                    f"backend {self.backend!r} is a sorting schedule "
+                    f"family; algorithm {self.algorithm!r} has no "
+                    "backend axis"
+                )
+            reason = backend_unavailable_reason(
+                self.backend, self.p, self.k, self.n // self.p
+            )
+            if reason is not None:
+                raise ConfigurationError(reason)
         if self.engine == "vector" and self.algorithm == "sort":
             if self.p != self.k:
                 raise ConfigurationError(
                     "engine='vector' executes only the oblivious even-pk "
-                    f"columnsort, which requires p == k; got p={self.p}, "
+                    f"schedules, which require p == k; got p={self.p}, "
                     f"k={self.k}"
                 )
             m = self.n // self.p
-            if not dims_valid(m, self.k):
+            if self.backend == "columnsort" and not dims_valid(m, self.k):
                 raise ConfigurationError(
                     "engine='vector' requires valid Columnsort dimensions "
                     f"(m >= k(k-1) and k | m); got m={m}, k={self.k}"
@@ -194,7 +225,8 @@ class JobSpec:
         """
         return [
             CacheKey(self.algorithm, self.p, self.k, self.n,
-                     self.seed + b, self.engine, self.shards)
+                     self.seed + b, self.engine, self.shards,
+                     self.backend)
             for b in range(self.batch)
         ]
 
@@ -209,6 +241,7 @@ class JobSpec:
             "engine": self.engine,
             "batch": self.batch,
             "shards": self.shards,
+            "backend": self.backend,
         }
 
 

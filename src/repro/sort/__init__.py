@@ -13,19 +13,34 @@ from .uneven import sort_uneven
 from .vector import (
     BatchSortResult,
     compiled_columnsort_phases,
+    prewarm_plan_cache,
     sort_even_pk_batch,
     sort_even_pk_vector,
 )
+from .backends import (
+    BACKENDS,
+    backend_unavailable_reason,
+    choose_backend,
+    crossover_table,
+    predicted_cost,
+    static_plan_stats,
+)
+from .cnet_sort import compiled_cnet_phases, sort_cnet
 from .virtual import sort_virtual, virtual_transformation
 
 __all__ = [
+    "BACKENDS",
     "BatchSortResult",
     "DUMMY",
     "SortResult",
     "Strategy",
+    "backend_unavailable_reason",
+    "choose_backend",
     "choose_strategy",
     "columnsort_program",
+    "compiled_cnet_phases",
     "compiled_columnsort_phases",
+    "crossover_table",
     "is_dummy",
     "mcb_merge",
     "mcb_sort",
@@ -35,17 +50,21 @@ __all__ = [
     "neg_elem",
     "pack_elem",
     "padded_column_length",
+    "predicted_cost",
+    "prewarm_plan_cache",
     "rank_sort",
     "rank_sort_group",
     "rebalance",
     "even_targets",
     "segment_owner",
+    "sort_cnet",
     "sort_even_collect",
     "sort_even_pk",
     "sort_even_pk_batch",
     "sort_even_pk_vector",
     "sort_ones",
     "sort_uneven",
+    "static_plan_stats",
     "sort_virtual",
     "transformation_phase",
     "unpack_elem",

@@ -52,6 +52,48 @@ def choose_strategy(
     return "uneven"
 
 
+def _resolve_backend(
+    backend: str, strategy: Strategy, p: int, k: int,
+    parts: dict[int, Sequence[Any]],
+) -> str:
+    """Resolve the even-pk backend axis (incl. the ``"auto"`` tuner).
+
+    ``"auto"`` never raises: shapes no comparator network covers simply
+    resolve to ``"columnsort"`` and flow to the other strategies.  An
+    *explicit* non-columnsort backend must actually be runnable — a
+    conflicting strategy, uneven shape, or unavailable network raises
+    so the caller's request is never silently ignored.
+    """
+    if backend == "columnsort":
+        return backend
+    lengths = {len(v) for v in parts.values()}
+    even = len(lengths) == 1
+    m = lengths.pop() if even else 0
+    if backend == "auto":
+        if strategy in ("auto", "even-pk") and even and p == k:
+            from .backends import choose_backend
+
+            return choose_backend(p, k, p * m)
+        return "columnsort"
+    if strategy not in ("auto", "even-pk"):
+        raise ConfigurationError(
+            f"backend {backend!r} is an even-pk schedule family; it "
+            f"cannot run under strategy {strategy!r}"
+        )
+    if not even or p != k:
+        raise ConfigurationError(
+            f"backend {backend!r} needs an even distribution on "
+            f"p == k; got p={p}, k={k}, "
+            f"{'even' if even else 'uneven'} distribution"
+        )
+    from .backends import backend_unavailable_reason
+
+    reason = backend_unavailable_reason(backend, p, k, m)
+    if reason is not None:
+        raise ConfigurationError(reason)
+    return backend
+
+
 def mcb_sort(
     net: MCBNetwork,
     dist: Distribution | dict[int, Sequence[Any]],
@@ -59,6 +101,7 @@ def mcb_sort(
     strategy: Strategy = "auto",
     phase: str = "sort",
     engine: str = "generator",
+    backend: str = "columnsort",
 ) -> SortResult:
     """Sort a distributed set on the network (paper's sorting spec §3).
 
@@ -74,12 +117,21 @@ def mcb_sort(
         single-channel §6.1 sorts on channel 1).
     engine:
         ``"generator"`` (default) or ``"vector"``.  The vector engine
-        executes only the fully oblivious even-pk columnsort (including
-        its wrap/skip odd-k variant, which lowers to static park/unpark
-        moves); the remaining strategies are adaptive (data-dependent or
-        Listen-based), so requesting one with ``engine="vector"`` raises
-        a :class:`~repro.mcb.errors.ConfigurationError` instead of
-        silently mis-executing.
+        executes only the fully oblivious even-pk schedules (columnsort
+        including its wrap/skip odd-k variant, plus every comparator
+        network); the remaining strategies are adaptive (data-dependent
+        or Listen-based), so requesting one with ``engine="vector"``
+        raises a :class:`~repro.mcb.errors.ConfigurationError` instead
+        of silently mis-executing.
+    backend:
+        The even ``p == k`` schedule family: ``"columnsort"``
+        (default, the paper's §5.2 pipeline), ``"batcher"`` /
+        ``"bitonic"`` (comparator networks — any even ``p == k`` shape,
+        so they extend the fast path below columnsort's dimension
+        rule), or ``"auto"`` to let the static cost model pick
+        (:func:`repro.sort.backends.choose_backend`).  Non-columnsort
+        backends apply only to the even-pk strategy; forcing one
+        together with an incompatible strategy or shape raises.
 
     Returns
     -------
@@ -90,6 +142,11 @@ def mcb_sort(
         raise ConfigurationError(
             f"unknown engine {engine!r}; expected 'generator' or 'vector'"
         )
+    if backend not in ("columnsort", "batcher", "bitonic", "auto"):
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; expected 'columnsort', "
+            "'batcher', 'bitonic' or 'auto'"
+        )
     parts = dist.parts if isinstance(dist, Distribution) else {
         pid: tuple(v) for pid, v in dist.items()
     }
@@ -99,8 +156,13 @@ def mcb_sort(
             pid: tuple(v) for pid, v in tag_elements(parts).items()
         }
 
+    requested = strategy
+    backend = _resolve_backend(backend, requested, net.p, net.k, parts)
     if strategy == "auto":
-        strategy = choose_strategy(net.p, net.k, parts)
+        strategy = (
+            "even-pk" if backend != "columnsort"
+            else choose_strategy(net.p, net.k, parts)
+        )
 
     if engine == "vector" and strategy != "even-pk":
         raise ConfigurationError(
@@ -114,7 +176,7 @@ def mcb_sort(
     if strategy == "even-pk":
         result = sort_even_pk(
             net, {i: list(v) for i, v in parts.items()},
-            phase=phase, engine=engine,
+            phase=phase, engine=engine, backend=backend,
         )
     elif strategy == "collect":
         result = sort_even_collect(net, parts, phase=phase)

@@ -252,6 +252,7 @@ def sort_even_pk(
     wrap_skip: bool = False,
     phase: str = "columnsort",
     engine: str = "generator",
+    backend: str = "columnsort",
 ) -> SortResult:
     """Sort an even distribution on MCB(k, k) (paper §5.2, basic case).
 
@@ -261,7 +262,8 @@ def sort_even_pk(
         Network with ``p == k``.
     columns:
         pid -> local elements; all the same length ``m`` with
-        ``m >= k(k-1)`` and ``k | m``.
+        ``m >= k(k-1)`` and ``k | m`` (columnsort backend only — the
+        comparator-network backends accept any even shape).
     engine:
         ``"generator"`` (default) steps per-processor programs on the
         network's cycle loop; ``"vector"`` compiles the oblivious
@@ -269,12 +271,26 @@ def sort_even_pk(
         (:mod:`repro.sort.vector`) — identical outputs and stats;
         ``wrap_skip`` lowers to static park/unpark moves and is fully
         supported.
+    backend:
+        ``"columnsort"`` (default) runs the §5.2 pipeline below;
+        ``"batcher"`` / ``"bitonic"`` run the corresponding
+        comparator network (:mod:`repro.sort.cnet_sort`) on the same
+        engine.
 
     Returns
     -------
     SortResult
         pid -> descending segment (``P_1`` holds the largest elements).
     """
+    if backend != "columnsort":
+        if paper_phase2 or wrap_skip:
+            raise ConfigurationError(
+                "paper_phase2/wrap_skip are columnsort schedule "
+                f"variants; backend {backend!r} has no such knobs"
+            )
+        from .cnet_sort import sort_cnet
+
+        return sort_cnet(net, columns, backend, phase=phase, engine=engine)
     if engine == "vector":
         from .vector import sort_even_pk_vector
 

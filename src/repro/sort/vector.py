@@ -30,7 +30,6 @@ bit-identical to the single-process run by construction.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -50,28 +49,10 @@ from ..mcb.vector import (
     lower_wrap_skip,
 )
 from ..mcb.vector.cache import (
-    columnsort_plan_path,
-    load_compiled_phases,
-    plan_cache_dir,
-    save_compiled_phases,
+    columnsort_plan_stem,
+    plan_registry,
 )
 from .even_pk import SortResult
-
-#: Compiled transformation phases per (m, k, paper_phase2, wrap_skip).
-#: A plain dict (not lru_cache) so service workers can pre-warm it at
-#: pool start and the metrics below can observe every lookup.
-_PLAN_CACHE: dict[
-    tuple[int, int, bool, bool], tuple[CompiledPhase, ...]
-] = {}
-
-
-def _plan_counter(result: str) -> None:
-    from ..obs.metrics import global_registry
-
-    global_registry().counter(
-        "vector_plan_cache_total",
-        "compiled columnsort plan-cache lookups by result",
-    ).inc(result=result)
 
 
 def compiled_columnsort_phases(
@@ -79,79 +60,81 @@ def compiled_columnsort_phases(
 ) -> tuple[CompiledPhase, ...]:
     """The four compiled transformation phases for an ``m x k`` sort.
 
-    Cached per ``(m, k, paper_phase2, wrap_skip)`` at two levels: the
-    in-process dict above, then the persistent on-disk cache of
-    :mod:`repro.mcb.vector.cache` (``~/.cache/repro/plans`` or
-    ``$REPRO_PLAN_CACHE``), so a fresh process loads compiled plans in
-    milliseconds instead of recompiling.  Every lookup counts on
-    ``vector_plan_cache_total`` (labelled ``result=hit|disk_hit|miss``)
-    and each true miss adds its wall time to the
-    ``vector_plan_compile_seconds`` counter, both on
+    Cached per ``(m, k, paper_phase2, wrap_skip)`` in the process-wide
+    :class:`~repro.mcb.vector.cache.PlanRegistry` (shared with the
+    comparator-network backends), backed by the persistent on-disk
+    cache (``~/.cache/repro/plans`` or ``$REPRO_PLAN_CACHE``), so a
+    fresh process loads compiled plans in milliseconds instead of
+    recompiling.  Every lookup counts on ``vector_plan_cache_total``
+    (labelled ``result=hit|disk_hit|miss`` and
+    ``backend="columnsort"``) and each true miss adds its wall time to
+    the ``vector_plan_compile_seconds`` counter, both on
     :func:`repro.obs.metrics.global_registry`, so compile cost is
-    visible in ``/metrics``.  :func:`prewarm_plan_cache` fills the cache
-    ahead of the first job (service workers do this at pool start).
+    visible in ``/metrics``.  :func:`prewarm_plan_cache` fills the
+    cache ahead of the first job (service workers do this at pool
+    start).
     """
-    key = (m, k, bool(paper_phase2), bool(wrap_skip))
-    if key in _PLAN_CACHE:
-        _plan_counter("hit")
-        return _PLAN_CACHE[key]
-    root = plan_cache_dir()
-    path = (
-        columnsort_plan_path(root, *key) if root is not None else None
-    )
-    if path is not None:
-        cached = load_compiled_phases(path)
-        if cached is not None:
-            _plan_counter("disk_hit")
-            _PLAN_CACHE[key] = cached
-            return cached
-    _plan_counter("miss")
-    from ..obs.metrics import global_registry
+    paper_phase2 = bool(paper_phase2)
+    wrap_skip = bool(wrap_skip)
 
-    start = time.perf_counter()
-    first = (
-        lower_paper_transpose(m, k)
-        if paper_phase2
-        else lower_phase_columnar(2, m, k)
+    def build() -> tuple[CompiledPhase, ...]:
+        first = (
+            lower_paper_transpose(m, k)
+            if paper_phase2
+            else lower_phase_columnar(2, m, k)
+        )
+        fourth = lower_phase_columnar(4, m, k)
+        if wrap_skip:
+            plan6, plan8 = lower_wrap_skip(m, k)
+        else:
+            plan6 = lower_phase_columnar(6, m, k)
+            plan8 = lower_phase_columnar(8, m, k)
+        return (
+            first.compile(), fourth.compile(),
+            plan6.compile(), plan8.compile(),
+        )
+
+    return plan_registry().lookup(
+        columnsort_plan_stem(m, k, paper_phase2, wrap_skip),
+        backend="columnsort",
+        build=build,
     )
-    fourth = lower_phase_columnar(4, m, k)
-    if wrap_skip:
-        plan6, plan8 = lower_wrap_skip(m, k)
-    else:
-        plan6 = lower_phase_columnar(6, m, k)
-        plan8 = lower_phase_columnar(8, m, k)
-    phases = (
-        first.compile(), fourth.compile(),
-        plan6.compile(), plan8.compile(),
-    )
-    _PLAN_CACHE[key] = phases
-    global_registry().counter(
-        "vector_plan_compile_seconds",
-        "wall-clock seconds spent compiling columnsort schedule plans",
-    ).inc(time.perf_counter() - start)
-    if path is not None:
-        try:
-            save_compiled_phases(path, phases)
-        except OSError:
-            pass  # a read-only cache dir must never fail the compile
-    return phases
 
 
 #: Mirror the functools.lru_cache surface the tests (and any cached
-#: callers) rely on.
-compiled_columnsort_phases.cache_clear = _PLAN_CACHE.clear  # type: ignore[attr-defined]
+#: callers) rely on.  Clearing evicts *every* backend's entries — the
+#: registry is the single eviction surface.
+compiled_columnsort_phases.cache_clear = plan_registry().clear  # type: ignore[attr-defined]
 
 
 def prewarm_plan_cache(configs: Iterable[Sequence]) -> int:
-    """Compile plans for every ``(m, k[, paper_phase2[, wrap_skip]])``.
+    """Compile plans ahead of the first job; returns configs warmed.
 
-    Returns the number of configs warmed.  Intended as a worker-pool
-    initializer: spawn-context workers start with an empty module cache,
-    so without pre-warming every worker pays the full schedule compile
-    on its first job.
+    Two config shapes are accepted, covering every backend through the
+    shared :class:`~repro.mcb.vector.cache.PlanRegistry`:
+
+    * ``(m, k[, paper_phase2[, wrap_skip]])`` — columnsort
+      transformation phases (the historical form);
+    * ``(backend, m, k)`` — a comparator-network backend by name
+      (``"batcher"``, ``"bitonic"``, or ``"columnsort"`` for the plain
+      phases).
+
+    Intended as a worker-pool initializer: spawn-context workers start
+    with an empty module cache, so without pre-warming every worker
+    pays the full schedule compile on its first job.
     """
     warmed = 0
     for cfg in configs:
+        if cfg and isinstance(cfg[0], str):
+            backend, m, k = cfg[0], int(cfg[1]), int(cfg[2])
+            if backend == "columnsort":
+                compiled_columnsort_phases(m, k)
+            else:
+                from .cnet_sort import compiled_cnet_phases
+
+                compiled_cnet_phases(backend, m, k)
+            warmed += 1
+            continue
         m, k, *rest = cfg
         paper_phase2 = bool(rest[0]) if len(rest) > 0 else False
         wrap_skip = bool(rest[1]) if len(rest) > 1 else False
@@ -244,8 +227,15 @@ def _columnsort_pipeline(
     return state
 
 
-def _validated_columns(k: int, columns: dict[int, list]) -> int:
-    """Shared ``sort_even_pk`` input validation; returns ``m``."""
+def _validated_columns(
+    k: int, columns: dict[int, list], require_dims: bool = True
+) -> int:
+    """Shared ``sort_even_pk`` input validation; returns ``m``.
+
+    ``require_dims=False`` relaxes the columnsort dimension rule
+    (``m >= k(k-1)``, ``k | m``) — the comparator-network backends sort
+    any even ``p = k`` shape.
+    """
     if sorted(columns) != list(range(1, k + 1)):
         raise ValueError("columns must be given for every processor 1..k")
     lengths = {len(c) for c in columns.values()}
@@ -254,7 +244,8 @@ def _validated_columns(k: int, columns: dict[int, list]) -> int:
             f"distribution is not even: lengths {sorted(lengths)}"
         )
     m = lengths.pop()
-    require_valid_dims(m, k)
+    if require_dims:
+        require_valid_dims(m, k)
     return m
 
 
@@ -329,7 +320,7 @@ def _shard_worker(job: tuple) -> list[PhaseStats]:
     run would have produced for those lanes.
     """
     (shm_name, shape, dtype_str, k, m, lo, hi,
-     paper_phase2, wrap_skip, phase) = job
+     paper_phase2, wrap_skip, phase, backend) = job
     from multiprocessing import shared_memory
 
     try:
@@ -339,11 +330,19 @@ def _shard_worker(job: tuple) -> list[PhaseStats]:
     try:
         full = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=shm.buf)
         state = np.ascontiguousarray(full[:, :, lo:hi])
-        phases = compiled_columnsort_phases(m, k, paper_phase2, wrap_skip)
         run = VectorRun(k, k, phase=phase, batch=hi - lo)
-        state = _columnsort_pipeline(
-            run, state, phases, width=m if wrap_skip else None
-        )
+        if backend == "columnsort":
+            phases = compiled_columnsort_phases(m, k, paper_phase2, wrap_skip)
+            state = _columnsort_pipeline(
+                run, state, phases, width=m if wrap_skip else None
+            )
+        else:
+            from ..mcb.cnet import build_network
+            from .cnet_sort import _cnet_pipeline, compiled_cnet_phases
+
+            network = build_network(backend, k)
+            compiled = compiled_cnet_phases(backend, m, k)
+            state = _cnet_pipeline(run, state, network, compiled, m)
         full[:, :, lo:hi] = state
         return run.finish()
     finally:
@@ -358,6 +357,7 @@ def _run_sharded(
     paper_phase2: bool,
     wrap_skip: bool,
     phase: str,
+    backend: str = "columnsort",
 ) -> tuple[np.ndarray, list[PhaseStats]]:
     """Split the batch axis of ``state`` across a spawn-context pool."""
     from concurrent.futures import ProcessPoolExecutor
@@ -371,7 +371,8 @@ def _run_sharded(
         bounds = [i * lanes // shards for i in range(shards + 1)]
         jobs = [
             (shm.name, state.shape, state.dtype.str, k, m,
-             bounds[i], bounds[i + 1], paper_phase2, wrap_skip, phase)
+             bounds[i], bounds[i + 1], paper_phase2, wrap_skip, phase,
+             backend)
             for i in range(shards)
         ]
         with ProcessPoolExecutor(
@@ -405,6 +406,7 @@ def sort_even_pk_batch(
     wrap_skip: bool = False,
     phase: str = "columnsort",
     shards: int = 1,
+    backend: str = "columnsort",
 ) -> BatchSortResult:
     """Sort ``B`` independent even ``p = k`` instances in one pass.
 
@@ -423,12 +425,30 @@ def sort_even_pk_batch(
     inline run.  Object-dtype batches (tuples, mixed columns) cannot
     ride a typed shared-memory block: ``shards=0`` degrades to inline
     and an explicit ``shards > 1`` is refused.
+
+    ``backend`` selects the schedule family: ``"columnsort"`` (default)
+    runs the §5.2 pipeline above; ``"batcher"`` / ``"bitonic"`` run the
+    corresponding comparator network (:mod:`repro.mcb.cnet`) through
+    the same batched state and sharding machinery.  The network
+    backends accept any even shape (no columnsort dimension rule) but
+    ignore ``paper_phase2`` / ``wrap_skip``, which are columnsort
+    notions — requesting them together is refused.
     """
     if not batches:
         raise ConfigurationError("sort_even_pk_batch needs at least one lane")
-    m = _validated_columns(k, batches[0])
+    cnet = backend != "columnsort"
+    if cnet:
+        from ..mcb.cnet import build_network
+
+        network = build_network(backend, k)  # validates the name
+        if paper_phase2 or wrap_skip:
+            raise ConfigurationError(
+                "paper_phase2/wrap_skip are columnsort schedule variants; "
+                f"backend {backend!r} has no such knobs"
+            )
+    m = _validated_columns(k, batches[0], require_dims=not cnet)
     for lane in batches[1:]:
-        if _validated_columns(k, lane) != m:
+        if _validated_columns(k, lane, require_dims=not cnet) != m:
             raise ValueError("all batch lanes must share the same (k, m)")
     lanes = len(batches)
     wrap = wrap_skip and k > 1
@@ -445,12 +465,24 @@ def sort_even_pk_batch(
         shards = 1  # auto: object batches stay inline
     else:
         shards = resolve_shards(shards, lanes)
+    if cnet:
+        phase = f"{phase}/cnet-{backend}"
+        if network.slot_factor == 2:
+            # Merge-split scratch: partner columns land in slots m..2m-1.
+            state = np.concatenate([state, state], axis=1)
     if wrap:
         state = _with_parking(state, m // 2)
     if shards > 1:
         state, lane_phases = _run_sharded(
-            state, k, m, shards, paper_phase2, wrap, phase
+            state, k, m, shards, paper_phase2, wrap, phase, backend
         )
+    elif cnet:
+        from .cnet_sort import _cnet_pipeline, compiled_cnet_phases
+
+        compiled = compiled_cnet_phases(backend, m, k)
+        run = VectorRun(k, k, phase=phase, batch=lanes)
+        state = _cnet_pipeline(run, state, network, compiled, m)
+        lane_phases = run.finish()
     else:
         phases = compiled_columnsort_phases(m, k, paper_phase2, wrap)
         run = VectorRun(k, k, phase=phase, batch=lanes)

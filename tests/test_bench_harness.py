@@ -16,7 +16,9 @@ class TestResultCache:
         key = CacheKey("sort", 8, 4, 64, 0)
         assert cache.get(key) is None
         path = cache.put(key, {"stats": {"cycles": 42}})
-        assert path.name == "sort_p8_k4_n64_seed0_generator_sh1.json"
+        assert path.name == (
+            "sort_p8_k4_n64_seed0_generator_sh1_columnsort.json"
+        )
         assert cache.get(key) == {"stats": {"cycles": 42}}
         assert cache.hits == 1 and cache.misses == 1
         assert len(cache) == 1

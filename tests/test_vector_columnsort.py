@@ -276,24 +276,24 @@ def test_plan_cache_counters_and_compile_seconds(tmp_path, monkeypatch):
     compiled_columnsort_phases.cache_clear()
     plans = reg.counter("vector_plan_cache_total")
     compiled_columnsort_phases(M, K)
-    assert plans.get(result="miss") == 1
-    assert plans.get(result="hit") == 0
+    assert plans.get(result="miss", backend="columnsort") == 1
+    assert plans.get(result="hit", backend="columnsort") == 0
     seconds = reg.counter("vector_plan_compile_seconds")
     first_cost = seconds.get()
     assert first_cost > 0
     compiled_columnsort_phases(M, K)
-    assert plans.get(result="hit") == 1
+    assert plans.get(result="hit", backend="columnsort") == 1
     assert seconds.get() == first_cost  # hits compile nothing
     # wrap_skip is a distinct plan identity, not a hit on the plain one.
     compiled_columnsort_phases(M, K, wrap_skip=True)
-    assert plans.get(result="miss") == 2
+    assert plans.get(result="miss", backend="columnsort") == 2
     # A fresh in-process cache (= a fresh process) loads the persisted
     # entry from disk instead of recompiling.
     total_cost = seconds.get()
     compiled_columnsort_phases.cache_clear()
     compiled_columnsort_phases(M, K)
-    assert plans.get(result="disk_hit") == 1
-    assert plans.get(result="miss") == 2
+    assert plans.get(result="disk_hit", backend="columnsort") == 1
+    assert plans.get(result="miss", backend="columnsort") == 2
     assert seconds.get() == total_cost  # disk hits compile nothing
 
 
@@ -308,8 +308,8 @@ def test_plan_cache_disabled_by_env(tmp_path, monkeypatch):
     compiled_columnsort_phases(M, K)
     compiled_columnsort_phases.cache_clear()
     compiled_columnsort_phases(M, K)
-    assert plans.get(result="miss") == 2
-    assert plans.get(result="disk_hit") == 0
+    assert plans.get(result="miss", backend="columnsort") == 2
+    assert plans.get(result="disk_hit", backend="columnsort") == 0
 
 
 def test_prewarm_plan_cache(tmp_path, monkeypatch):
@@ -322,13 +322,13 @@ def test_prewarm_plan_cache(tmp_path, monkeypatch):
     warmed = prewarm_plan_cache([(M, K), (M, K, False, True)])
     assert warmed == 2
     plans = reg.counter("vector_plan_cache_total")
-    assert plans.get(result="miss") == 2
+    assert plans.get(result="miss", backend="columnsort") == 2
     # Warm cache: the next sort's plan lookup is a hit.
     compiled_columnsort_phases(M, K)
-    assert plans.get(result="hit") == 1
+    assert plans.get(result="hit", backend="columnsort") == 1
     # Pre-warming persisted both entries: a fresh process disk-hits.
     compiled_columnsort_phases.cache_clear()
     warmed = prewarm_plan_cache([(M, K), (M, K, False, True)])
     assert warmed == 2
-    assert plans.get(result="disk_hit") == 2
-    assert plans.get(result="miss") == 2
+    assert plans.get(result="disk_hit", backend="columnsort") == 2
+    assert plans.get(result="miss", backend="columnsort") == 2
