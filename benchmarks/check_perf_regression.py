@@ -80,6 +80,11 @@ CHECKS = {
         if "speedup" in row
         else None
     ),
+    "BENCH_loadgen.json": lambda row: (
+        {f"speedup[{w}]": s for w, s in row["speedup"].items()}
+        if "speedup" in row
+        else None
+    ),
 }
 
 

@@ -27,7 +27,7 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import format_table
-from repro.bench import ResultCache, run_grid
+from repro.bench import ResultCache, env_metadata, run_grid
 from repro.obs.sinks import JsonlSink
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
@@ -45,6 +45,7 @@ CANONICAL_BENCHES = (
     "vector_select",
     "service",
     "network_backends",
+    "loadgen",
 )
 
 # Benchmarks must not read or write the user's ~/.cache: default the
@@ -73,6 +74,10 @@ class BenchRecorder:
             + f"-{os.getpid()}"
         )
         self._seq = 0
+        #: Machine conditions, stamped into every record: wall-clock
+        #: numbers are meaningless without the environment they were
+        #: measured under.
+        self.env = env_metadata()
 
     @staticmethod
     def _bench_name(nodeid: str) -> str:
@@ -93,6 +98,7 @@ class BenchRecorder:
                 "run": self.run_id,
                 "id": f"{self.run_id}/{self._seq}",
                 "nodeid": nodeid,
+                "env": self.env,
                 **payload,
             }
         )

@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Black-box smoke test for ``python -m repro loadgen`` (CI loadgen job).
+
+Drives the load-scenario CLI as a subprocess — stdlib only, no repro
+imports — and checks the observability contract end to end:
+
+1. the ``smoke`` preset runs to completion against the **in-process**
+   target, writing a ``loadgen-report/v1`` percentile report and a
+   Chrome-trace export;
+2. the report carries nonzero p50/p99.9 latencies, a full environment
+   stanza, and query counts that add up;
+3. the trace export reconciles with the report: one ``cat="query"``
+   span per scheduled query, span count ≥ measured queries, and the
+   ``in_flight`` counter track is present;
+4. the same preset runs against a **self-hosted thread-mode service**
+   (``--target http`` with no ``--url`` boots one in-process), proving
+   the HTTP data path produces an equally valid report.
+
+Run from the repo root:
+
+    PYTHONPATH=src python scripts/loadgen_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RUN_DEADLINE_S = 120
+
+SCHEMA = "loadgen-report/v1"
+
+
+def run_loadgen(args: list[str]) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "loadgen", *args],
+        cwd=REPO,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        timeout=RUN_DEADLINE_S,
+    )
+    sys.stdout.write(
+        "".join(f"[loadgen] {l}\n" for l in proc.stdout.splitlines())
+    )
+    assert proc.returncode == 0, f"loadgen exited {proc.returncode}"
+    return proc.stdout
+
+
+def check_report(path: str, *, label: str) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        report = json.load(fh)
+    assert report["schema"] == SCHEMA, report.get("schema")
+    q = report["queries"]
+    assert q["measured"] == q["ok"] + q["failed"] + q["rejected"], q
+    assert q["failed"] == 0 and q["rejected"] == 0, q
+    assert q["total"] == q["measured"] + q["warmup_excluded"], q
+    lat = report["latency"]
+    assert lat["p50_s"] > 0 and lat["p999_s"] > 0, lat
+    assert lat["p50_s"] <= lat["p90_s"] <= lat["p99_s"] <= lat["p999_s"], lat
+    assert report["throughput"]["qps"] > 0, report["throughput"]
+    env = report["env"]
+    assert env.get("python") and env.get("cpu_count"), env
+    print(
+        f"[smoke] {label}: {q['ok']} ok, "
+        f"p50 {1e3 * lat['p50_s']:.2f} ms, "
+        f"p99.9 {1e3 * lat['p999_s']:.2f} ms, "
+        f"{report['throughput']['qps']:.1f} q/s"
+    )
+    return report
+
+
+def check_trace(path: str, report: dict) -> None:
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    spans = [
+        e for e in doc["traceEvents"]
+        if e.get("ph") == "X" and e.get("cat") == "query"
+    ]
+    counters = [
+        e for e in doc["traceEvents"]
+        if e.get("ph") == "C" and e.get("name") == "in_flight"
+    ]
+    total = report["queries"]["total"]
+    assert len(spans) == total, (len(spans), total)
+    assert counters, "in_flight counter track missing from trace"
+    trace_sum_s = sum(e["dur"] for e in spans) / 1e6
+    # The report's latency sum covers measured-ok queries only; the
+    # trace carries every span (warmup included), so it can only be
+    # larger — never smaller (modulo µs rounding on each span).
+    report_sum_s = report["latency"]["sum_s"]
+    assert trace_sum_s >= report_sum_s - 1e-6 * total, (
+        trace_sum_s, report_sum_s,
+    )
+    print(
+        f"[smoke] trace reconciles: {len(spans)} spans, "
+        f"{trace_sum_s:.3f}s busy vs report {report_sum_s:.3f}s measured-ok"
+    )
+
+
+def main() -> int:
+    workdir = tempfile.mkdtemp(prefix="mcb-loadgen-smoke-")
+    report_inproc = os.path.join(workdir, "inproc.json")
+    trace_inproc = os.path.join(workdir, "inproc.trace.json")
+    report_http = os.path.join(workdir, "http.json")
+
+    run_loadgen([
+        "--preset", "smoke",
+        "--target", "inproc",
+        "--cache-dir", os.path.join(workdir, "cache"),
+        "--report", report_inproc,
+        "--trace", trace_inproc,
+    ])
+    report = check_report(report_inproc, label="in-process")
+    check_trace(trace_inproc, report)
+
+    run_loadgen([
+        "--preset", "smoke",
+        "--target", "http",
+        "--report", report_http,
+    ])
+    check_report(report_http, label="thread-mode service over HTTP")
+
+    print("[smoke] loadgen smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

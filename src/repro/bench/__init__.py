@@ -20,6 +20,7 @@ from .cache import CacheKey, ResultCache
 from .runner import (
     ALGORITHMS,
     BenchSpec,
+    env_metadata,
     resolve_max_workers,
     run_config,
     run_grid,
@@ -30,6 +31,7 @@ __all__ = [
     "BenchSpec",
     "CacheKey",
     "ResultCache",
+    "env_metadata",
     "resolve_max_workers",
     "run_config",
     "run_grid",

@@ -59,6 +59,28 @@ def _fingerprint(value: Any) -> str:
     return hashlib.sha256(repr(value).encode()).hexdigest()[:16]
 
 
+def env_metadata() -> dict[str, Any]:
+    """Machine context to stamp into bench records and load reports.
+
+    Wall-clock numbers are only comparable against the conditions they
+    were measured under; this captures the cheap, dependency-free part
+    of those conditions (interpreter, platform, core count, 1-minute
+    load average where the OS provides one).
+    """
+    import platform
+
+    meta: dict[str, Any] = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+    try:
+        meta["loadavg_1m"] = round(os.getloadavg()[0], 3)
+    except (AttributeError, OSError):  # pragma: no cover — e.g. Windows
+        pass
+    return meta
+
+
 def resolve_max_workers(max_workers: Optional[int] = None) -> Optional[int]:
     """Effective worker-pool width for this process.
 

@@ -1,6 +1,6 @@
 """Lower bounds: closed forms, the executable adversary, worst cases."""
 
-from .adversary import Pair, SelectionAdversary
+from .adversary import Pair, SelectionAdversary, hardest_rank
 from .formulas import (
     cor1_selection_cycles_lb,
     cor2_selection_cycles_lb,
@@ -33,6 +33,7 @@ __all__ = [
     "cor2_selection_cycles_lb",
     "cor3_sorting_cycles_lb",
     "filtering_phases_bound",
+    "hardest_rank",
     "holder_of",
     "overlay_phases",
     "partial_sums_cycles_theta",

@@ -159,3 +159,29 @@ class SelectionAdversary:
         return 0.5 * sum(
             math.log2(2 * c) for c in self.initial_counts if c > 0
         )
+
+
+def hardest_rank(sizes: Sequence[int], *, samples: int = 16) -> int:
+    """The rank ``d`` whose Theorem 2 adversary demands the most messages.
+
+    Scans candidate ranks in the theorem's admissible window
+    ``p <= d <= (n + 1) // 2`` (up to ``samples`` evenly spaced probes,
+    endpoints always included) and returns the ``d`` maximizing
+    :meth:`SelectionAdversary.messages_needed` — the rank a worst-case
+    load profile should select for.  Ties break toward the median end,
+    so the uniform-sizes answer stays the familiar "select the median".
+    """
+    p = len(sizes)
+    n = sum(sizes)
+    lo, hi = p, (n + 1) // 2
+    if lo >= hi:
+        return max(1, hi)
+    count = min(samples, hi - lo + 1)
+    step = (hi - lo) / (count - 1)
+    candidates = sorted({lo + round(i * step) for i in range(count)})
+    best_d, best_msgs = hi, -1
+    for d in candidates:
+        msgs = SelectionAdversary(sizes, d).messages_needed()
+        if msgs >= best_msgs:
+            best_d, best_msgs = d, msgs
+    return best_d

@@ -7,6 +7,7 @@
     python -m repro max       --p 64 --k 4 [--model detect]
     python -m repro profile   sort --n 1024 --p 16 --k 4 [--json]
     python -m repro serve     --port 8577 --workers 4 --queue-size 64
+    python -m repro loadgen   --preset mixed --watch [--report out.json]
 
 Every command prints the result summary plus the cycle/message
 accounting, so the CLI doubles as a quick cost explorer for the model.
@@ -22,6 +23,7 @@ from .analysis import format_table
 from .core import Distribution
 from .core.problem import is_sorted_output
 from .mcb import MCBNetwork
+from .loadgen.cli import add_loadgen_parser
 from .obs.cli import add_profile_parser, add_timeline_parser
 from .service.cli import add_serve_parser
 from .select import mcb_select
@@ -262,6 +264,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_profile_parser(sub)
     add_timeline_parser(sub)
     add_serve_parser(sub)
+    add_loadgen_parser(sub)
 
     return parser
 

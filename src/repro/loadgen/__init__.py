@@ -1,0 +1,59 @@
+"""repro.loadgen — streaming load-scenario engine with live telemetry.
+
+The benchmarks in ``benchmarks/`` measure isolated configurations; this
+package measures *service behaviour under sustained mixed traffic*:
+latency percentiles, throughput, queue depth and rejection rates while
+a weighted mix of sort/select queries — uniform, skewed,
+duplicate-heavy and Theorem-3 adversarial inputs, with churn in
+``p``/``k``/``n`` — streams at the simulator or at a running
+``python -m repro serve`` instance.
+
+* :mod:`repro.loadgen.scenario` — declarative, seed-deterministic
+  scenario specs (:class:`ScenarioSpec`, :class:`QueryTemplate`,
+  :data:`PRESETS`);
+* :mod:`repro.loadgen.targets` — execution surfaces
+  (:class:`InProcessTarget`, :class:`HttpTarget`);
+* :mod:`repro.loadgen.engine` — the open-/closed-loop
+  :class:`LoadRunner` producing per-query records;
+* :mod:`repro.loadgen.report` — the ``loadgen-report/v1`` percentile
+  report (built on the mergeable
+  :class:`~repro.obs.metrics.QuantileSketch`);
+* :mod:`repro.loadgen.dashboard` — the ``--watch`` terminal view;
+* :mod:`repro.loadgen.cli` — ``python -m repro loadgen``.
+
+Quickstart::
+
+    from repro.loadgen import PRESETS, InProcessTarget, LoadRunner
+    from repro.loadgen.report import build_report
+
+    result = LoadRunner(PRESETS["smoke"], InProcessTarget()).run()
+    print(build_report(result)["latency"])
+
+See ``docs/OBSERVABILITY.md`` for the report schema and the trace
+reconciliation contract.
+"""
+
+from .dashboard import Dashboard
+from .engine import LoadResult, LoadRunner, QueryRecord
+from .report import SCHEMA, build_report, render_report, validate_report
+from .scenario import PRESETS, Query, QueryTemplate, ScenarioSpec
+from .targets import HttpTarget, InProcessTarget, QueryOutcome, Target
+
+__all__ = [
+    "Dashboard",
+    "HttpTarget",
+    "InProcessTarget",
+    "LoadResult",
+    "LoadRunner",
+    "PRESETS",
+    "Query",
+    "QueryOutcome",
+    "QueryRecord",
+    "QueryTemplate",
+    "SCHEMA",
+    "ScenarioSpec",
+    "Target",
+    "build_report",
+    "render_report",
+    "validate_report",
+]

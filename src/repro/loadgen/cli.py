@@ -1,0 +1,190 @@
+"""``python -m repro loadgen`` — run a load scenario and report.
+
+Examples::
+
+    python -m repro loadgen                              # smoke preset
+    python -m repro loadgen --preset adversarial --watch
+    python -m repro loadgen --scenario my_scenario.json \
+        --report report.json --trace trace.json
+    python -m repro loadgen --target http --url http://127.0.0.1:8577
+    python -m repro loadgen --target http                # self-hosted
+
+``--target http`` without ``--url`` boots a thread-executor
+:class:`~repro.service.ServiceServer` on an ephemeral port for the
+duration of the run, so the full HTTP admission/queue/worker path is
+exercised without a second terminal.  ``--report`` writes the
+machine-readable percentile report (``loadgen-report/v1``); ``--trace``
+writes the stitched Perfetto document — load either at
+https://ui.perfetto.dev.  The process exit code is non-zero when any
+measured query failed (rejections are outcomes, not failures).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from pathlib import Path
+from typing import Any, Optional
+
+from .dashboard import Dashboard
+from .engine import LoadResult, LoadRunner
+from .report import build_report, render_report, validate_report
+from .scenario import ARRIVALS, PRESETS, ScenarioSpec
+from .targets import HttpTarget, InProcessTarget, Target
+
+
+def add_loadgen_parser(sub) -> None:
+    """Register the ``loadgen`` subcommand on the top-level CLI."""
+    sp = sub.add_parser(
+        "loadgen",
+        help="drive sustained sort/select traffic and report percentiles",
+    )
+    sp.add_argument("--preset", choices=sorted(PRESETS),
+                    default="smoke",
+                    help="built-in scenario (default: smoke)")
+    sp.add_argument("--scenario", default=None, metavar="FILE",
+                    help="scenario spec JSON (overrides --preset)")
+    sp.add_argument("--target", choices=["inproc", "http"],
+                    default="inproc",
+                    help="run queries in-process (default) or against "
+                    "the HTTP job service")
+    sp.add_argument("--url", default=None,
+                    help="service URL for --target http (omit to "
+                    "self-host a thread-mode server for the run)")
+    sp.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="in-process result-cache directory "
+                    "(bench-identical queries only)")
+    sp.add_argument("--queries", type=int, default=None,
+                    help="override the scenario's query count")
+    sp.add_argument("--concurrency", type=int, default=None,
+                    help="override the scenario's concurrency")
+    sp.add_argument("--seed", type=int, default=None,
+                    help="override the scenario's seed")
+    sp.add_argument("--arrival", choices=ARRIVALS, default=None,
+                    help="override the scenario's arrival process")
+    sp.add_argument("--rate", type=float, default=None,
+                    help="override the open-loop arrival rate (q/s)")
+    sp.add_argument("--watch", action="store_true",
+                    help="live terminal dashboard while the run is hot")
+    sp.add_argument("--tick", type=float, default=0.5,
+                    help="dashboard/statistics tick interval in seconds")
+    sp.add_argument("--report", default=None, metavar="PATH",
+                    help="write the percentile report JSON here")
+    sp.add_argument("--trace", default=None, metavar="PATH",
+                    help="write the stitched Perfetto trace here")
+    sp.set_defaults(fn=cmd_loadgen)
+
+
+def resolve_scenario(args) -> ScenarioSpec:
+    """Preset or file, then apply the CLI's override flags."""
+    if args.scenario is not None:
+        spec = ScenarioSpec.from_json(
+            Path(args.scenario).read_text(encoding="utf-8")
+        )
+    else:
+        spec = PRESETS[args.preset]
+    overrides: dict[str, Any] = {}
+    for flag in ("queries", "concurrency", "seed", "arrival", "rate"):
+        value = getattr(args, flag)
+        if value is not None:
+            overrides[flag] = value
+    if "queries" in overrides:
+        overrides.setdefault(
+            "warmup", min(spec.warmup, overrides["queries"] - 1)
+        )
+    return spec.override(**overrides) if overrides else spec
+
+
+async def _run_against_service(
+    scenario: ScenarioSpec, runner_kwargs: dict[str, Any]
+) -> LoadResult:
+    """Self-host a thread-executor service and run the scenario at it."""
+    from ..service import ServiceApp, ServiceServer
+
+    app = ServiceApp(
+        queue_size=max(64, 4 * scenario.concurrency),
+        workers=min(4, scenario.concurrency),
+        executor="thread",
+    )
+    server = ServiceServer(app, port=0)
+    await server.start()
+    try:
+        target = HttpTarget("127.0.0.1", server.port)
+        runner = LoadRunner(scenario, target, **runner_kwargs)
+        return await runner.run_async()
+    finally:
+        await server.stop()
+
+
+def cmd_loadgen(args) -> int:
+    """``repro loadgen`` entry point: run the scenario, print/write the
+    report and optional trace; exit 1 if any measured query failed."""
+    try:
+        scenario = resolve_scenario(args)
+    except (ValueError, OSError) as exc:
+        raise SystemExit(f"loadgen: {exc}") from None
+
+    dashboard: Optional[Dashboard] = None
+    runner_kwargs: dict[str, Any] = {"tick_s": args.tick}
+    if args.watch:
+        dashboard = Dashboard()
+        runner_kwargs["on_tick"] = dashboard.update
+
+    try:
+        if args.target == "http":
+            HttpTarget.check_scenario(scenario)
+            if args.url is not None:
+                target: Target = HttpTarget.from_url(args.url)
+                result = LoadRunner(
+                    scenario, target, **runner_kwargs
+                ).run()
+            else:
+                result = asyncio.run(
+                    _run_against_service(scenario, runner_kwargs)
+                )
+        else:
+            cache = None
+            if args.cache_dir is not None:
+                from ..bench.cache import ResultCache
+
+                cache = ResultCache(args.cache_dir)
+            result = LoadRunner(
+                scenario, InProcessTarget(cache=cache), **runner_kwargs
+            ).run()
+    except ValueError as exc:
+        raise SystemExit(f"loadgen: {exc}") from None
+    finally:
+        if dashboard is not None:
+            dashboard.close()
+
+    report = build_report(result)
+    validate_report(report)
+    print(render_report(report))
+
+    if args.report is not None:
+        Path(args.report).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"report written to {args.report}")
+    if args.trace is not None:
+        from ..obs.trace import load_run_to_chrome_trace
+
+        doc = load_run_to_chrome_trace(
+            result.trace_records(),
+            meta={"scenario": scenario.name, "target": result.target},
+            depth_samples=result.depth_samples,
+        )
+        Path(args.trace).write_text(
+            json.dumps(doc), encoding="utf-8"
+        )
+        print(f"trace written to {args.trace} "
+              "(open at https://ui.perfetto.dev)")
+
+    failed = report["queries"]["failed"]
+    if failed:
+        print(f"loadgen: {failed} measured query(ies) failed",
+              file=sys.stderr)
+        return 1
+    return 0

@@ -1,0 +1,116 @@
+"""Live terminal dashboard for a running load scenario.
+
+Feed :meth:`Dashboard.update` with the runner's tick snapshots
+(``LoadRunner(..., on_tick=dashboard.update)``) and it maintains a
+compact multi-line frame: rolling p50 / p99 / p99.9 latency, throughput
+and queue depth as sparklines (:func:`repro.obs.trace.sparkline` — the
+same glyph ramp the timeline lane summary uses), plus rejection and
+cache-hit rates and a progress line.  On a TTY the frame redraws in
+place with ANSI cursor movement; on a pipe it degrades to one summary
+line per tick, so ``--watch`` output stays readable in CI logs.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import deque
+from typing import Any, Mapping, Optional, TextIO
+
+from ..obs.trace import sparkline
+
+#: Sparkline history length (ticks) — about a minute at the default rate.
+HISTORY = 120
+
+
+class Dashboard:
+    """Render rolling load-run telemetry to a terminal."""
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        *,
+        width: int = 48,
+        force_tty: Optional[bool] = None,
+    ):
+        self.stream = stream if stream is not None else sys.stdout
+        self.width = width
+        self._tty = (
+            force_tty if force_tty is not None
+            else bool(getattr(self.stream, "isatty", lambda: False)())
+        )
+        self._p50: deque[float] = deque(maxlen=HISTORY)
+        self._p99: deque[float] = deque(maxlen=HISTORY)
+        self._p999: deque[float] = deque(maxlen=HISTORY)
+        self._qps: deque[float] = deque(maxlen=HISTORY)
+        self._depth: deque[float] = deque(maxlen=HISTORY)
+        self._frame_lines = 0
+
+    # ------------------------------------------------------------------
+    def update(self, snapshot: Mapping[str, Any]) -> None:
+        """Absorb one runner tick and redraw."""
+        self._p50.append(snapshot["p50_ms"])
+        self._p99.append(snapshot["p99_ms"])
+        self._p999.append(snapshot["p999_ms"])
+        self._qps.append(snapshot["qps"])
+        self._depth.append(float(snapshot["in_flight"]))
+        if self._tty:
+            self._draw_frame(snapshot)
+        else:
+            self.stream.write(self._summary_line(snapshot) + "\n")
+            self.stream.flush()
+
+    # ------------------------------------------------------------------
+    def render(self, snapshot: Mapping[str, Any]) -> str:
+        """The current frame as a plain string (testable, no ANSI)."""
+        def lane(label: str, series: deque, unit: str) -> str:
+            tail = list(series)[-self.width:]
+            current = tail[-1] if tail else 0.0
+            return (
+                f"  {label:<6}|{sparkline(tail):<{self.width}}| "
+                f"{current:>9.2f} {unit}"
+            )
+
+        done, total = snapshot["done"], snapshot["total"]
+        lines = [
+            f"load t={snapshot['t_s']:.1f}s  "
+            f"{done}/{total} queries  "
+            f"in-flight {snapshot['in_flight']}",
+            lane("p50", self._p50, "ms"),
+            lane("p99", self._p99, "ms"),
+            lane("p99.9", self._p999, "ms"),
+            lane("q/s", self._qps, "q/s"),
+            lane("depth", self._depth, "inf"),
+            f"  rejected {snapshot['rejected_rate']:.1%}   "
+            f"cache hits {snapshot['cache_hit_rate']:.1%}",
+        ]
+        return "\n".join(lines)
+
+    def _summary_line(self, snapshot: Mapping[str, Any]) -> str:
+        return (
+            f"[load t={snapshot['t_s']:7.1f}s] "
+            f"{snapshot['done']}/{snapshot['total']} done  "
+            f"p50 {snapshot['p50_ms']:.1f}ms  "
+            f"p99 {snapshot['p99_ms']:.1f}ms  "
+            f"p99.9 {snapshot['p999_ms']:.1f}ms  "
+            f"{snapshot['qps']:.1f} q/s  "
+            f"inflight {snapshot['in_flight']}  "
+            f"rej {snapshot['rejected_rate']:.0%}  "
+            f"hit {snapshot['cache_hit_rate']:.0%}"
+        )
+
+    def _draw_frame(self, snapshot: Mapping[str, Any]) -> None:
+        frame = self.render(snapshot)
+        if self._frame_lines:
+            # Move to the top of the previous frame and overwrite.
+            self.stream.write(f"\x1b[{self._frame_lines}F")
+        lines = frame.split("\n")
+        for line in lines:
+            self.stream.write(f"\x1b[2K{line}\n")
+        self._frame_lines = len(lines)
+        self.stream.flush()
+
+    def close(self) -> None:
+        """Leave the cursor below the final frame."""
+        if self._tty and self._frame_lines:
+            self.stream.write("\n")
+            self.stream.flush()

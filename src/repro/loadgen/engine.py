@@ -1,0 +1,285 @@
+"""The load runner: executes a scenario's schedule against a target.
+
+Two pacing modes, one engine:
+
+* **closed loop** (``arrival="closed"``) — ``concurrency`` slot
+  coroutines each pull the next query the moment their previous one
+  finishes, so offered load adapts to the target's speed (the classic
+  saturation benchmark);
+* **open loop** (``arrival="poisson"`` / ``"burst"``) — queries launch
+  at their pre-computed arrival offsets regardless of how many are
+  still in flight, so a slow target accumulates queue depth instead of
+  silently throttling the generator (coordinated omission avoided by
+  construction: latency is measured from the *scheduled* arrival).
+
+Every completed query becomes a :class:`QueryRecord` — the single
+source for the percentile report (:mod:`repro.loadgen.report`), the
+stitched Perfetto trace (:func:`repro.obs.trace.load_run_to_chrome_trace`)
+and the live dashboard feed.  Latencies are also observed into the
+process-global metrics registry (``loadgen_latency_seconds`` quantile
+sketch, ``loadgen_queries_total`` counter), so a scenario run shows up
+on the same ``/metrics`` surface as the service it exercises.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, NamedTuple, Optional
+
+from ..obs.metrics import MetricsRegistry, global_registry
+from .scenario import Query, ScenarioSpec
+from .targets import QueryOutcome, Target
+
+#: Metric families the runner populates (shared global registry).
+LATENCY_SKETCH = "loadgen_latency_seconds"
+QUERIES_COUNTER = "loadgen_queries_total"
+INFLIGHT_GAUGE = "loadgen_in_flight"
+
+
+class QueryRecord(NamedTuple):
+    """One completed query: identity, timing, outcome."""
+
+    index: int
+    lane: int
+    name: str
+    algorithm: str
+    p: int
+    k: int
+    n: int
+    seed: int
+    start_s: float  # offset from run start (open loop: scheduled arrival)
+    latency_s: float
+    ok: bool
+    status: str
+    cache_hit: bool
+    warmup: bool
+
+    def trace_dict(self) -> dict[str, Any]:
+        """The span mapping :func:`load_run_to_chrome_trace` consumes."""
+        return {
+            "index": self.index,
+            "lane": self.lane,
+            "start_s": self.start_s,
+            "latency_s": self.latency_s,
+            "name": self.name,
+            "ok": self.ok,
+            "args": {
+                "algorithm": self.algorithm,
+                "p": self.p, "k": self.k, "n": self.n,
+                "seed": self.seed, "status": self.status,
+                "cache_hit": self.cache_hit, "warmup": self.warmup,
+            },
+        }
+
+
+@dataclass
+class LoadResult:
+    """Everything a finished run produced."""
+
+    scenario: ScenarioSpec
+    target: str
+    records: list[QueryRecord]
+    duration_s: float
+    depth_samples: list[tuple[float, int]] = field(default_factory=list)
+
+    @property
+    def measured(self) -> list[QueryRecord]:
+        """Records past the warmup prefix — what the report scores."""
+        return [r for r in self.records if not r.warmup]
+
+    def trace_records(self) -> list[dict[str, Any]]:
+        """Every record (warmup included) as plain dicts for the
+        Chrome-trace exporter."""
+        return [r.trace_dict() for r in self.records]
+
+
+class LoadRunner:
+    """Run one scenario against one target.
+
+    ``on_tick`` (e.g. a :class:`repro.loadgen.dashboard.Dashboard`)
+    receives a stats snapshot every ``tick_s`` seconds while the run is
+    live, computed over a sliding ``window_s`` window.
+    """
+
+    def __init__(
+        self,
+        scenario: ScenarioSpec,
+        target: Target,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        on_tick: Optional[Callable[[dict[str, Any]], None]] = None,
+        tick_s: float = 0.5,
+        window_s: float = 5.0,
+    ):
+        scenario.validate()
+        self.scenario = scenario
+        self.target = target
+        self.registry = registry if registry is not None else global_registry()
+        self.on_tick = on_tick
+        self.tick_s = tick_s
+        self.window_s = window_s
+        self._sketch = self.registry.sketch(
+            LATENCY_SKETCH, "load-generator query latency"
+        )
+        self._m_queries = self.registry.counter(
+            QUERIES_COUNTER, "load-generator queries by outcome"
+        )
+        self._m_inflight = self.registry.gauge(
+            INFLIGHT_GAUGE, "load-generator queries in flight"
+        )
+        # live state (reset per run)
+        self._records: list[QueryRecord] = []
+        self._window: list[tuple[float, QueryRecord]] = []
+        self._depth_samples: list[tuple[float, int]] = []
+        self._in_flight = 0
+        self._t0 = 0.0
+        self._total = scenario.queries
+
+    # ------------------------------------------------------------------
+    def run(self) -> LoadResult:
+        """Synchronous entry point (owns its event loop)."""
+        return asyncio.run(self.run_async())
+
+    async def run_async(self) -> LoadResult:
+        """Drive the scheduled queries to completion on the current loop."""
+        queries = self.scenario.schedule()
+        self._records = []
+        self._window = []
+        self._depth_samples = []
+        self._in_flight = 0
+        self._m_inflight.set(0)
+        await self.target.start(self.scenario.concurrency)
+        ticker: Optional[asyncio.Task] = None
+        try:
+            self._t0 = time.perf_counter()
+            if self.on_tick is not None:
+                ticker = asyncio.create_task(self._ticker())
+            if self.scenario.arrival == "closed":
+                await self._run_closed(queries)
+            else:
+                await self._run_open(queries)
+            duration = time.perf_counter() - self._t0
+        finally:
+            if ticker is not None:
+                ticker.cancel()
+                try:
+                    await ticker
+                except asyncio.CancelledError:
+                    pass
+            await self.target.close()
+        if self.on_tick is not None:
+            self.on_tick(self.snapshot(final=True))
+        self._records.sort(key=lambda r: r.index)
+        return LoadResult(
+            scenario=self.scenario,
+            target=self.target.describe(),
+            records=self._records,
+            duration_s=duration,
+            depth_samples=self._depth_samples,
+        )
+
+    # ------------------------------------------------------------------
+    async def _run_closed(self, queries: list[Query]) -> None:
+        it = iter(queries)
+        lanes = min(self.scenario.concurrency, len(queries))
+
+        async def slot(lane: int) -> None:
+            for query in it:
+                start = time.perf_counter() - self._t0
+                await self._execute(query, lane, start)
+
+        await asyncio.gather(*(slot(lane) for lane in range(lanes)))
+
+    async def _run_open(self, queries: list[Query]) -> None:
+        tasks: list[asyncio.Task] = []
+        free_lanes: list[int] = []
+        next_lane = 0
+
+        async def fire(query: Query, lane: int, start: float) -> None:
+            await self._execute(query, lane, start)
+            heapq.heappush(free_lanes, lane)
+
+        for query in queries:
+            assert query.at_s is not None
+            delay = query.at_s - (time.perf_counter() - self._t0)
+            if delay > 0:
+                await asyncio.sleep(delay)
+            if free_lanes:
+                lane = heapq.heappop(free_lanes)
+            else:
+                lane = next_lane
+                next_lane += 1
+            # Latency counts from the *scheduled* arrival, so a stalled
+            # target shows up as latency, not as a quieter generator.
+            tasks.append(asyncio.create_task(
+                fire(query, lane, query.at_s)
+            ))
+        await asyncio.gather(*tasks)
+
+    async def _execute(self, query: Query, lane: int, start: float) -> None:
+        self._in_flight += 1
+        self._m_inflight.set(self._in_flight)
+        self._depth_samples.append((round(start, 6), self._in_flight))
+        try:
+            outcome = await self.target.run(query)
+        except Exception as exc:  # noqa: BLE001 — a target bug is an outcome
+            outcome = QueryOutcome(
+                ok=False, status="failed",
+                detail=f"{type(exc).__name__}: {exc}",
+            )
+        end = time.perf_counter() - self._t0
+        self._in_flight -= 1
+        self._m_inflight.set(self._in_flight)
+        self._depth_samples.append((round(end, 6), self._in_flight))
+        record = QueryRecord(
+            index=query.index, lane=lane, name=query.name,
+            algorithm=query.algorithm, p=query.p, k=query.k, n=query.n,
+            seed=query.seed, start_s=round(start, 6),
+            latency_s=round(max(1e-9, end - start), 9),
+            ok=outcome.ok, status=outcome.status,
+            cache_hit=outcome.cache_hit,
+            warmup=query.index < self.scenario.warmup,
+        )
+        self._records.append(record)
+        self._window.append((end, record))
+        self._sketch.observe(record.latency_s, algorithm=record.algorithm)
+        self._m_queries.inc(status=record.status)
+
+    # ------------------------------------------------------------------
+    async def _ticker(self) -> None:
+        while True:
+            await asyncio.sleep(self.tick_s)
+            self.on_tick(self.snapshot())
+
+    def snapshot(self, *, final: bool = False) -> dict[str, Any]:
+        """Rolling stats over the last ``window_s`` seconds of traffic."""
+        now = time.perf_counter() - self._t0
+        horizon = now - self.window_s
+        self._window = [(t, r) for t, r in self._window if t >= horizon]
+        window = [r for _, r in self._window]
+        lat = sorted(r.latency_s for r in window)
+
+        def pct(q: float) -> float:
+            if not lat:
+                return 0.0
+            return lat[min(len(lat) - 1, int(q * len(lat)))]
+
+        span = min(now, self.window_s) or 1e-9
+        rejected = sum(1 for r in window if r.status == "rejected")
+        hits = sum(1 for r in window if r.cache_hit)
+        return {
+            "t_s": round(now, 3),
+            "done": len(self._records),
+            "total": self._total,
+            "in_flight": self._in_flight,
+            "qps": round(len(window) / span, 2),
+            "p50_ms": round(1e3 * pct(0.50), 3),
+            "p99_ms": round(1e3 * pct(0.99), 3),
+            "p999_ms": round(1e3 * pct(0.999), 3),
+            "rejected_rate": round(rejected / len(window), 4) if window else 0.0,
+            "cache_hit_rate": round(hits / len(window), 4) if window else 0.0,
+            "final": final,
+        }

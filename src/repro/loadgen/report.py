@@ -1,0 +1,169 @@
+"""Machine-readable percentile reports for load runs.
+
+One schema (``loadgen-report/v1``), three consumers: the CLI prints it,
+``benchmarks/bench_loadgen.py`` commits it into the regression-gated
+trajectory, and the CI smoke job asserts its shape.  Percentiles come
+from the same :class:`~repro.obs.metrics.QuantileSketch` the live
+``/metrics`` exposition uses — the report inherits its bounded relative
+error (``sketch_relative_error`` is part of the payload) instead of
+inventing a second estimator that could drift from the telemetry.
+
+The report reconciles with the stitched Perfetto trace: ``latency.sum_s``
+equals the sum of the trace's query-span durations (within the trace's
+microsecond rounding), which :func:`repro.obs.trace.chrome_trace_query_totals`
+recomputes from the exported document.  Environment context comes from
+:func:`repro.bench.runner.env_metadata`, the same stamp every bench
+record carries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..bench.runner import env_metadata
+from ..obs.metrics import QuantileSketch
+from .engine import LoadResult
+
+SCHEMA = "loadgen-report/v1"
+
+#: Required top-level sections and the required keys inside each.
+_REQUIRED: dict[str, tuple[str, ...]] = {
+    "queries": ("total", "measured", "ok", "failed", "rejected"),
+    "latency": ("count", "sum_s", "min_s", "max_s",
+                "p50_s", "p90_s", "p99_s", "p999_s"),
+    "throughput": ("duration_s", "qps"),
+    "cache": ("hits", "misses", "hit_rate"),
+    "queue": ("max_in_flight", "mean_in_flight"),
+}
+
+
+def build_report(result: LoadResult) -> dict[str, Any]:
+    """Project a finished :class:`LoadResult` into the report schema.
+
+    Warmup-prefix queries are excluded from every statistic except the
+    ``queries.total`` count; failed and rejected queries count toward
+    outcome totals but not toward the latency distribution (a rejected
+    query's latency measures the rejection path, not the service).
+    """
+    measured = result.measured
+    scored = [r for r in measured if r.ok]
+    sketch = QuantileSketch("report_latency")
+    latency_sum = 0.0
+    lat_min = lat_max = None
+    for r in scored:
+        sketch.observe(r.latency_s)
+        latency_sum += r.latency_s
+        lat_min = r.latency_s if lat_min is None else min(lat_min, r.latency_s)
+        lat_max = r.latency_s if lat_max is None else max(lat_max, r.latency_s)
+
+    depth = [d for _, d in result.depth_samples]
+    per_template: dict[str, dict[str, Any]] = {}
+    for r in scored:
+        bucket = per_template.setdefault(
+            r.name, {"count": 0, "sum_s": 0.0, "max_s": 0.0}
+        )
+        bucket["count"] += 1
+        bucket["sum_s"] = round(bucket["sum_s"] + r.latency_s, 9)
+        bucket["max_s"] = round(max(bucket["max_s"], r.latency_s), 9)
+
+    def q(quantile: float) -> float:
+        value = sketch.quantile(quantile)
+        return round(value, 9) if value is not None else 0.0
+
+    return {
+        "schema": SCHEMA,
+        "scenario": result.scenario.to_dict(),
+        "target": result.target,
+        "env": env_metadata(),
+        "queries": {
+            "total": len(result.records),
+            "measured": len(measured),
+            "ok": sum(1 for r in measured if r.ok),
+            "failed": sum(1 for r in measured if r.status == "failed"),
+            "rejected": sum(1 for r in measured if r.status == "rejected"),
+            "warmup_excluded": len(result.records) - len(measured),
+        },
+        "latency": {
+            "count": len(scored),
+            "sum_s": round(latency_sum, 9),
+            "min_s": round(lat_min or 0.0, 9),
+            "max_s": round(lat_max or 0.0, 9),
+            "p50_s": q(0.5),
+            "p90_s": q(0.9),
+            "p99_s": q(0.99),
+            "p999_s": q(0.999),
+            "sketch_relative_error": round(sketch.relative_error, 6),
+        },
+        "throughput": {
+            "duration_s": round(result.duration_s, 6),
+            "qps": round(len(measured) / result.duration_s, 3)
+            if result.duration_s > 0 else 0.0,
+        },
+        "cache": {
+            "hits": sum(1 for r in measured if r.cache_hit),
+            "misses": sum(1 for r in measured if r.ok and not r.cache_hit),
+            "hit_rate": round(
+                sum(1 for r in measured if r.cache_hit) / len(scored), 4
+            ) if scored else 0.0,
+        },
+        "queue": {
+            "max_in_flight": max(depth, default=0),
+            "mean_in_flight": round(sum(depth) / len(depth), 3)
+            if depth else 0.0,
+        },
+        "per_template": per_template,
+    }
+
+
+def validate_report(doc: Mapping[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``doc`` is a well-formed v1 report."""
+    if not isinstance(doc, Mapping):
+        raise ValueError(f"report must be a mapping, got {type(doc).__name__}")
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(
+            f"unknown report schema {doc.get('schema')!r}; expected {SCHEMA!r}"
+        )
+    for section, keys in _REQUIRED.items():
+        body = doc.get(section)
+        if not isinstance(body, Mapping):
+            raise ValueError(f"report section {section!r} missing")
+        absent = [key for key in keys if key not in body]
+        if absent:
+            raise ValueError(
+                f"report section {section!r} missing key(s) {absent}"
+            )
+    lat = doc["latency"]
+    for lo, hi in (("p50_s", "p90_s"), ("p90_s", "p99_s"),
+                   ("p99_s", "p999_s")):
+        if lat[lo] > lat[hi]:
+            raise ValueError(
+                f"latency quantiles out of order: {lo}={lat[lo]} > "
+                f"{hi}={lat[hi]}"
+            )
+    if "scenario" not in doc or "env" not in doc:
+        raise ValueError("report needs 'scenario' and 'env' sections")
+
+
+def render_report(doc: Mapping[str, Any]) -> str:
+    """Human-readable summary of a report (the CLI's closing output)."""
+    q, lat = doc["queries"], doc["latency"]
+    lines = [
+        f"scenario {doc['scenario']['name']!r} against {doc['target']}:",
+        f"  queries   {q['ok']}/{q['measured']} ok"
+        + (f", {q['failed']} failed" if q["failed"] else "")
+        + (f", {q['rejected']} rejected" if q["rejected"] else "")
+        + (f" ({q['warmup_excluded']} warmup excluded)"
+           if q["warmup_excluded"] else ""),
+        f"  latency   p50 {1e3 * lat['p50_s']:.2f} ms   "
+        f"p90 {1e3 * lat['p90_s']:.2f} ms   "
+        f"p99 {1e3 * lat['p99_s']:.2f} ms   "
+        f"p99.9 {1e3 * lat['p999_s']:.2f} ms",
+        f"  throughput {doc['throughput']['qps']:.1f} q/s over "
+        f"{doc['throughput']['duration_s']:.2f} s",
+        f"  cache     {doc['cache']['hits']} hits / "
+        f"{doc['cache']['misses']} misses "
+        f"(rate {doc['cache']['hit_rate']:.0%})",
+        f"  queue     max {doc['queue']['max_in_flight']} in flight "
+        f"(mean {doc['queue']['mean_in_flight']:.2f})",
+    ]
+    return "\n".join(lines)

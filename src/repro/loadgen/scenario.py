@@ -1,0 +1,420 @@
+"""Scenario specs: declarative descriptions of sustained mixed traffic.
+
+A *scenario* is the unit the load generator executes: a weighted mix of
+query templates (sort/select shapes with an input-distribution profile),
+an arrival process (closed-loop fixed concurrency, or open-loop Poisson
+/ burst arrivals), and a deterministic seeding rule.  Everything is
+resolved **up front** — :meth:`ScenarioSpec.schedule` expands the spec
+into a concrete list of :class:`Query` instances with arrival offsets —
+so a scenario replays bit-identically for a given seed regardless of
+target, wall-clock jitter, or concurrency interleaving.
+
+Templates support *churn*: ``p``, ``k``, ``n`` may each be a list of
+values cycled per template occurrence, modelling a client population
+whose shapes drift over the run.  ``seed_stride`` controls cache
+behaviour: ``0`` re-submits identical instances (every query after the
+first is a result-cache hit), ``>= 1`` busts the cache with a fresh
+seed per query.
+
+Input-distribution profiles (``QueryTemplate.distribution``):
+
+* ``uniform`` — the benchmark harness's even distribution
+  (``Distribution.even``; requires ``p | n``);
+* ``skewed`` — Dirichlet-uneven sizes (``Distribution.uneven`` with the
+  template's ``skew``);
+* ``duplicate-heavy`` — values drawn from only ``distinct`` distinct
+  magnitudes, exercising the §3 tagging path;
+* ``adversarial`` — the Theorem 3 neighbour-separating placement over
+  skewed sizes; with ``rank="adversarial"`` a selection query also asks
+  for the rank whose Theorem 2 adversary demands the most messages
+  (:func:`repro.bounds.hardest_rank`).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Mapping, NamedTuple, Optional, Sequence, Union
+
+ALGORITHMS = ("sort", "select")
+DISTRIBUTIONS = ("uniform", "skewed", "duplicate-heavy", "adversarial")
+ARRIVALS = ("closed", "poisson", "burst")
+
+#: ``p``/``k``/``n`` accept a single value or a churn cycle.
+IntOrCycle = Union[int, Sequence[int]]
+
+
+def _cycle(value: IntOrCycle, occurrence: int) -> int:
+    """Resolve a churn axis for the template's ``occurrence``-th use."""
+    if isinstance(value, int):
+        return value
+    return value[occurrence % len(value)]
+
+
+def _as_cycle(value: Any, name: str) -> IntOrCycle:
+    if isinstance(value, bool):
+        raise ValueError(f"template field {name!r} must be an integer")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, Sequence) and not isinstance(value, (str, bytes)):
+        items = list(value)
+        if not items or not all(
+            isinstance(v, int) and not isinstance(v, bool) for v in items
+        ):
+            raise ValueError(
+                f"template field {name!r} churn cycle must be a non-empty "
+                f"list of integers, got {value!r}"
+            )
+        return tuple(items)
+    raise ValueError(
+        f"template field {name!r} must be an int or a list of ints, "
+        f"got {value!r}"
+    )
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """One traffic class: a workload shape plus an input profile.
+
+    ``rank`` applies to selection only: ``"median"`` (the benchmark
+    harness's rank), ``"adversarial"`` (resolved against the materialized
+    sizes via :func:`repro.bounds.hardest_rank`), or an explicit 1-based
+    integer rank.
+    """
+
+    name: str = ""
+    algorithm: str = "sort"
+    p: IntOrCycle = 8
+    k: IntOrCycle = 4
+    n: IntOrCycle = 256
+    engine: str = "generator"
+    backend: str = "columnsort"
+    distribution: str = "uniform"
+    skew: float = 4.0
+    distinct: int = 8
+    rank: Union[int, str] = "median"
+    weight: float = 1.0
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on any statically checkable bad field."""
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"template {self.name!r}: unknown algorithm "
+                f"{self.algorithm!r}; known: {ALGORITHMS}"
+            )
+        if self.distribution not in DISTRIBUTIONS:
+            raise ValueError(
+                f"template {self.name!r}: unknown distribution "
+                f"{self.distribution!r}; known: {DISTRIBUTIONS}"
+            )
+        if not self.weight > 0:
+            raise ValueError(
+                f"template {self.name!r}: weight must be > 0, "
+                f"got {self.weight}"
+            )
+        if self.distinct < 1:
+            raise ValueError(
+                f"template {self.name!r}: distinct must be >= 1"
+            )
+        if isinstance(self.rank, str):
+            if self.rank not in ("median", "adversarial"):
+                raise ValueError(
+                    f"template {self.name!r}: rank must be 'median', "
+                    f"'adversarial' or a 1-based integer, got {self.rank!r}"
+                )
+        elif self.rank < 1:
+            raise ValueError(
+                f"template {self.name!r}: integer rank must be >= 1"
+            )
+        if self.rank != "median" and self.algorithm != "select":
+            raise ValueError(
+                f"template {self.name!r}: rank applies to selection only"
+            )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "QueryTemplate":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown template field(s) {unknown}; "
+                f"accepted: {sorted(known)}"
+            )
+        kwargs = dict(payload)
+        for axis in ("p", "k", "n"):
+            if axis in kwargs:
+                kwargs[axis] = _as_cycle(kwargs[axis], axis)
+        tmpl = cls(**kwargs)
+        tmpl.validate()
+        return tmpl
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (churn tuples become lists)."""
+        out: dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            out[f.name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+    def display_name(self) -> str:
+        """Explicit name, or ``algorithm/distribution`` when unnamed."""
+        if self.name:
+            return self.name
+        return f"{self.algorithm}/{self.distribution}"
+
+
+class Query(NamedTuple):
+    """One fully resolved unit of work (picklable, deterministic).
+
+    ``at_s`` is the open-loop arrival offset from run start (``None``
+    under closed-loop pacing, where the next free slot pulls the next
+    query).  ``rank`` stays symbolic when it depends on the materialized
+    sizes — targets resolve it against the instance they build.
+    """
+
+    index: int
+    name: str
+    algorithm: str
+    p: int
+    k: int
+    n: int
+    seed: int
+    engine: str
+    backend: str
+    distribution: str
+    skew: float
+    distinct: int
+    rank: Union[int, str]
+    at_s: Optional[float]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete load scenario (immutable, JSON round-trippable)."""
+
+    name: str = "scenario"
+    arrival: str = "closed"
+    concurrency: int = 4
+    rate: float = 50.0
+    burst: int = 8
+    queries: int = 64
+    warmup: int = 0
+    seed: int = 0
+    seed_stride: int = 1
+    templates: tuple[QueryTemplate, ...] = field(
+        default_factory=lambda: (QueryTemplate(),)
+    )
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the spec *and* every concrete query it would schedule."""
+        if self.arrival not in ARRIVALS:
+            raise ValueError(
+                f"unknown arrival process {self.arrival!r}; "
+                f"known: {ARRIVALS}"
+            )
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if self.queries < 1:
+            raise ValueError("queries must be >= 1")
+        if not 0 <= self.warmup < self.queries:
+            raise ValueError(
+                f"warmup must lie in 0..queries-1, got {self.warmup}"
+            )
+        if self.seed_stride < 0:
+            raise ValueError("seed_stride must be >= 0 (0 = identical seeds)")
+        if self.arrival != "closed" and not self.rate > 0:
+            raise ValueError("open-loop arrival needs rate > 0")
+        if self.arrival == "burst" and self.burst < 1:
+            raise ValueError("burst size must be >= 1")
+        if not self.templates:
+            raise ValueError("a scenario needs at least one template")
+        for tmpl in self.templates:
+            tmpl.validate()
+        # Expanding the schedule validates every concrete (p, k, n)
+        # combination the churn cycles produce.
+        for q in self.schedule():
+            if q.k > q.p:
+                raise ValueError(
+                    f"query #{q.index} ({q.name}): the model requires "
+                    f"k <= p, got k={q.k} > p={q.p}"
+                )
+            if q.n < q.p:
+                raise ValueError(
+                    f"query #{q.index} ({q.name}): need n >= p so every "
+                    f"processor holds an element, got n={q.n}, p={q.p}"
+                )
+            if q.distribution == "uniform" and q.n % q.p != 0:
+                raise ValueError(
+                    f"query #{q.index} ({q.name}): uniform profile "
+                    f"requires p | n, got n={q.n}, p={q.p}"
+                )
+            if isinstance(q.rank, int) and q.rank > q.n:
+                raise ValueError(
+                    f"query #{q.index} ({q.name}): rank {q.rank} exceeds "
+                    f"n={q.n}"
+                )
+
+    # ------------------------------------------------------------------
+    def schedule(self) -> list[Query]:
+        """Expand the spec into its deterministic query sequence.
+
+        Template choice, churn cycling, seeds and arrival offsets are
+        all driven by one ``random.Random(seed)`` stream, so the same
+        spec always produces the same traffic — cross-run comparisons
+        measure the target, not the generator.
+        """
+        rng = random.Random(self.seed)
+        weights = [t.weight for t in self.templates]
+        occurrences = [0] * len(self.templates)
+        arrivals = self._arrival_offsets(rng)
+        queries: list[Query] = []
+        for index in range(self.queries):
+            ti = rng.choices(range(len(self.templates)), weights=weights)[0]
+            tmpl = self.templates[ti]
+            occ = occurrences[ti]
+            occurrences[ti] += 1
+            queries.append(Query(
+                index=index,
+                name=tmpl.display_name(),
+                algorithm=tmpl.algorithm,
+                p=_cycle(tmpl.p, occ),
+                k=_cycle(tmpl.k, occ),
+                n=_cycle(tmpl.n, occ),
+                seed=self.seed + index * self.seed_stride,
+                engine=tmpl.engine,
+                backend=tmpl.backend,
+                distribution=tmpl.distribution,
+                skew=tmpl.skew,
+                distinct=tmpl.distinct,
+                rank=tmpl.rank,
+                at_s=arrivals[index],
+            ))
+        return queries
+
+    def _arrival_offsets(
+        self, rng: random.Random
+    ) -> list[Optional[float]]:
+        if self.arrival == "closed":
+            return [None] * self.queries
+        offsets: list[Optional[float]] = []
+        t = 0.0
+        if self.arrival == "poisson":
+            for _ in range(self.queries):
+                t += rng.expovariate(self.rate)
+                offsets.append(round(t, 6))
+        else:  # burst: groups of `burst` arrive together, mean rate held
+            gap = self.burst / self.rate
+            for i in range(self.queries):
+                if i and i % self.burst == 0:
+                    t += gap
+                offsets.append(round(t, 6))
+        return offsets
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown scenario field(s) {unknown}; "
+                f"accepted: {sorted(known)}"
+            )
+        kwargs = dict(payload)
+        templates = kwargs.pop("templates", None)
+        if templates is not None:
+            if not isinstance(templates, Sequence) or isinstance(
+                templates, (str, bytes)
+            ):
+                raise ValueError("'templates' must be a list of objects")
+            kwargs["templates"] = tuple(
+                QueryTemplate.from_dict(t) for t in templates
+            )
+        spec = cls(**kwargs)
+        spec.validate()
+        return spec
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form; inverse of :meth:`from_dict`."""
+        out = {
+            f.name: getattr(self, f.name)
+            for f in fields(self) if f.name != "templates"
+        }
+        out["templates"] = [t.to_dict() for t in self.templates]
+        return out
+
+    def override(self, **changes: Any) -> "ScenarioSpec":
+        """A copy with the given fields replaced, re-validated."""
+        spec = replace(self, **changes)
+        spec.validate()
+        return spec
+
+
+# ---------------------------------------------------------------------------
+# Presets: the scenarios the CLI, smoke job and benchmark ship with.
+# ---------------------------------------------------------------------------
+
+def _presets() -> dict[str, ScenarioSpec]:
+    smoke = ScenarioSpec(
+        name="smoke",
+        arrival="closed",
+        concurrency=2,
+        queries=16,
+        warmup=2,
+        templates=(
+            QueryTemplate(name="sort-small", algorithm="sort",
+                          p=4, k=4, n=64, weight=3.0),
+            QueryTemplate(name="select-small", algorithm="select",
+                          p=4, k=2, n=64, weight=1.0),
+        ),
+    )
+    mixed = ScenarioSpec(
+        name="mixed",
+        arrival="poisson",
+        concurrency=8,
+        rate=40.0,
+        queries=96,
+        warmup=8,
+        templates=(
+            QueryTemplate(name="sort-churn", algorithm="sort",
+                          p=[4, 8], k=[4, 8], n=[128, 512], weight=4.0),
+            QueryTemplate(name="select-uniform", algorithm="select",
+                          p=8, k=2, n=256, weight=2.0),
+            QueryTemplate(name="sort-skewed", algorithm="sort",
+                          p=8, k=4, n=256, distribution="skewed",
+                          skew=6.0, weight=2.0),
+            QueryTemplate(name="select-dups", algorithm="select",
+                          p=4, k=2, n=128, distribution="duplicate-heavy",
+                          distinct=6, weight=1.0),
+        ),
+    )
+    adversarial = ScenarioSpec(
+        name="adversarial",
+        arrival="burst",
+        concurrency=4,
+        rate=30.0,
+        burst=6,
+        queries=48,
+        warmup=4,
+        templates=(
+            QueryTemplate(name="sort-thm3", algorithm="sort",
+                          p=8, k=4, n=256, distribution="adversarial",
+                          skew=4.0, weight=2.0),
+            QueryTemplate(name="select-hardest", algorithm="select",
+                          p=8, k=2, n=256, distribution="adversarial",
+                          rank="adversarial", weight=2.0),
+            QueryTemplate(name="select-dups", algorithm="select",
+                          p=4, k=2, n=128, distribution="duplicate-heavy",
+                          distinct=4, weight=1.0),
+        ),
+    )
+    return {"smoke": smoke, "mixed": mixed, "adversarial": adversarial}
+
+
+PRESETS: dict[str, ScenarioSpec] = _presets()

@@ -57,12 +57,26 @@ from .hooks import (
     PipelineObserver,
     TraceObserver,
 )
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry, global_registry
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    QuantileSketch,
+    global_registry,
+)
 from .pipeline import DEFAULT_CAPACITY, EventPipeline
 from .profile import PhaseProfile, Profiler, ProfileReport
 from .ring import RingBuffer
 from .sinks import CsvSink, FanOutSink, JsonlSink, MemorySink, NullSink, Sink
-from .trace import TraceBuilder, chrome_trace_phase_totals, to_chrome_trace
+from .trace import (
+    TraceBuilder,
+    chrome_trace_phase_totals,
+    chrome_trace_query_totals,
+    load_run_to_chrome_trace,
+    sparkline,
+    to_chrome_trace,
+)
 
 __all__ = [
     "CollisionDetected",
@@ -93,6 +107,7 @@ __all__ = [
     "ObsEvent",
     "ObservableMixin",
     "Observer",
+    "QuantileSketch",
     "PhaseEnded",
     "PhaseProfile",
     "PhaseStarted",
@@ -105,7 +120,10 @@ __all__ = [
     "TraceBuilder",
     "TraceObserver",
     "chrome_trace_phase_totals",
+    "chrome_trace_query_totals",
     "from_dict",
     "global_registry",
+    "load_run_to_chrome_trace",
+    "sparkline",
     "to_chrome_trace",
 ]

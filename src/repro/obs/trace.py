@@ -34,7 +34,7 @@ runs construct no trace objects at all.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Optional
+from typing import Any, Mapping, Optional, Sequence
 
 from .events import (
     CollisionDetected,
@@ -421,8 +421,128 @@ def chrome_trace_phase_totals(doc: Mapping[str, Any]) -> dict[str, dict[str, int
 
 
 # ---------------------------------------------------------------------------
+# Load-run stitching: per-query spans on a wall-clock axis
+# ---------------------------------------------------------------------------
+
+#: trace process id for the load-generator lanes (distinct from the
+#: per-run processor/channel/run groups above, so a load document and a
+#: single-run document can even be concatenated).
+_PID_LOADGEN = 10
+
+
+def load_run_to_chrome_trace(
+    queries: Sequence[Mapping[str, Any]],
+    *,
+    meta: Optional[Mapping[str, Any]] = None,
+    depth_samples: Sequence[tuple[float, int]] = (),
+) -> dict[str, Any]:
+    """Stitch a load run's per-query spans into one Perfetto document.
+
+    ``queries`` are plain mappings (the loadgen engine's records) with
+    ``index``, ``lane`` (0-based display lane), ``start_s`` (offset from
+    run start), ``latency_s``, ``name`` and ``ok``; anything under
+    ``args`` is forwarded to the span's args.  Unlike the cycle-axis
+    export above, the time axis is *wall clock*: 1 us of trace time is
+    1 us of real time, so a whole scenario opens as one timeline with a
+    lane per concurrency slot.  ``depth_samples`` (``(t_s, depth)``)
+    render as a Perfetto counter track of in-flight queries.
+
+    The document reconciles against the percentile report:
+    :func:`chrome_trace_query_totals` recomputes query count and total
+    latency purely from the exported spans.
+    """
+    events: list[dict[str, Any]] = [
+        {
+            "ph": "M", "pid": _PID_LOADGEN, "tid": 0,
+            "name": "process_name", "args": {"name": "load-scenario"},
+        }
+    ]
+    lanes = sorted({int(q["lane"]) for q in queries})
+    for lane in lanes:
+        events.append({
+            "ph": "M", "pid": _PID_LOADGEN, "tid": lane + 1,
+            "name": "thread_name", "args": {"name": f"slot {lane}"},
+        })
+        events.append({
+            "ph": "M", "pid": _PID_LOADGEN, "tid": lane + 1,
+            "name": "thread_sort_index", "args": {"sort_index": lane + 1},
+        })
+    latency_sum = 0.0
+    for q in queries:
+        latency_sum += q["latency_s"]
+        args = {"ok": bool(q["ok"]), "latency_ms": round(q["latency_s"] * 1e3, 3)}
+        args.update(q.get("args") or {})
+        events.append({
+            "ph": "X", "pid": _PID_LOADGEN, "tid": int(q["lane"]) + 1,
+            "ts": round(q["start_s"] * 1e6),
+            "dur": round(q["latency_s"] * 1e6),
+            "name": str(q["name"]), "cat": "query",
+            "args": args,
+        })
+    for t_s, depth in depth_samples:
+        events.append({
+            "ph": "C", "pid": _PID_LOADGEN, "tid": 0,
+            "ts": round(t_s * 1e6), "name": "in_flight",
+            "args": {"in_flight": depth},
+        })
+    doc: dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "queries": len(queries),
+            "latency_sum_s": round(latency_sum, 6),
+            "time_axis": "wall clock (1 us trace = 1 us real)",
+        },
+    }
+    if meta:
+        doc["otherData"].update(dict(meta))
+    return doc
+
+
+def chrome_trace_query_totals(doc: Mapping[str, Any]) -> dict[str, Any]:
+    """Recompute query count / total latency from an exported document.
+
+    Works purely from ``cat="query"`` span durations — what a Perfetto
+    user sees — so a reconciliation check against the percentile
+    report's ``latency.sum_s`` validates the stitching end to end
+    (span durations are rounded to the microsecond, so agreement is
+    within ``1e-6 * queries`` seconds).
+    """
+    count = ok = 0
+    latency_sum_us = 0
+    for ev in doc["traceEvents"]:
+        if ev.get("cat") == "query":
+            count += 1
+            latency_sum_us += ev["dur"]
+            if ev["args"].get("ok"):
+                ok += 1
+    return {
+        "queries": count,
+        "ok": ok,
+        "latency_sum_s": latency_sum_us / 1e6,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Terminal lane summary
 # ---------------------------------------------------------------------------
+
+def sparkline(values: Sequence[float], *, peak: Optional[float] = None) -> str:
+    """Render ``values`` as one sparkline string (▁..█ glyphs).
+
+    ``peak`` overrides the normalization maximum (e.g. to keep a rolling
+    dashboard's scale stable across frames); non-positive peaks render
+    as all-floor.
+    """
+    top = max(values, default=0) if peak is None else peak
+    if top <= 0:
+        return _SPARK[0] * len(values)
+    return "".join(
+        _SPARK[min(len(_SPARK) - 1, int(v / top * (len(_SPARK) - 1)))]
+        if v > 0 else _SPARK[0]
+        for v in values
+    )
+
 
 def render_lane_summary(
     builder: TraceBuilder,
@@ -470,12 +590,7 @@ def render_lane_summary(
     lines.append(f"channel occupancy ({buckets} buckets of ~{bw:.1f} cycles):")
     for j in range(1, k + 1):
         lane = chan_counts[j]
-        peak = max(lane)
-        spark = "".join(
-            _SPARK[min(len(_SPARK) - 1, int(c / peak * (len(_SPARK) - 1)))]
-            if peak else _SPARK[0]
-            for c in lane
-        )
+        spark = sparkline(lane)
         util = chan_msgs[j] / total
         lines.append(f"  C{j:<3}|{spark}| {chan_msgs[j]} msgs (util {util:.3f})")
 

@@ -52,7 +52,6 @@ from ..obs.events import (
 from ..obs.metrics import MetricsRegistry, global_registry
 from ..obs.sinks import FanOutSink, Sink
 from .execution import (
-    _PLAN_METRIC_HELP,
     prewarm_worker,
     run_batch_lanes,
     run_batch_lanes_metered,
@@ -442,11 +441,13 @@ class ServiceApp:
             fields = list(keys[0]._replace(seed=spec.seed))
             if self.executor_mode == "process":
                 # Workers are separate processes: run the metered
-                # variants and fold the plan-metric increments they ship
-                # back into this process's registry, so /metrics still
-                # reports plan-cache traffic and compile seconds.
-                # sync/thread executors mutate the registry directly —
-                # folding there would double-count.
+                # variants and fold the full registry increments they
+                # ship back — counters, gauges, histograms and quantile
+                # sketches alike — into this process's registry, so
+                # /metrics reflects worker-side activity (plan-cache
+                # traffic, compile seconds, per-lane latency sketches)
+                # under load.  sync/thread executors mutate the global
+                # registry directly — folding there would double-count.
                 if spec.batch > 1:
                     seeds = tuple(spec.seed + i for i in todo)
                     wrapped = await self._dispatch(
@@ -456,7 +457,7 @@ class ServiceApp:
                 else:
                     wrapped = await self._dispatch(run_lane_metered, fields)
                     fresh = [wrapped["payload"]]
-                self._fold_plan_metrics(wrapped["plan_metrics"])
+                self._fold_worker_metrics(wrapped["metrics"])
             elif spec.batch > 1:
                 seeds = tuple(spec.seed + i for i in todo)
                 fresh = await self._dispatch(run_batch_lanes, fields, seeds)
@@ -509,14 +510,17 @@ class ServiceApp:
             )
         return pred.with_ratios(cycles, messages)
 
-    def _fold_plan_metrics(self, deltas: dict[str, dict[tuple, float]]) -> None:
-        """Add worker-process plan-metric increments to this registry."""
-        for name, samples in deltas.items():
-            counter = self.registry.counter(
-                name, _PLAN_METRIC_HELP.get(name, "")
-            )
-            for key, value in samples.items():
-                counter.inc(value, **dict(key))
+    def _fold_worker_metrics(self, delta: dict[str, Any]) -> None:
+        """Apply worker-process registry increments to this registry.
+
+        ``delta`` is a :meth:`MetricsRegistry.delta_state` payload; a
+        malformed one (version-skewed worker) is surfaced on the sink
+        error counter rather than failing the job that carried it.
+        """
+        try:
+            self.registry.fold_state(delta)
+        except (KeyError, ValueError, TypeError):
+            self._m_sink_errors.inc()
 
     async def _dispatch(self, fn, *args):
         """Run one executor function off the event loop (mode-dependent)."""

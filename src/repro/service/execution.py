@@ -32,7 +32,9 @@ from ..bench.runner import BenchSpec, run_config, _fingerprint
 
 def run_lane(spec_fields: Sequence[Any]) -> dict[str, Any]:
     """Run one configuration; ``spec_fields`` is a ``BenchSpec`` tuple."""
-    return run_config(BenchSpec(*spec_fields))
+    payload = run_config(BenchSpec(*spec_fields))
+    _observe_lane_walls([payload], spec_fields[0])
+    return payload
 
 
 def run_batch_lanes(
@@ -78,86 +80,65 @@ def run_batch_lanes(
         # JSON-canonical, matching run_config, so cache round-trips
         # compare equal.
         payloads.append(json.loads(json.dumps(payload)))
+    _observe_lane_walls(payloads, spec.algorithm)
     return payloads
 
 
-#: Global-registry counter families whose increments must surface on the
-#: service's /metrics even when the increment happens inside a worker
-#: process: plan/schedule cache traffic and compile wall time.
-_PLAN_METRIC_HELP = {
-    "vector_plan_cache_total":
-        "compiled plan-cache lookups by result and backend",
-    "vector_plan_compile_seconds":
-        "wall-clock seconds spent compiling schedule plans",
-    "vector_plan_phases_fused":
-        "compiled phases composed into fused gathers",
-    "columnsort_bvn_cache_total":
-        "columnsort schedule-cache lookups by result",
-    "columnsort_schedule_cache_total":
-        "columnsort schedule-cache lookups by result",
-}
-
-#: dict-of-dicts snapshot: {family: {label_key_tuple: value}}.
-PlanMetrics = dict[str, dict[tuple, float]]
+#: Worker-side per-lane wall-time sketch: every metered lane observes
+#: its simulation wall seconds here, in the *worker's* registry; the
+#: shipped delta folds the sketches of all pool processes into one
+#: mergeable latency distribution on the service's /metrics.
+_LANE_SKETCH = "service_lane_wall_seconds"
+_LANE_SKETCH_HELP = (
+    "per-lane simulation wall time, folded across executor processes"
+)
 
 
-def _plan_metric_samples() -> PlanMetrics:
+def _observe_lane_walls(payloads: Sequence[dict[str, Any]], algorithm: Any) -> None:
     from ..obs.metrics import global_registry
 
-    reg = global_registry()
-    out: PlanMetrics = {}
-    for name in _PLAN_METRIC_HELP:
-        metric = reg._metrics.get(name)
-        if metric is not None:
-            out[name] = dict(metric._samples)
-    return out
+    sketch = global_registry().sketch(_LANE_SKETCH, _LANE_SKETCH_HELP)
+    for payload in payloads:
+        sketch.observe(payload["wall_s"], algorithm=algorithm)
 
 
-def _plan_metric_delta(before: PlanMetrics, after: PlanMetrics) -> PlanMetrics:
-    """Per-family, per-label increments between two snapshots.
+def _registry_state() -> dict[str, Any]:
+    from ..obs.metrics import global_registry
 
-    Counters are monotonic, so every delta is >= 0; zero deltas are
-    dropped to keep the pickled payload minimal.
-    """
-    delta: PlanMetrics = {}
-    for name, samples in after.items():
-        prior = before.get(name, {})
-        changed = {
-            key: value - prior.get(key, 0)
-            for key, value in samples.items()
-            if value != prior.get(key, 0)
-        }
-        if changed:
-            delta[name] = changed
-    return delta
+    return global_registry().export_state()
 
 
 def run_lane_metered(spec_fields: Sequence[Any]) -> dict[str, Any]:
-    """:func:`run_lane` plus the plan-metric increments it caused.
+    """:func:`run_lane` plus the registry increments it caused.
 
     Process-pool workers mutate their *own* global registry, which the
-    parent's /metrics never sees; the metered variants snapshot the
-    relevant families around the run and ship the increments back with
-    the payload (label keys are plain tuples — picklable) so the app can
-    fold them into its registry.
+    parent's /metrics never sees; the metered variants snapshot the full
+    registry around the run — counters, gauges, histograms, quantile
+    sketches — and ship the increments back with the payload (plain
+    tuples and dicts — picklable) so the app can fold them into its
+    registry via :meth:`~repro.obs.metrics.MetricsRegistry.fold_state`.
     """
-    before = _plan_metric_samples()
+    from ..obs.metrics import MetricsRegistry
+
+    before = _registry_state()
     payload = run_lane(spec_fields)
     return {
         "payload": payload,
-        "plan_metrics": _plan_metric_delta(before, _plan_metric_samples()),
+        "metrics": MetricsRegistry.delta_state(before, _registry_state()),
     }
 
 
 def run_batch_lanes_metered(
     spec_fields: Sequence[Any], seeds: Sequence[int]
 ) -> dict[str, Any]:
-    """:func:`run_batch_lanes` plus the plan-metric increments."""
-    before = _plan_metric_samples()
+    """:func:`run_batch_lanes` plus the registry increments."""
+    from ..obs.metrics import MetricsRegistry
+
+    before = _registry_state()
     payloads = run_batch_lanes(spec_fields, seeds)
     return {
         "payloads": payloads,
-        "plan_metrics": _plan_metric_delta(before, _plan_metric_samples()),
+        "metrics": MetricsRegistry.delta_state(before, _registry_state()),
     }
 
 

@@ -1,0 +1,528 @@
+"""Tests for the load-scenario engine: specs, targets, runner, report.
+
+Scenario expansion is pure and seeded, so most of the suite asserts
+exact determinism; the runner tests use a stub target with synthetic
+latencies to keep timing-dependent assertions structural (counts,
+outcome classes, warmup flags) rather than wall-clock-dependent.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+
+import pytest
+
+from repro.loadgen import (
+    Dashboard,
+    HttpTarget,
+    InProcessTarget,
+    LoadRunner,
+    PRESETS,
+    QueryOutcome,
+    QueryTemplate,
+    ScenarioSpec,
+    Target,
+    build_report,
+    render_report,
+    validate_report,
+)
+from repro.loadgen.scenario import Query
+from repro.loadgen.targets import materialize, resolve_rank
+from repro.obs import chrome_trace_query_totals, load_run_to_chrome_trace
+from repro.obs.metrics import MetricsRegistry
+
+
+def tiny_scenario(**overrides) -> ScenarioSpec:
+    base = dict(
+        name="tiny",
+        arrival="closed",
+        concurrency=2,
+        queries=8,
+        warmup=2,
+        templates=(
+            QueryTemplate(name="s", algorithm="sort", p=4, k=4, n=64),
+            QueryTemplate(name="q", algorithm="select", p=4, k=2, n=64),
+        ),
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class StubTarget(Target):
+    """Deterministic outcomes, tiny real sleeps."""
+
+    def __init__(self, *, latency_s=0.001, fail_on=(), reject_on=()):
+        self.latency_s = latency_s
+        self.fail_on = set(fail_on)
+        self.reject_on = set(reject_on)
+        self.ran: list[int] = []
+
+    async def run(self, query: Query) -> QueryOutcome:
+        self.ran.append(query.index)
+        await asyncio.sleep(self.latency_s)
+        if query.index in self.fail_on:
+            return QueryOutcome(ok=False, status="failed", detail="boom")
+        if query.index in self.reject_on:
+            return QueryOutcome(ok=False, status="rejected")
+        return QueryOutcome(ok=True, status="done", cache_hit=False)
+
+
+# ---------------------------------------------------------------------------
+# Scenario specs
+# ---------------------------------------------------------------------------
+
+class TestScenarioSpec:
+    def test_presets_validate(self):
+        for name, spec in PRESETS.items():
+            spec.validate()
+            assert spec.name == name
+
+    def test_schedule_is_deterministic(self):
+        spec = PRESETS["mixed"]
+        assert spec.schedule() == spec.schedule()
+
+    def test_seed_changes_schedule(self):
+        spec = tiny_scenario(queries=32)
+        assert spec.schedule() != spec.override(seed=7).schedule()
+
+    def test_churn_cycles_per_template_occurrence(self):
+        spec = ScenarioSpec(
+            queries=6, concurrency=1,
+            templates=(QueryTemplate(
+                name="churn", p=[4, 8], k=4, n=[64, 256]),),
+        )
+        qs = spec.schedule()
+        assert [q.p for q in qs] == [4, 8, 4, 8, 4, 8]
+        assert [q.n for q in qs] == [64, 256, 64, 256, 64, 256]
+
+    def test_seed_stride_controls_cache_busting(self):
+        spec = tiny_scenario(seed_stride=0)
+        assert len({q.seed for q in spec.schedule()}) == 1
+        spec = tiny_scenario(seed_stride=3, seed=10)
+        assert [q.seed for q in spec.schedule()][:3] == [10, 13, 16]
+
+    def test_poisson_arrivals_monotone(self):
+        spec = tiny_scenario(arrival="poisson", rate=100.0)
+        offsets = [q.at_s for q in spec.schedule()]
+        assert all(b >= a for a, b in zip(offsets, offsets[1:]))
+        assert all(t is not None and t > 0 for t in offsets)
+
+    def test_burst_arrivals_group(self):
+        spec = tiny_scenario(arrival="burst", rate=100.0, burst=4)
+        offsets = [q.at_s for q in spec.schedule()]
+        assert offsets[0] == offsets[3]
+        assert offsets[4] == offsets[7] > offsets[3]
+
+    def test_closed_loop_has_no_offsets(self):
+        assert all(q.at_s is None for q in tiny_scenario().schedule())
+
+    def test_json_round_trip(self):
+        spec = PRESETS["adversarial"]
+        clone = ScenarioSpec.from_json(json.dumps(spec.to_dict()))
+        assert clone == spec
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario field"):
+            ScenarioSpec.from_dict({"nope": 1})
+        with pytest.raises(ValueError, match="unknown template field"):
+            QueryTemplate.from_dict({"algorithm": "sort", "nope": 1})
+
+    @pytest.mark.parametrize("bad", [
+        dict(arrival="open"),
+        dict(concurrency=0),
+        dict(queries=0),
+        dict(warmup=8),
+        dict(seed_stride=-1),
+        dict(templates=()),
+    ])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            tiny_scenario(**bad).validate()
+
+    def test_uniform_requires_divisibility(self):
+        spec = tiny_scenario(templates=(
+            QueryTemplate(algorithm="sort", p=4, k=4, n=63),))
+        with pytest.raises(ValueError, match="requires p \\| n"):
+            spec.validate()
+
+    def test_rank_on_sort_rejected(self):
+        with pytest.raises(ValueError, match="selection only"):
+            QueryTemplate(algorithm="sort", rank=5).validate()
+
+
+# ---------------------------------------------------------------------------
+# Targets
+# ---------------------------------------------------------------------------
+
+def make_query(**overrides) -> Query:
+    base = dict(
+        index=0, name="t", algorithm="sort", p=4, k=4, n=64, seed=3,
+        engine="generator", backend="columnsort", distribution="uniform",
+        skew=4.0, distinct=5, rank="median", at_s=None,
+    )
+    base.update(overrides)
+    return Query(**base)
+
+
+class TestMaterialize:
+    def test_uniform_matches_bench_distribution(self):
+        from repro.core.distribution import Distribution
+
+        dist = materialize(make_query())
+        assert dist == Distribution.even(64, 4, seed=3)
+
+    def test_skewed_is_uneven(self):
+        dist = materialize(make_query(distribution="skewed", skew=8.0))
+        assert dist.n == 64 and dist.p == 4
+        assert not dist.is_even
+
+    def test_duplicate_heavy_limits_distinct_values(self):
+        dist = materialize(
+            make_query(distribution="duplicate-heavy", distinct=5, n=63)
+        )
+        assert dist.n == 63
+        assert len(set(dist.all_elements())) <= 5
+        assert not dist.has_distinct_elements()
+
+    def test_adversarial_uses_theorem3_placement(self):
+        q = make_query(distribution="adversarial", n=128, p=8, k=4)
+        dist = materialize(q)
+        assert dist.n == 128 and dist.p == 8
+        # Deterministic per seed.
+        assert materialize(q) == dist
+
+    def test_rank_resolution(self):
+        q = make_query(algorithm="select")
+        dist = materialize(q)
+        assert resolve_rank(q, dist) == (64 + 1) // 2
+        assert resolve_rank(q._replace(rank=7), dist) == 7
+        assert resolve_rank(q._replace(rank=10_000), dist) == 64
+        adv = resolve_rank(q._replace(rank="adversarial"), dist)
+        assert dist.p <= adv <= (dist.n + 1) // 2
+
+
+class TestInProcessTarget:
+    def run_one(self, target, query):
+        async def go():
+            await target.start(1)
+            try:
+                return await target.run(query)
+            finally:
+                await target.close()
+        return asyncio.run(go())
+
+    def test_uniform_sort_done(self):
+        outcome = self.run_one(InProcessTarget(), make_query())
+        assert outcome == QueryOutcome(ok=True, status="done")
+
+    def test_adversarial_select_done(self):
+        outcome = self.run_one(InProcessTarget(), make_query(
+            algorithm="select", distribution="adversarial",
+            rank="adversarial", p=4, k=2, n=64,
+        ))
+        assert outcome.ok and outcome.status == "done"
+
+    def test_cache_round_trip(self, tmp_path):
+        from repro.bench.cache import ResultCache
+
+        target = InProcessTarget(cache=ResultCache(tmp_path))
+        q = make_query()
+        first = self.run_one(target, q)
+        second = self.run_one(target, q)
+        assert not first.cache_hit and second.cache_hit
+
+    def test_non_uniform_skips_cache(self, tmp_path):
+        from repro.bench.cache import ResultCache
+
+        cache = ResultCache(tmp_path)
+        target = InProcessTarget(cache=cache)
+        q = make_query(distribution="skewed")
+        self.run_one(target, q)
+        assert len(cache) == 0
+
+    def test_failure_is_an_outcome(self):
+        # k > p is rejected by the network, not by the generator.
+        outcome = self.run_one(
+            InProcessTarget(), make_query(p=2, k=4, n=64)
+        )
+        assert not outcome.ok and outcome.status == "failed"
+        assert outcome.detail
+
+
+class TestHttpTarget:
+    def test_from_url(self):
+        t = HttpTarget.from_url("http://127.0.0.1:8577")
+        assert (t.host, t.port) == ("127.0.0.1", 8577)
+        assert HttpTarget.from_url("localhost:9000").port == 9000
+        with pytest.raises(ValueError):
+            HttpTarget.from_url("no-port")
+
+    def test_check_scenario_rejects_non_uniform(self):
+        with pytest.raises(ValueError, match="in-process target"):
+            HttpTarget.check_scenario(PRESETS["adversarial"])
+        HttpTarget.check_scenario(PRESETS["smoke"])  # uniform: fine
+
+    def test_429_maps_to_rejected(self):
+        target = HttpTarget("127.0.0.1", 1)
+
+        async def fake_request(method, path, body=None):
+            return 429, {"error": "queue full", "retry_after_s": 0.5}
+
+        target._request = fake_request
+
+        outcome = asyncio.run(target.run(make_query()))
+        assert outcome.status == "rejected" and not outcome.ok
+
+    def test_end_to_end_against_thread_service(self):
+        from repro.service import ServiceApp, ServiceServer
+
+        scenario = tiny_scenario(queries=6, warmup=0)
+
+        async def go():
+            app = ServiceApp(
+                queue_size=16, workers=2, executor="thread",
+                registry=MetricsRegistry(),
+            )
+            server = ServiceServer(app, port=0)
+            await server.start()
+            try:
+                runner = LoadRunner(
+                    scenario, HttpTarget("127.0.0.1", server.port),
+                    registry=MetricsRegistry(),
+                )
+                return await runner.run_async()
+            finally:
+                await server.stop()
+
+        result = asyncio.run(go())
+        assert len(result.records) == 6
+        assert all(r.ok for r in result.records)
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+
+class TestLoadRunner:
+    def test_closed_loop_runs_everything(self):
+        scenario = tiny_scenario()
+        target = StubTarget()
+        result = LoadRunner(
+            scenario, target, registry=MetricsRegistry()
+        ).run()
+        assert sorted(target.ran) == list(range(8))
+        assert [r.index for r in result.records] == list(range(8))
+        assert {r.lane for r in result.records} <= {0, 1}
+        assert [r.warmup for r in result.records[:2]] == [True, True]
+        assert not any(r.warmup for r in result.records[2:])
+
+    def test_open_loop_runs_everything(self):
+        scenario = tiny_scenario(arrival="poisson", rate=500.0, queries=12,
+                                 warmup=0)
+        result = LoadRunner(
+            scenario, StubTarget(), registry=MetricsRegistry()
+        ).run()
+        assert len(result.records) == 12
+        # Open loop measures from the scheduled arrival.
+        starts = {r.index: r.start_s for r in result.records}
+        offsets = {q.index: q.at_s for q in scenario.schedule()}
+        assert starts == {i: round(t, 6) for i, t in offsets.items()}
+
+    def test_outcomes_classified_and_metered(self):
+        scenario = tiny_scenario(warmup=0)
+        registry = MetricsRegistry()
+        result = LoadRunner(
+            scenario, StubTarget(fail_on={1}, reject_on={2}),
+            registry=registry,
+        ).run()
+        by_status = {}
+        for r in result.records:
+            by_status[r.status] = by_status.get(r.status, 0) + 1
+        assert by_status == {"done": 6, "failed": 1, "rejected": 1}
+        counter = registry.get("loadgen_queries_total")
+        assert counter.get(status="done") == 6
+        assert counter.get(status="failed") == 1
+        assert counter.get(status="rejected") == 1
+        sketch = registry.get("loadgen_latency_seconds")
+        total = sum(
+            sketch.count(algorithm=a) for a in ("sort", "select")
+        )
+        assert total == 8
+        assert registry.get("loadgen_in_flight").get() == 0
+
+    def test_target_exception_becomes_failed_outcome(self):
+        class ExplodingTarget(Target):
+            async def run(self, query):
+                raise RuntimeError("kaboom")
+
+        result = LoadRunner(
+            tiny_scenario(warmup=0), ExplodingTarget(),
+            registry=MetricsRegistry(),
+        ).run()
+        assert all(r.status == "failed" for r in result.records)
+
+    def test_ticks_feed_snapshots(self):
+        ticks = []
+        scenario = tiny_scenario(queries=12, warmup=0)
+        LoadRunner(
+            scenario, StubTarget(latency_s=0.01),
+            registry=MetricsRegistry(),
+            on_tick=ticks.append, tick_s=0.02,
+        ).run()
+        assert ticks and ticks[-1]["final"]
+        assert ticks[-1]["done"] == 12
+        for key in ("p50_ms", "p99_ms", "p999_ms", "qps", "in_flight"):
+            assert key in ticks[-1]
+
+
+# ---------------------------------------------------------------------------
+# Report + trace reconciliation
+# ---------------------------------------------------------------------------
+
+class TestReport:
+    def run_result(self, **overrides):
+        scenario = tiny_scenario(**overrides)
+        return LoadRunner(
+            scenario, StubTarget(latency_s=0.002),
+            registry=MetricsRegistry(),
+        ).run()
+
+    def test_report_validates_and_renders(self):
+        report = build_report(self.run_result())
+        validate_report(report)
+        assert report["queries"] == {
+            "total": 8, "measured": 6, "ok": 6, "failed": 0,
+            "rejected": 0, "warmup_excluded": 2,
+        }
+        lat = report["latency"]
+        assert 0 < lat["p50_s"] <= lat["p99_s"] <= lat["p999_s"]
+        assert lat["count"] == 6
+        assert report["env"]["cpu_count"] >= 1
+        assert "python" in report["env"]
+        text = render_report(report)
+        assert "p99" in text and "throughput" in text
+
+    def test_failed_queries_excluded_from_latency(self):
+        scenario = tiny_scenario(warmup=0)
+        result = LoadRunner(
+            scenario, StubTarget(fail_on={0, 1}),
+            registry=MetricsRegistry(),
+        ).run()
+        report = build_report(result)
+        assert report["queries"]["failed"] == 2
+        assert report["latency"]["count"] == 6
+
+    def test_validate_rejects_malformed(self):
+        report = build_report(self.run_result())
+        with pytest.raises(ValueError, match="schema"):
+            validate_report({**report, "schema": "bogus"})
+        broken = {k: v for k, v in report.items() if k != "latency"}
+        with pytest.raises(ValueError, match="latency"):
+            validate_report(broken)
+
+    def test_trace_reconciles_with_records(self):
+        result = self.run_result()
+        doc = load_run_to_chrome_trace(
+            result.trace_records(),
+            meta={"scenario": result.scenario.name},
+            depth_samples=result.depth_samples,
+        )
+        totals = chrome_trace_query_totals(doc)
+        assert totals["queries"] == len(result.records)
+        assert totals["ok"] == sum(1 for r in result.records if r.ok)
+        exact = sum(r.latency_s for r in result.records)
+        # Span durations are rounded to whole microseconds.
+        assert totals["latency_sum_s"] == pytest.approx(
+            exact, abs=1e-6 * len(result.records)
+        )
+        # And the measured subset matches the report's latency sum.
+        report = build_report(result)
+        measured = sum(r.latency_s for r in result.measured if r.ok)
+        assert report["latency"]["sum_s"] == pytest.approx(measured)
+
+
+class TestDashboard:
+    def snapshot(self, **overrides):
+        snap = dict(
+            t_s=1.0, done=4, total=8, in_flight=2, qps=12.5,
+            p50_ms=1.5, p99_ms=3.0, p999_ms=3.2,
+            rejected_rate=0.0, cache_hit_rate=0.25, final=False,
+        )
+        snap.update(overrides)
+        return snap
+
+    def test_non_tty_emits_summary_lines(self):
+        out = io.StringIO()
+        dash = Dashboard(out, force_tty=False)
+        dash.update(self.snapshot())
+        dash.update(self.snapshot(t_s=2.0, done=8))
+        lines = out.getvalue().strip().split("\n")
+        assert len(lines) == 2
+        assert "p99" in lines[0] and "8/8 done" in lines[1]
+
+    def test_tty_frame_redraws_in_place(self):
+        out = io.StringIO()
+        dash = Dashboard(out, force_tty=True)
+        dash.update(self.snapshot())
+        dash.update(self.snapshot(t_s=2.0))
+        assert "\x1b[7F" in out.getvalue()  # cursor-up over the frame
+        dash.close()
+
+    def test_render_contains_sparkline_lanes(self):
+        dash = Dashboard(io.StringIO(), force_tty=True)
+        for ms in (1.0, 2.0, 4.0, 8.0):
+            dash.update(self.snapshot(p50_ms=ms))
+        frame = dash.render(self.snapshot())
+        for label in ("p50", "p99", "p99.9", "q/s", "depth"):
+            assert label in frame
+        assert any(glyph in frame for glyph in "▁▂▃▄▅▆▇█")
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+class TestCli:
+    def test_end_to_end_with_artifacts(self, tmp_path, capsys):
+        from repro.cli import main
+
+        report_path = tmp_path / "report.json"
+        trace_path = tmp_path / "trace.json"
+        rc = main([
+            "loadgen", "--preset", "smoke", "--queries", "6",
+            "--concurrency", "2",
+            "--report", str(report_path), "--trace", str(trace_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "scenario 'smoke'" in out
+        report = json.loads(report_path.read_text())
+        validate_report(report)
+        doc = json.loads(trace_path.read_text())
+        assert chrome_trace_query_totals(doc)["queries"] == 6
+
+    def test_scenario_file_wins_over_preset(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec = tiny_scenario(queries=4, warmup=0)
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        rc = main(["loadgen", "--scenario", str(path)])
+        assert rc == 0
+        assert "scenario 'tiny'" in capsys.readouterr().out
+
+    def test_http_target_rejects_adversarial_preset(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="in-process target"):
+            main(["loadgen", "--preset", "adversarial", "--target", "http"])
+
+    def test_bad_scenario_file_is_a_clean_error(self, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"arrival": "open"}))
+        with pytest.raises(SystemExit, match="arrival"):
+            main(["loadgen", "--scenario", str(path)])

@@ -424,6 +424,34 @@ class TestCacheMetrics:
         assert cache_counter.get(result="miss", backend="columnsort") >= 1
         assert app.registry.get("vector_plan_compile_seconds").get() > 0
 
+    def test_lane_sketch_folds_across_process_workers(self):
+        """Per-lane wall-time sketches observed in >= 2 separate worker
+        processes must merge into one distribution on the app's registry
+        — the whole point of the mergeable quantile sketch."""
+        jobs = [
+            {**SORT, "seed": s} for s in range(3)
+        ] + [{**SELECT, "seed": s} for s in range(3)]
+
+        async def scenario():
+            app = make_app(executor="process", workers=2)
+            await app.start()
+            submitted = [app.submit(JobSpec(**spec)) for spec in jobs]
+            await app.join()
+            await app.shutdown()
+            return app, submitted
+
+        app, submitted = drive(scenario())
+        assert all(j.state is JobState.DONE for j in submitted)
+        sketch = app.registry.get("service_lane_wall_seconds")
+        assert sketch.count(algorithm="sort") == 3
+        assert sketch.count(algorithm="select") == 3
+        for algorithm in ("sort", "select"):
+            assert sketch.quantile(0.5, algorithm=algorithm) > 0
+        # The folded sketch reaches the Prometheus exposition.
+        text = app.registry.render_prometheus()
+        assert "service_lane_wall_seconds" in text
+        assert 'quantile="0.99"' in text
+
 
 class TestWorkerSizing:
     def test_explicit_argument_wins(self, monkeypatch):
